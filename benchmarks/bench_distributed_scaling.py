@@ -1,0 +1,76 @@
+"""Extension bench: distributed GQR scaling (the paper's future work).
+
+The conclusion plans GQR on data-parallel systems.  Our simulated
+cluster shards the SIFT10M stand-in, broadcasts the hash functions and
+answers queries scatter-gather.  The series reported: recall and
+estimated makespan versus worker count (random sharding), plus the
+locality-routing trade-off (cluster sharding with partial fan-out).
+"""
+
+import numpy as np
+
+from repro.distributed import DistributedHashIndex, NetworkModel
+from repro.eval.reporting import format_table
+from repro_bench import K, fitted_hasher, save_report, workload
+
+DATASET = "SIFT10M"
+BUDGET = 2000
+
+
+def _run(index, queries, truth, fanout=None):
+    hits = 0
+    makespans = []
+    for query, truth_row in zip(queries, truth):
+        result = index.search(query, k=K, n_candidates=BUDGET, fanout=fanout)
+        hits += len(np.intersect1d(result.ids, truth_row))
+        makespans.append(result.extras["makespan_seconds"])
+    return hits / (K * len(queries)), float(np.mean(makespans))
+
+
+def test_distributed_scaling(benchmark):
+    dataset, truth = workload(DATASET)
+    hasher = fitted_hasher(DATASET, "itq")
+    network = NetworkModel(latency_seconds=0.5e-3)
+    queries = dataset.queries[:40]
+    truth = truth[: len(queries)]
+
+    scaling_rows = []
+    routing_rows = []
+
+    def run_all():
+        for workers in (1, 2, 4, 8):
+            index = DistributedHashIndex(
+                hasher, dataset.data, num_workers=workers, seed=0,
+                network=network,
+            )
+            recall, makespan = _run(index, queries, truth)
+            scaling_rows.append(
+                [workers, round(recall, 4), round(1000 * makespan, 3)]
+            )
+        clustered = DistributedHashIndex(
+            hasher, dataset.data, num_workers=8, partitioning="cluster",
+            seed=0, network=network,
+        )
+        for fanout in (8, 4, 2):
+            recall, makespan = _run(clustered, queries, truth, fanout)
+            routing_rows.append(
+                [fanout, round(recall, 4), round(1000 * makespan, 3)]
+            )
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    save_report(
+        "distributed_scaling",
+        "random sharding (full fan-out):\n"
+        + format_table(["workers", "recall", "makespan ms"], scaling_rows)
+        + "\n\ncluster sharding, 8 workers, routed fan-out:\n"
+        + format_table(["fan-out", "recall", "makespan ms"], routing_rows),
+    )
+
+    # Sharding must not destroy recall (same total candidate budget).
+    single = scaling_rows[0][1]
+    for row in scaling_rows[1:]:
+        assert row[1] >= single - 0.08
+    # Routing to half the cluster keeps most of the recall.
+    full = routing_rows[0][1]
+    assert routing_rows[1][1] >= full - 0.15

@@ -1,0 +1,59 @@
+"""Figure 6: GQR versus QR (slow start) on the four main datasets.
+
+Paper: both probe identical bucket orders, but QR sorts *all* buckets up
+front while GQR generates them on demand, so GQR wins at low budgets and
+the gap widens with dataset size (more buckets to sort).  We sweep both
+and compare time at the smallest budget.
+"""
+
+from repro.core.gqr import GQR
+from repro.core.qd_ranking import QDRanking
+
+from repro.eval.reporting import format_curves
+from repro.search.searcher import HashIndex
+from repro_bench import (
+    timed_sweep,
+    K,
+    MAIN_NAMES,
+    budget_sweep,
+    fitted_hasher,
+    save_report,
+    workload,
+)
+
+
+def test_fig06_qr_vs_gqr(benchmark):
+    results = {}
+
+    def run_all():
+        for name in MAIN_NAMES:
+            dataset, truth = workload(name)
+            hasher = fitted_hasher(name, "itq")
+            budgets = budget_sweep(len(dataset.data))
+            curves = {}
+            for label, prober in (("GQR", GQR()), ("QR", QDRanking())):
+                index = HashIndex(hasher, dataset.data, prober=prober)
+                curves[label] = timed_sweep(
+                    index, dataset.queries, truth, K, budgets, repeats=2
+                )
+            results[name] = curves
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    sections = []
+    for name, curves in results.items():
+        sections.append(f"--- {name} ---")
+        sections.append(format_curves(curves))
+    save_report("fig06_qr_vs_gqr", "\n".join(sections))
+
+    # Identical probe order => identical recall at every budget.
+    for name, curves in results.items():
+        for gqr_point, qr_point in zip(curves["GQR"], curves["QR"]):
+            assert abs(gqr_point.recall - qr_point.recall) < 0.03
+
+    # Slow start: at the smallest budget GQR must not be slower than QR
+    # on the larger datasets (where the sorted bucket list is big).
+    big = MAIN_NAMES[-1]
+    assert (
+        results[big]["GQR"][0].seconds <= results[big]["QR"][0].seconds * 1.10
+    )

@@ -1,0 +1,39 @@
+"""Figures 13-14: GQR versus GHR/HR with PCAH hash functions.
+
+Paper: the same dominance pattern as with ITQ holds when the hash
+functions come from plain PCA hashing — evidence that GQR is a general
+querying method (Section 6.4).  Figure 14's time-at-recall table is
+printed alongside.
+"""
+
+from repro.eval.harness import time_to_recall
+from repro.eval.reporting import format_table
+from repro_bench import MAIN_NAMES, save_report
+from bench_fig07_gqr_vs_hr import assert_gqr_dominates, sweep_three_probers
+
+TARGETS = [0.80, 0.85, 0.90, 0.95]
+
+
+def test_fig13_14_pcah(benchmark):
+    results = {}
+
+    def run_all():
+        for name in MAIN_NAMES:
+            results[name] = sweep_three_probers(name, algo="pcah")
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    assert_gqr_dominates(results, "fig13_gqr_vs_hr_pcah")
+
+    sections = []
+    for name, curves in results.items():
+        rows = [
+            [f"{t:.0%}"]
+            + [
+                round(time_to_recall(curves[label], t), 4)
+                for label in ("HR", "GHR", "GQR")
+            ]
+            for t in TARGETS
+        ]
+        sections.append(f"--- {name} ---")
+        sections.append(format_table(["recall", "HR", "GHR", "GQR"], rows))
+    save_report("fig14_time_at_recall_pcah", "\n".join(sections))

@@ -1,0 +1,38 @@
+"""Figures 15-16: GQR versus GHR/HR with spectral hashing.
+
+Paper: GQR's advantage persists under SH's *non-linear* projection —
+the strongest generality test, since QD here is computed on sinusoid
+eigenfunction values rather than hyperplane margins.
+"""
+
+from repro.eval.harness import time_to_recall
+from repro.eval.reporting import format_table
+from repro_bench import MAIN_NAMES, save_report
+from bench_fig07_gqr_vs_hr import assert_gqr_dominates, sweep_three_probers
+
+TARGETS = [0.80, 0.85, 0.90, 0.95]
+
+
+def test_fig15_16_sh(benchmark):
+    results = {}
+
+    def run_all():
+        for name in MAIN_NAMES:
+            results[name] = sweep_three_probers(name, algo="sh")
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    assert_gqr_dominates(results, "fig15_gqr_vs_hr_sh")
+
+    sections = []
+    for name, curves in results.items():
+        rows = [
+            [f"{t:.0%}"]
+            + [
+                round(time_to_recall(curves[label], t), 4)
+                for label in ("HR", "GHR", "GQR")
+            ]
+            for t in TARGETS
+        ]
+        sections.append(f"--- {name} ---")
+        sections.append(format_table(["recall", "HR", "GHR", "GQR"], rows))
+    save_report("fig16_time_at_recall_sh", "\n".join(sections))

@@ -1,0 +1,66 @@
+"""Extension bench: batch throughput (queries per second).
+
+``HashIndex.search_batch`` amortises the projection step across a
+batch (one matmul for all queries' codes and flip costs).  This bench
+measures QPS of the batched path against the per-query path at a fixed
+budget — and checks the results are bit-identical.
+"""
+
+import time
+
+import numpy as np
+
+from repro.core.gqr import GQR
+from repro.eval.reporting import format_table
+from repro.search.searcher import HashIndex
+from repro_bench import K, fitted_hasher, save_report, workload
+
+DATASET = "SIFT10M"
+BUDGET = 300
+
+
+def test_batch_throughput(benchmark):
+    dataset, _ = workload(DATASET)
+    index = HashIndex(
+        fitted_hasher(DATASET, "itq"), dataset.data, prober=GQR()
+    )
+    queries = dataset.queries
+
+    timings = {}
+
+    def run_all():
+        # Best-of-3 per path: these are ~15 ms measurements, so a single
+        # scheduler hiccup would otherwise dominate the comparison.
+        batched_times = []
+        looped_times = []
+        batched = looped = None
+        for _ in range(3):
+            start = time.perf_counter()
+            batched = index.search_batch(queries, K, BUDGET)
+            batched_times.append(time.perf_counter() - start)
+            start = time.perf_counter()
+            looped = [index.search(q, K, BUDGET) for q in queries]
+            looped_times.append(time.perf_counter() - start)
+        timings["batched"] = min(batched_times)
+        timings["per-query"] = min(looped_times)
+        return batched, looped
+
+    batched, looped = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    # Identical results.
+    for a, b in zip(batched, looped):
+        assert np.array_equal(a.ids, b.ids)
+
+    rows = [
+        [label, round(seconds, 4),
+         round(len(queries) / seconds, 1)]
+        for label, seconds in timings.items()
+    ]
+    save_report(
+        "throughput",
+        f"{DATASET}, {len(queries)} queries, budget {BUDGET}:\n"
+        + format_table(["path", "seconds", "QPS"], rows),
+    )
+
+    # Batching must not be slower (it amortises the projections).
+    assert timings["batched"] <= timings["per-query"] * 1.15

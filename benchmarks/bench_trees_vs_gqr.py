@@ -1,0 +1,107 @@
+"""Extension bench: tree-based related work versus GQR.
+
+Two measurements backing Section 7's narrative:
+
+1. **Curse of dimensionality** — the exact k-d tree's pruning collapses
+   as dimensionality grows on unclustered data, approaching a full
+   scan (why exact trees lose to linear scan beyond ~20 dims, the
+   premise for approximate methods).
+2. **FLANN-family comparison** — randomized k-d forest and hierarchical
+   k-means tree versus ITQ+GQR on the GIST1M stand-in: recall at a
+   matched candidate (evaluated-points) budget.
+"""
+
+import numpy as np
+
+from repro.core.gqr import GQR
+from repro.eval.reporting import format_table
+from repro.search.searcher import HashIndex
+from repro.trees.kdtree import KDTree
+from repro.trees.kmeans_tree import KMeansTree
+from repro.trees.randomized_forest import RandomizedKDForest
+from repro_bench import K, fitted_hasher, save_report, workload
+
+
+def test_curse_of_dimensionality(benchmark):
+    rng = np.random.default_rng(3)
+    rows = []
+    visited = {}
+
+    def run_all():
+        for d in (2, 4, 8, 16, 32):
+            data = rng.standard_normal((4000, d))
+            tree = KDTree(data, leaf_size=16)
+            total_leaves = 0
+            for query in rng.standard_normal((20, d)):
+                tree.query(query, K)
+                total_leaves += tree.last_nodes_visited
+            visited[d] = total_leaves / 20
+            rows.append([d, round(visited[d], 1), 4000 // 16])
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    save_report(
+        "trees_curse_of_dimensionality",
+        "exact k-d tree, 4000 unclustered Gaussian points:\n"
+        + format_table(["dims", "mean leaves visited", "total leaves"], rows),
+    )
+
+    # Pruning must decay monotonically-ish and collapse at d=32.
+    assert visited[32] > 10 * visited[2]
+    assert visited[32] > 0.5 * (4000 / 16)  # near-full scan
+
+
+def test_flann_trees_vs_gqr(benchmark):
+    dataset, truth = workload("GIST1M")
+    hasher = fitted_hasher("GIST1M", "itq")
+    data = dataset.data
+    queries = dataset.queries[:50]
+    truth = truth[:50]
+
+    results = {}
+
+    def run_all():
+        gqr_index = HashIndex(hasher, data, prober=GQR())
+        forest = RandomizedKDForest(data, n_trees=4, leaf_size=32, seed=0)
+        km_tree = KMeansTree(data, branching=8, leaf_size=32, seed=0)
+
+        def recall_gqr(budget):
+            hits = 0
+            for query, truth_row in zip(queries, truth):
+                res = gqr_index.search(query, K, budget)
+                hits += len(np.intersect1d(res.ids, truth_row))
+            return hits / (K * len(queries))
+
+        def recall_tree(tree, max_leaves):
+            hits = 0
+            for query, truth_row in zip(queries, truth):
+                ids, _ = tree.query(query, K, max_leaves=max_leaves)
+                hits += len(np.intersect1d(ids, truth_row))
+            return hits / (K * len(queries))
+
+        # ~32 items/leaf: match budgets to leaves × leaf size.
+        for budget, leaves in ((256, 8), (1024, 32), (4096, 128)):
+            results[budget] = {
+                "ITQ+GQR": recall_gqr(budget),
+                "kd-forest": recall_tree(forest, leaves),
+                "kmeans-tree": recall_tree(km_tree, leaves),
+            }
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = [
+        [budget] + [round(v, 4) for v in series.values()]
+        for budget, series in results.items()
+    ]
+    save_report(
+        "trees_vs_gqr",
+        "GIST1M stand-in, recall at matched evaluated-points budget:\n"
+        + format_table(
+            ["~items", "ITQ+GQR", "kd-forest", "kmeans-tree"], rows
+        ),
+    )
+
+    # GQR is competitive with the tree family at every budget.
+    for budget, series in results.items():
+        best_tree = max(series["kd-forest"], series["kmeans-tree"])
+        assert series["ITQ+GQR"] >= best_tree - 0.15, budget

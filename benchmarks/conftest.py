@@ -1,0 +1,10 @@
+"""Benchmark-suite configuration.
+
+Ensures the benchmark helpers are importable and keeps pytest-benchmark
+output grouped per figure.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))

@@ -1,0 +1,128 @@
+"""Shared machinery for the per-figure/table benchmarks.
+
+Every file in this directory regenerates one table or figure from the
+paper.  Conventions:
+
+* heavy artefacts (datasets, ground truth, fitted hashers) are memoised
+  here so figures sharing a dataset do not refit;
+* each benchmark times its core computation exactly once via
+  ``benchmark.pedantic(..., rounds=1, iterations=1)`` — the numbers of
+  interest are the *within-figure comparisons*, not re-run statistics;
+* each benchmark writes the series the paper plots to
+  ``benchmarks/results/<name>.txt`` (and stdout) via :func:`save_report`,
+  and asserts the paper's qualitative claim.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.data import Dataset, ground_truth_knn, load_dataset
+from repro.eval.harness import CurvePoint
+from repro.hashing import ITQ, KMeansHashing, PCAHashing, SpectralHashing
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Default number of target neighbours, as in the paper.
+K = 20
+
+#: Global scale knob for quick runs (REPRO_BENCH_SCALE=0.2 etc.).
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+MAIN_NAMES = ["CIFAR60K", "GIST1M", "TINY5M", "SIFT10M"]
+
+_truth_cache: dict[tuple[str, int], np.ndarray] = {}
+_hasher_cache: dict[tuple[str, str, int], object] = {}
+
+
+def workload(name: str, k: int = K) -> tuple[Dataset, np.ndarray]:
+    """Dataset and exact kNN truth for its query batch, memoised."""
+    dataset = load_dataset(name, scale=SCALE)
+    key = (dataset.name, k)
+    if key not in _truth_cache:
+        _truth_cache[key] = ground_truth_knn(dataset.queries, dataset.data, k)
+    return dataset, _truth_cache[key]
+
+
+def fitted_hasher(name: str, algo: str, code_length: int | None = None):
+    """A fitted hasher for a registered dataset, memoised by (ds, algo, m)."""
+    dataset = load_dataset(name, scale=SCALE)
+    m = code_length if code_length is not None else dataset.code_length
+    key = (dataset.name, algo, m)
+    if key not in _hasher_cache:
+        if algo == "itq":
+            hasher = ITQ(code_length=m, seed=0)
+        elif algo == "pcah":
+            hasher = PCAHashing(code_length=m)
+        elif algo == "sh":
+            hasher = SpectralHashing(code_length=m)
+        elif algo == "kmh":
+            # KMH needs m divisible by the per-subspace bits; round down
+            # to the nearest multiple of 4 (b = 4 as in the KMH paper).
+            m = max(4, m - m % 4)
+            hasher = KMeansHashing(
+                code_length=m, bits_per_subspace=4, kmeans_iterations=15, seed=0
+            )
+        else:
+            raise ValueError(f"unknown hasher algo {algo!r}")
+        _hasher_cache[key] = hasher.fit(dataset.data)
+    return _hasher_cache[key]
+
+
+def budget_sweep(n_items: int, n_points: int = 6, top_fraction: float = 0.35):
+    """Geometric candidate budgets up to ``top_fraction·N``.
+
+    Sweeps stop short of N: the curves' interesting region is recall
+    0.3–0.99, which our workloads reach well below a full scan.
+    """
+    lo = max(20, n_items // 500)
+    hi = max(lo + 1, int(n_items * top_fraction))
+    return [int(b) for b in np.unique(np.geomspace(lo, hi, n_points).astype(int))]
+
+
+def timed_sweep(index, queries, truth, k, budgets, repeats: int = 3):
+    """Budget sweep with per-point best-of-``repeats`` wall time.
+
+    Recall is deterministic across repeats; timing on ~10 ms points is
+    not, so benches whose assertions compare seconds use the minimum —
+    the standard way to de-noise micro-timings.
+    """
+    from repro.eval.harness import CurvePoint, sweep_budgets
+
+    runs = [
+        sweep_budgets(index, queries, truth, k, budgets)
+        for _ in range(repeats)
+    ]
+    return [
+        CurvePoint(
+            budget=points[0].budget,
+            seconds=min(p.seconds for p in points),
+            recall=points[0].recall,
+            items=points[0].items,
+            buckets=points[0].buckets,
+        )
+        for points in zip(*runs)
+    ]
+
+
+def save_report(name: str, text: str) -> None:
+    """Write a figure/table report file and echo it to stdout."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n=== {name} ===\n{text}\n")
+
+
+def curves_recall_at_items(
+    curves: dict[str, list[CurvePoint]], items: float
+) -> dict[str, float]:
+    """Interpolated recall of each method at a fixed #retrieved items."""
+    out = {}
+    for method, curve in curves.items():
+        xs = [p.items for p in curve]
+        ys = [p.recall for p in curve]
+        out[method] = float(np.interp(items, xs, ys))
+    return out

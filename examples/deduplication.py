@@ -1,0 +1,76 @@
+"""Near-duplicate detection with exact early stopping.
+
+De-duplication (one of the paper's motivating applications) asks, for
+each new record, whether an item within distance ``t`` already exists.
+QD's Theorem 2 lower bound makes this exact *and* cheap: probing stops
+as soon as every unprobed bucket's scaled QD exceeds the duplicate
+radius — no full scan, no false negatives.
+
+Run:  python examples/deduplication.py
+"""
+
+import numpy as np
+
+from repro import GQR, ITQ, HashIndex, theorem2_mu
+from repro.data import gaussian_mixture
+from repro.index import euclidean_distances
+
+
+def find_duplicates(index, hasher, query, radius):
+    """All items within ``radius`` of ``query`` — exactly, via the bound.
+
+    Probes buckets in ascending QD and stops when µ·QD > radius; by
+    Theorem 2 no remaining bucket can hold an item inside the radius.
+    """
+    mu = theorem2_mu(hasher.hashing_matrix)
+    signature, costs = hasher.probe_info(query)
+    table = index.tables[0]
+    duplicates = []
+    evaluated = 0
+    for bucket, qd in index.prober.probe_scored(table, signature, costs):
+        if mu * qd > radius:
+            break
+        ids = table.get(bucket)
+        if not len(ids):
+            continue
+        evaluated += len(ids)
+        dists = euclidean_distances(query[np.newaxis, :], index.data[ids])[0]
+        duplicates.extend(int(i) for i, d in zip(ids, dists) if d <= radius)
+    return sorted(duplicates), evaluated
+
+
+def main() -> None:
+    rng = np.random.default_rng(3)
+    corpus = gaussian_mixture(20_000, 48, n_clusters=60,
+                              cluster_spread=0.4, seed=2)
+
+    # Plant near-duplicates: 50 corpus rows copied with tiny noise.
+    originals = rng.choice(len(corpus), 50, replace=False)
+    near_dupes = corpus[originals] + 0.01 * rng.standard_normal((50, 48))
+
+    hasher = ITQ(code_length=11, seed=0).fit(corpus)
+    index = HashIndex(hasher, corpus, prober=GQR())
+
+    radius = 0.2
+    found = 0
+    total_evaluated = 0
+    for original, candidate in zip(originals, near_dupes):
+        dupes, evaluated = find_duplicates(index, hasher, candidate, radius)
+        total_evaluated += evaluated
+        if int(original) in dupes:
+            found += 1
+
+    # Verify exactness on a fresh record that has no duplicate.
+    fresh = rng.standard_normal(48) * 10
+    dupes, _ = find_duplicates(index, hasher, fresh, radius)
+    assert not dupes, "a far-away record must have no duplicates"
+
+    print(f"planted duplicates recovered: {found}/50 (exact, by Theorem 2)")
+    print(f"mean items evaluated per check: "
+          f"{total_evaluated / 50:.0f} of {len(corpus)} "
+          f"({total_evaluated / 50 / len(corpus):.2%})")
+    print("a non-duplicate record correctly returned no matches")
+
+
+if __name__ == "__main__":
+    main()

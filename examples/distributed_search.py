@@ -1,0 +1,77 @@
+"""Distributed GQR: scatter-gather search over sharded workers.
+
+The paper's conclusion plans a distributed GQR on data-parallel systems
+(LoSHa, Husky).  This example runs the simulated cluster: the dataset is
+sharded, hash functions are broadcast, each worker probes its own
+buckets with GQR, and the coordinator merges partial top-k lists.  With
+k-means ("locality") sharding, queries can be routed to just the
+nearest shards, cutting network traffic at a small recall cost.
+
+Run:  python examples/distributed_search.py
+"""
+
+import numpy as np
+
+from repro import ITQ, NetworkModel
+from repro.data import gaussian_mixture, ground_truth_knn, sample_queries
+from repro.distributed import DistributedHashIndex
+from repro.eval import format_table
+
+K = 10
+
+
+def recall_and_makespan(index, queries, truth, budget, fanout=None):
+    hits = 0
+    makespans = []
+    for query, truth_row in zip(queries, truth):
+        result = index.search(query, k=K, n_candidates=budget, fanout=fanout)
+        hits += len(np.intersect1d(result.ids, truth_row))
+        makespans.append(result.extras["makespan_seconds"])
+    return hits / (K * len(queries)), float(np.mean(makespans))
+
+
+def main() -> None:
+    data = gaussian_mixture(30_000, 32, n_clusters=60,
+                            cluster_spread=1.0, seed=0)
+    queries = sample_queries(data, 40, perturbation=0.1, seed=1)
+    truth = ground_truth_knn(queries, data, K)
+    hasher = ITQ(code_length=11, seed=0).fit(data)
+    network = NetworkModel(latency_seconds=0.5e-3)
+    budget = 1200
+
+    # Scaling: more workers shrink per-worker shards and the makespan.
+    rows = []
+    for workers in (1, 2, 4, 8):
+        index = DistributedHashIndex(
+            hasher, data, num_workers=workers, seed=0, network=network
+        )
+        recall, makespan = recall_and_makespan(index, queries, truth, budget)
+        rows.append([workers, f"{recall:.3f}", f"{1000 * makespan:.2f}ms"])
+    print("random sharding, full fan-out:")
+    print(format_table(["workers", f"recall@{K}", "est. makespan"], rows))
+
+    # Locality sharding with partial fan-out: fewer workers contacted.
+    index = DistributedHashIndex(
+        hasher, data, num_workers=8, partitioning="cluster", seed=0,
+        network=network,
+    )
+    rows = []
+    for fanout in (8, 4, 2, 1):
+        recall, makespan = recall_and_makespan(
+            index, queries, truth, budget, fanout=fanout
+        )
+        rows.append([fanout, f"{recall:.3f}", f"{1000 * makespan:.2f}ms"])
+    print("\nk-means sharding, 8 workers, routed fan-out:")
+    print(format_table(["fan-out", f"recall@{K}", "est. makespan"], rows))
+    print(
+        "\nWith locality shards, routing concentrates the shared candidate"
+        "\nbudget on the shards that actually hold the neighbours: moderate"
+        "\nfan-out beats contacting everyone (which wastes budget on"
+        "\nirrelevant shards), while fan-out 1 starts missing neighbours"
+        "\nthat fall across shard boundaries — the trade a LoSHa-style"
+        "\ndeployment would tune."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""Similar-image retrieval: the paper's motivating workload.
+
+A CIFAR-like corpus of image descriptors is indexed once; interactive
+queries must return visually similar images within a tight time budget,
+so only a few buckets can be probed — exactly the regime where the
+querying method decides quality.  We compare Hamming ranking, hash
+lookup (GHR), and GQR on the same ITQ codes at several budgets.
+
+Run:  python examples/image_retrieval.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import GQR, ITQ, GenerateHammingRanking, HammingRanking, HashIndex
+from repro.data import gaussian_mixture, ground_truth_knn, sample_queries
+from repro.eval import format_table
+
+K = 20
+
+
+def main() -> None:
+    # Stand-in for CIFAR60K GIST descriptors (see DESIGN.md for the
+    # substitution rationale): 6,000 64-d clustered vectors.
+    print("building corpus and ground truth ...")
+    corpus = gaussian_mixture(
+        6_000, 64, n_clusters=24, cluster_spread=1.0, seed=7
+    )
+    queries = sample_queries(corpus, 100, perturbation=0.1, seed=8)
+    truth = ground_truth_knn(queries, corpus, K)
+
+    print("learning 9-bit ITQ codes ...")
+    hasher = ITQ(code_length=9, seed=0).fit(corpus)
+
+    probers = {
+        "Hamming ranking": HammingRanking(),
+        "hash lookup (GHR)": GenerateHammingRanking(),
+        "QD ranking (GQR)": GQR(),
+    }
+
+    rows = []
+    for label, prober in probers.items():
+        index = HashIndex(hasher, corpus, prober=prober)
+        for budget in (100, 300, 1000):
+            start = time.perf_counter()
+            hits = 0
+            for query, truth_row in zip(queries, truth):
+                result = index.search(query, k=K, n_candidates=budget)
+                hits += len(np.intersect1d(result.ids, truth_row))
+            elapsed = time.perf_counter() - start
+            rows.append(
+                [label, budget, f"{hits / (K * len(queries)):.1%}",
+                 f"{1000 * elapsed / len(queries):.2f}ms"]
+            )
+
+    print()
+    print(format_table(
+        ["querying method", "candidate budget", "recall@20", "per query"],
+        rows,
+    ))
+    print("\nAt small budgets, GQR's fine-grained bucket ordering finds "
+          "more of the true neighbours for the same work — the paper's "
+          "headline result, reproduced on your laptop.")
+
+
+if __name__ == "__main__":
+    main()

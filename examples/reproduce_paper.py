@@ -1,0 +1,39 @@
+"""Reproduce the paper's key exhibits on a laptop in a couple of minutes.
+
+Drives the :mod:`repro.experiments` runner at reduced scale to print
+Table 1, the Figure 7 comparison (with ASCII recall-time plots), the
+Figure 9 time-at-recall table, and the Figure 17 / Table 2 OPQ story —
+the end-to-end narrative of the paper in one script.
+
+Run:  python examples/reproduce_paper.py [scale]
+"""
+
+import sys
+import time
+
+from repro.experiments import ExperimentContext, run_experiment
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.35
+    context = ExperimentContext(scale=scale, k=20)
+    exhibits = [
+        ("table1", "Table 1 — datasets and exact-search cost"),
+        ("fig07", "Figure 7 — GQR vs GHR vs HR (ITQ)"),
+        ("fig09", "Figure 9 — seconds to reach typical recalls"),
+        ("fig17", "Figure 17 — PCAH+GQR vs OPQ+IMI"),
+        ("table2", "Table 2 — training cost, OPQ vs PCAH"),
+    ]
+    total_start = time.perf_counter()
+    for name, title in exhibits:
+        start = time.perf_counter()
+        report = run_experiment(name, context=context)
+        elapsed = time.perf_counter() - start
+        print(f"\n{'=' * 72}\n{title}   (regenerated in {elapsed:.1f}s)\n{'=' * 72}")
+        print(report)
+    print(f"\nall exhibits regenerated in "
+          f"{time.perf_counter() - total_start:.1f}s at scale {scale}")
+
+
+if __name__ == "__main__":
+    main()

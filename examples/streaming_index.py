@@ -1,0 +1,74 @@
+"""Streaming ingestion: a mutable index under insert/expire churn.
+
+Production similarity-search services (recommendation feeds, log
+de-duplication) never rebuild from scratch: items arrive and expire
+continuously.  This example drives a
+:class:`~repro.search.dynamic_index.DynamicHashIndex` through a sliding
+window workload — train the hash functions once on a historical sample,
+then stream batches in, expire the oldest, and query throughout —
+checking recall against exact search over the live window at each step.
+
+Run:  python examples/streaming_index.py
+"""
+
+from collections import deque
+
+import numpy as np
+
+from repro import GQR, ITQ, DynamicHashIndex
+from repro.data import gaussian_mixture
+from repro.index import knn_linear_scan
+
+WINDOW = 4_000
+BATCH = 500
+K = 10
+
+
+def main() -> None:
+    # One long stream of clustered 32-d events.
+    stream = gaussian_mixture(20_000, 32, n_clusters=40,
+                              cluster_spread=1.0, seed=3)
+
+    # Hash functions are trained once, on a historical sample — the
+    # standard L2H deployment pattern (retraining would invalidate all
+    # stored codes).
+    hasher = ITQ(code_length=9, seed=0).fit(stream[:WINDOW])
+    index = DynamicHashIndex(hasher, dim=32, prober=GQR())
+
+    window: deque[tuple[int, np.ndarray]] = deque()  # (id, vector)
+    cursor = 0
+    recalls = []
+
+    for step in range(24):
+        # Ingest a batch.
+        batch = stream[cursor : cursor + BATCH]
+        cursor += BATCH
+        for item_id, row in zip(index.add(batch), batch):
+            window.append((int(item_id), row))
+        # Expire beyond the window.
+        while len(window) > WINDOW:
+            old_id, _ = window.popleft()
+            index.remove(old_id)
+
+        # Query the live window and compare with exact search over it.
+        query = batch[0] + 0.05 * np.random.default_rng(step).standard_normal(32)
+        result = index.search(query, k=K, n_candidates=400)
+        live_rows = np.asarray([row for _, row in window])
+        live_ids = np.asarray([item_id for item_id, _ in window])
+        truth_local, _ = knn_linear_scan(query[np.newaxis, :], live_rows, K)
+        truth_ids = live_ids[truth_local[0]]
+        recall = len(np.intersect1d(result.ids, truth_ids)) / K
+        recalls.append(recall)
+        if step % 6 == 5:
+            print(
+                f"step {step:2d}: live items {index.num_items}, "
+                f"recall@{K} = {recall:.0%}"
+            )
+
+    print(f"\nmean recall across the stream: {np.mean(recalls):.1%} "
+          f"(no rebuilds, {cursor} items ingested, "
+          f"{cursor - index.num_items} expired)")
+
+
+if __name__ == "__main__":
+    main()

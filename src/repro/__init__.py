@@ -1,0 +1,124 @@
+"""repro — reproduction of *A General and Efficient Querying Method for
+Learning to Hash* (Li et al., SIGMOD 2018).
+
+The package implements the paper's contribution — quantization-distance
+(QD) ranking and its generate-to-probe variant GQR — together with every
+substrate the evaluation depends on: L2H hash learners (ITQ, PCAH, SH,
+KMH, LSH), Hamming-based querying baselines (HR, GHR, MIH), the
+vector-quantization comparator stack (k-means, PQ, OPQ, IMI), synthetic
+datasets, and a recall-time experiment harness.
+
+Quickstart::
+
+    from repro import ITQ, GQR, HashIndex
+    from repro.data import gaussian_mixture
+
+    data = gaussian_mixture(10_000, 64, seed=0)
+    index = HashIndex(ITQ(code_length=10, seed=0), data, prober=GQR())
+    result = index.search(data[0], k=10, n_candidates=500)
+    print(result.ids, result.distances)
+"""
+
+from repro.core import (
+    GQR,
+    FlippingVectorGenerator,
+    QDRanking,
+    SharedGenerationTree,
+    quantization_distance,
+    quantization_distances,
+    theorem2_mu,
+)
+from repro.distributed import DistributedHashIndex, NetworkModel
+from repro.hashing import (
+    ITQ,
+    AnchorGraphHashing,
+    BinaryHasher,
+    KMeansHashing,
+    PCAHashing,
+    RandomProjectionLSH,
+    SemiSupervisedHashing,
+    SpectralHashing,
+)
+from repro.index import (
+    C2LSH,
+    E2LSH,
+    QALSH,
+    HashTable,
+    LinearScan,
+    LSBForest,
+    MultiIndexHashing,
+)
+from repro.io import load_index, save_index
+from repro.probing import (
+    BucketProber,
+    PrefixRanking,
+    GenerateHammingRanking,
+    HammingRanking,
+    MultiProbeLSH,
+)
+from repro.quantization import (
+    InvertedMultiIndex,
+    KMeans,
+    OptimizedProductQuantizer,
+    ProductQuantizer,
+)
+from repro.trees import KDTree, KMeansTree, RandomizedKDForest
+from repro.search import (
+    CompactHashIndex,
+    DynamicHashIndex,
+    StreamSearchIndex,
+    HashIndex,
+    IMISearchIndex,
+    MIHSearchIndex,
+    SearchResult,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GQR",
+    "ITQ",
+    "AnchorGraphHashing",
+    "BinaryHasher",
+    "BucketProber",
+    "C2LSH",
+    "CompactHashIndex",
+    "E2LSH",
+    "DistributedHashIndex",
+    "DynamicHashIndex",
+    "FlippingVectorGenerator",
+    "GenerateHammingRanking",
+    "HammingRanking",
+    "HashIndex",
+    "HashTable",
+    "IMISearchIndex",
+    "InvertedMultiIndex",
+    "KDTree",
+    "KMeans",
+    "KMeansHashing",
+    "KMeansTree",
+    "LSBForest",
+    "LinearScan",
+    "MIHSearchIndex",
+    "MultiIndexHashing",
+    "MultiProbeLSH",
+    "NetworkModel",
+    "PrefixRanking",
+    "OptimizedProductQuantizer",
+    "PCAHashing",
+    "ProductQuantizer",
+    "QALSH",
+    "QDRanking",
+    "RandomizedKDForest",
+    "RandomProjectionLSH",
+    "SemiSupervisedHashing",
+    "SearchResult",
+    "load_index",
+    "save_index",
+    "SharedGenerationTree",
+    "StreamSearchIndex",
+    "SpectralHashing",
+    "quantization_distance",
+    "quantization_distances",
+    "theorem2_mu",
+]

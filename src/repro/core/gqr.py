@@ -1,0 +1,108 @@
+"""Generate-to-probe QD ranking (GQR) — Algorithms 2–4.
+
+GQR probes buckets in exactly the same ascending-QD order as QD ranking
+but *generates* the next bucket on demand instead of sorting all buckets
+up front, fixing QR's slow start.  Per query it:
+
+1. sorts the ``m`` flip costs once (the *sorted projected vector*,
+   Definition 3) and remembers the permutation ``f``;
+2. runs a min-heap over the Append/Swap generation tree
+   (:mod:`repro.core.generation_tree`) to emit sorted flipping vectors
+   in non-decreasing QD order;
+3. maps each sorted vector back through ``f`` and XORs it onto the
+   query's code (Algorithm 3) to obtain the bucket signature.
+
+Correctness rests on the tree's Properties 1 and 2: every bucket is
+generated exactly once and in ascending QD.  A
+:class:`~repro.core.generation_tree.SharedGenerationTree` can be plugged
+in to reuse precomputed tree structure across queries (the paper's final
+optimisation remark).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+from repro.core.generation_tree import FlippingVectorGenerator, SharedGenerationTree
+from repro.index.hash_table import HashTable
+from repro.core.prober import BucketProber
+
+__all__ = ["GQR"]
+
+
+class GQR(BucketProber):
+    """Generate-to-probe QD ranking (Algorithm 2).
+
+    Parameters
+    ----------
+    shared_tree:
+        Optional precomputed generation tree shared across queries; must
+        match the table's code length.  ``None`` builds the tree lazily
+        per query (pure Algorithm 4).
+    cost_transform:
+        Optional monotone map applied to flip costs before ranking, e.g.
+        ``numpy.square`` turns GQR into the Multi-Probe-LSH-style score
+        of Section 5's comparison.  Must preserve non-negativity.
+    """
+
+    generates_unoccupied = True
+
+    def __init__(
+        self,
+        shared_tree: SharedGenerationTree | None = None,
+        cost_transform=None,
+    ) -> None:
+        self._shared_tree = shared_tree
+        self._cost_transform = cost_transform
+
+    def probe(
+        self, table: HashTable, signature: int, flip_costs: np.ndarray
+    ) -> Iterator[int]:
+        for bucket, _ in self.probe_scored(table, signature, flip_costs):
+            yield bucket
+
+    def probe_scored(
+        self, table: HashTable, signature: int, flip_costs: np.ndarray
+    ) -> Iterator[tuple[int, float]]:
+        """Yield ``(bucket_signature, quantization_distance)`` pairs.
+
+        The QD stream is non-decreasing, which enables the Theorem 2
+        early-stop rule in the search layer.
+        """
+        costs = np.asarray(flip_costs, dtype=np.float64)
+        m = table.code_length
+        if len(costs) != m:
+            raise ValueError(
+                f"expected {m} flip costs for table, got {len(costs)}"
+            )
+        if self._cost_transform is not None:
+            costs = np.asarray(self._cost_transform(costs), dtype=np.float64)
+            if costs.shape != (m,) or np.any(costs < 0):
+                raise ValueError("cost_transform must keep (m,) non-negative costs")
+
+        # f: sorted position -> original bit position (Definition 3).
+        permutation = np.argsort(costs, kind="stable")
+        sorted_costs = costs[permutation]
+        # Algorithm 3 reduced to an XOR: sorted-mask bit x flips query
+        # bit permutation[x].
+        bit_map = [1 << int(pos) for pos in permutation]
+
+        if self._shared_tree is not None:
+            if self._shared_tree.code_length != m:
+                raise ValueError(
+                    "shared tree code length does not match table"
+                )
+            stream = self._shared_tree.generate(sorted_costs)
+        else:
+            stream = iter(FlippingVectorGenerator(sorted_costs))
+
+        for mask, cost in stream:
+            flip = 0
+            remaining = mask
+            while remaining:
+                low = remaining & -remaining
+                flip ^= bit_map[low.bit_length() - 1]
+                remaining ^= low
+            yield signature ^ flip, cost

@@ -1,0 +1,44 @@
+"""Datasets: synthetic generators, registry, and exact ground truth."""
+
+from repro.data.datasets import (
+    APPENDIX_DATASETS,
+    DATASETS,
+    MAIN_DATASETS,
+    Dataset,
+    DatasetSpec,
+    default_code_length,
+    load_dataset,
+)
+from repro.data.ground_truth import GroundTruthCache, ground_truth_knn
+from repro.data.workloads import (
+    boundary_margin,
+    boundary_queries,
+    in_distribution_queries,
+    out_of_distribution_queries,
+)
+from repro.data.synthetic import (
+    correlated_gaussian,
+    gaussian_mixture,
+    sample_queries,
+    uniform_hypercube,
+)
+
+__all__ = [
+    "APPENDIX_DATASETS",
+    "DATASETS",
+    "Dataset",
+    "DatasetSpec",
+    "GroundTruthCache",
+    "MAIN_DATASETS",
+    "boundary_margin",
+    "boundary_queries",
+    "in_distribution_queries",
+    "out_of_distribution_queries",
+    "correlated_gaussian",
+    "default_code_length",
+    "gaussian_mixture",
+    "ground_truth_knn",
+    "load_dataset",
+    "sample_queries",
+    "uniform_hypercube",
+]

@@ -1,0 +1,43 @@
+"""Exact nearest-neighbour ground truth for recall measurement.
+
+Recall (Section 2.3) counts how many of the *true* k nearest neighbours
+a querying method returns; this module computes and caches those truth
+sets via blocked linear scan.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.index.linear_scan import knn_linear_scan
+
+__all__ = ["ground_truth_knn", "GroundTruthCache"]
+
+
+def ground_truth_knn(
+    queries: np.ndarray, data: np.ndarray, k: int
+) -> np.ndarray:
+    """Exact kNN ids per query, shape ``(n_queries, k)``."""
+    ids, _ = knn_linear_scan(queries, data, k)
+    return ids
+
+
+class GroundTruthCache:
+    """Memoise exact kNN ids for one (queries, data) pair across k values.
+
+    Computing truth for the largest requested ``k`` once and slicing is
+    valid because linear-scan results are distance-sorted.
+    """
+
+    def __init__(self, queries: np.ndarray, data: np.ndarray) -> None:
+        self._queries = np.asarray(queries, dtype=np.float64)
+        self._data = np.asarray(data, dtype=np.float64)
+        self._ids: np.ndarray | None = None
+
+    def knn(self, k: int) -> np.ndarray:
+        """Ground-truth ids for any ``k``, reusing earlier computations."""
+        if k < 1:
+            raise ValueError("k must be positive")
+        if self._ids is None or self._ids.shape[1] < k:
+            self._ids = ground_truth_knn(self._queries, self._data, k)
+        return self._ids[:, :k]

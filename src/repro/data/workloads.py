@@ -1,0 +1,89 @@
+"""Query workload generators.
+
+The paper samples queries uniformly from the dataset.  Real query
+streams are messier, and the *composition* of a workload changes which
+querying method wins — in particular, queries whose projections land
+close to quantization thresholds are exactly where Hamming ranking's
+coarseness hurts and QD's margin information pays off.  These
+generators let the harness (and
+``benchmarks/bench_boundary_queries.py``) quantify that.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hashing.base import BinaryHasher
+
+__all__ = [
+    "in_distribution_queries",
+    "out_of_distribution_queries",
+    "boundary_queries",
+    "boundary_margin",
+]
+
+
+def in_distribution_queries(
+    data: np.ndarray,
+    n_queries: int,
+    perturbation: float = 0.1,
+    seed: int | None = None,
+) -> np.ndarray:
+    """Queries near dataset points — the paper's workload."""
+    from repro.data.synthetic import sample_queries
+
+    return sample_queries(data, n_queries, perturbation, seed)
+
+
+def out_of_distribution_queries(
+    data: np.ndarray,
+    n_queries: int,
+    shift: float = 2.0,
+    seed: int | None = None,
+) -> np.ndarray:
+    """Queries displaced off the data manifold by ``shift`` global stds.
+
+    Models cold-start / adversarial traffic: the nearest neighbours are
+    genuinely far, bucket occupancy near the query is sparse, and many
+    buckets must be probed.
+    """
+    data = np.asarray(data, dtype=np.float64)
+    rng = np.random.default_rng(seed)
+    picks = rng.choice(len(data), size=n_queries, replace=n_queries > len(data))
+    directions = rng.standard_normal((n_queries, data.shape[1]))
+    directions /= np.linalg.norm(directions, axis=1, keepdims=True)
+    return data[picks] + shift * data.std() * directions
+
+
+def boundary_margin(hasher: BinaryHasher, queries: np.ndarray) -> np.ndarray:
+    """Each query's smallest |projection| — its quantization margin.
+
+    A small margin means one bit of the query's code is nearly
+    arbitrary: the true neighbours straddle that hyperplane, the worst
+    case for Hamming ranking and the best case for QD.
+    """
+    projections = hasher.project(np.atleast_2d(np.asarray(queries)))
+    return np.abs(projections).min(axis=1)
+
+
+def boundary_queries(
+    data: np.ndarray,
+    hasher: BinaryHasher,
+    n_queries: int,
+    pool_multiplier: int = 20,
+    seed: int | None = None,
+) -> np.ndarray:
+    """The in-distribution queries with the *smallest* quantization margin.
+
+    Draws a pool of candidate queries and keeps the ``n_queries`` whose
+    minimum |projection| is smallest — traffic concentrated at bucket
+    boundaries.
+    """
+    if n_queries < 1 or pool_multiplier < 1:
+        raise ValueError("n_queries and pool_multiplier must be positive")
+    pool = in_distribution_queries(
+        data, n_queries * pool_multiplier, seed=seed
+    )
+    margins = boundary_margin(hasher, pool)
+    keep = np.argsort(margins, kind="stable")[:n_queries]
+    return pool[keep]

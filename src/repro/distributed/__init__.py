@@ -1,0 +1,19 @@
+"""Simulated distributed GQR (the paper's stated future work).
+
+Shards the dataset across in-process workers, broadcasts the hash
+functions, and answers queries by scatter-gather with a pluggable
+network cost model — the architecture sketched in the paper's
+conclusion for data-parallel systems (LoSHa, Husky).
+"""
+
+from repro.distributed.cluster import DistributedHashIndex, NetworkModel
+from repro.distributed.partitioner import cluster_partition, random_partition
+from repro.distributed.worker import ShardWorker
+
+__all__ = [
+    "DistributedHashIndex",
+    "NetworkModel",
+    "ShardWorker",
+    "cluster_partition",
+    "random_partition",
+]

@@ -1,0 +1,186 @@
+"""Coordinator for the simulated distributed GQR index.
+
+Scatter-gather query processing over :class:`ShardWorker` shards — the
+architecture the paper's conclusion sketches for data-parallel systems:
+
+1. the coordinator computes the query's code and flip costs once
+   (hash functions are broadcast, so they are identical on every worker);
+2. the query fans out to all workers — or, with cluster sharding, only
+   to the shards whose centroids are nearest;
+3. each worker returns its local top-k; the coordinator merges.
+
+Workers run in-process; a :class:`NetworkModel` converts the measured
+per-worker compute times and message sizes into an estimated
+*makespan* (slowest worker + two network hops), which is what a real
+deployment's latency would follow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.gqr import GQR
+from repro.distributed.partitioner import cluster_partition, random_partition
+from repro.distributed.worker import ShardWorker
+from repro.hashing.base import BinaryHasher
+from repro.probing.base import BucketProber
+from repro.search.results import SearchResult
+
+__all__ = ["NetworkModel", "DistributedHashIndex"]
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Simple scatter-gather cost model.
+
+    ``makespan = 2 · latency + max(worker compute) + result_bytes / bandwidth``
+    — one hop to scatter (the query fits in one packet), parallel local
+    work, one hop to gather the concatenated partial results.
+    """
+
+    latency_seconds: float = 0.5e-3
+    bandwidth_bytes_per_second: float = 1e9
+
+    def makespan(
+        self, worker_seconds: list[float], result_bytes: int
+    ) -> float:
+        if not worker_seconds:
+            return 2 * self.latency_seconds
+        return (
+            2 * self.latency_seconds
+            + max(worker_seconds)
+            + result_bytes / self.bandwidth_bytes_per_second
+        )
+
+
+class DistributedHashIndex:
+    """Sharded L2H index with scatter-gather kNN queries.
+
+    Parameters
+    ----------
+    hasher:
+        Fitted or unfitted hasher; fit on the full data if needed, then
+        broadcast to every worker.
+    data:
+        The ``(n, d)`` dataset to shard.
+    num_workers:
+        Cluster size.
+    partitioning:
+        ``"random"`` (every query fans out everywhere) or ``"cluster"``
+        (k-means shards; queries can be routed to the nearest shards).
+    prober_factory:
+        Zero-arg callable building each worker's prober (default GQR).
+    network:
+        Cost model used to estimate query makespan.
+    """
+
+    def __init__(
+        self,
+        hasher: BinaryHasher,
+        data: np.ndarray,
+        num_workers: int = 4,
+        partitioning: str = "random",
+        prober_factory=GQR,
+        metric: str = "euclidean",
+        network: NetworkModel | None = None,
+        seed: int | None = 0,
+    ) -> None:
+        data = np.asarray(data, dtype=np.float64)
+        if data.ndim != 2:
+            raise ValueError("data must be a (n, d) array")
+        if partitioning not in ("random", "cluster"):
+            raise ValueError("partitioning must be 'random' or 'cluster'")
+        if not hasher.is_fitted:
+            hasher.fit(data)
+        self._hasher = hasher
+        self._network = network if network is not None else NetworkModel()
+        self._metric = metric
+        self._centroids: np.ndarray | None = None
+
+        if partitioning == "cluster":
+            shards, centroids = cluster_partition(data, num_workers, seed)
+            self._centroids = centroids
+        else:
+            shards = random_partition(len(data), num_workers, seed)
+        self._workers = [
+            ShardWorker(i, shard, data, hasher, prober_factory(), metric)
+            for i, shard in enumerate(shards)
+        ]
+        self._n = len(data)
+
+    @property
+    def num_items(self) -> int:
+        return self._n
+
+    @property
+    def num_workers(self) -> int:
+        return len(self._workers)
+
+    @property
+    def workers(self) -> list[ShardWorker]:
+        return list(self._workers)
+
+    def shard_sizes(self) -> list[int]:
+        return [worker.num_items for worker in self._workers]
+
+    def _route(self, query: np.ndarray, fanout: int | None) -> list[ShardWorker]:
+        if fanout is None or fanout >= len(self._workers):
+            return self._workers
+        if self._centroids is None:
+            raise ValueError(
+                "partial fanout requires partitioning='cluster' "
+                "(random shards are indistinguishable)"
+            )
+        dists = np.linalg.norm(self._centroids - query, axis=1)
+        nearest = np.argsort(dists)[:fanout]
+        return [self._workers[i] for i in nearest]
+
+    def search(
+        self,
+        query: np.ndarray,
+        k: int,
+        n_candidates: int,
+        fanout: int | None = None,
+    ) -> SearchResult:
+        """Scatter-gather kNN.
+
+        ``n_candidates`` is the *total* candidate budget, split evenly
+        across the contacted workers.  ``fanout`` (cluster sharding
+        only) contacts just the nearest shards, trading recall for
+        network traffic and tail latency.
+        """
+        query = np.asarray(query, dtype=np.float64)
+        probe_info = self._hasher.probe_info(query)
+        targets = self._route(query, fanout)
+        per_worker = max(1, n_candidates // len(targets))
+
+        partials = [
+            worker.search_local(query, k, per_worker, probe_info)
+            for worker in targets
+        ]
+        merged: list[tuple[float, int]] = []
+        for partial in partials:
+            merged.extend(
+                (float(d), int(i))
+                for d, i in zip(partial.distances, partial.ids)
+            )
+        merged.sort()
+        del merged[k:]
+
+        worker_seconds = [p.extras["worker_seconds"] for p in partials]
+        result_bytes = sum(16 * len(p.ids) for p in partials)  # (id, dist)
+        return SearchResult(
+            np.asarray([i for _, i in merged], dtype=np.int64),
+            np.asarray([d for d, _ in merged], dtype=np.float64),
+            sum(p.n_candidates for p in partials),
+            sum(p.n_buckets_probed for p in partials),
+            extras={
+                "makespan_seconds": self._network.makespan(
+                    worker_seconds, result_bytes
+                ),
+                "worker_seconds": worker_seconds,
+                "workers_contacted": len(targets),
+            },
+        )

@@ -1,0 +1,57 @@
+"""Data partitioning strategies for the distributed index.
+
+The paper's conclusion plans to extend GQR "to the distributed setting
+on data-parallel systems such as LoSHa and Husky".  Those systems shard
+the dataset across workers; two standard shardings are provided:
+
+* **random** — uniform hash partitioning; every worker sees the full
+  data distribution, so every query fans out to all workers.
+* **cluster** — k-means sharding; shards are spatially coherent, which
+  enables routing a query to only the few shards whose centroids are
+  close (at some recall risk near shard boundaries).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.quantization.kmeans import KMeans
+
+__all__ = ["random_partition", "cluster_partition"]
+
+
+def random_partition(
+    n_items: int, num_workers: int, seed: int | None = None
+) -> list[np.ndarray]:
+    """Uniformly random shard assignment; returns per-worker id arrays."""
+    if num_workers < 1:
+        raise ValueError("num_workers must be positive")
+    if n_items < num_workers:
+        raise ValueError("need at least one item per worker")
+    rng = np.random.default_rng(seed)
+    assignment = rng.permutation(n_items) % num_workers
+    order = np.argsort(assignment, kind="stable")
+    ids = np.arange(n_items)[order]
+    boundaries = np.searchsorted(assignment[order], np.arange(1, num_workers))
+    return [shard for shard in np.split(ids, boundaries)]
+
+
+def cluster_partition(
+    data: np.ndarray, num_workers: int, seed: int | None = None
+) -> tuple[list[np.ndarray], np.ndarray]:
+    """K-means sharding; returns ``(per-worker id arrays, centroids)``.
+
+    Empty shards are avoided by k-means's empty-cluster repair; shards
+    are *not* balanced, which mirrors real locality-sharded systems.
+    """
+    data = np.asarray(data, dtype=np.float64)
+    if num_workers < 1:
+        raise ValueError("num_workers must be positive")
+    if len(data) < num_workers:
+        raise ValueError("need at least one item per worker")
+    km = KMeans(num_workers, n_iterations=20, seed=seed).fit(data)
+    labels = km.predict(data)
+    shards = [
+        np.flatnonzero(labels == worker) for worker in range(num_workers)
+    ]
+    return shards, km.centers

@@ -1,0 +1,134 @@
+"""A simulated worker node holding one shard of the distributed index.
+
+Each worker owns a shard of the data, a local hash table over it, and a
+mapping from local to global item ids.  Hash functions are *broadcast*:
+every worker uses the same fitted hasher (trained once on a sample),
+so a query's binary code and flip costs are computed once and reused —
+exactly the structure a LoSHa/Husky implementation would have.
+
+Workers run in-process; network behaviour is modelled separately by the
+coordinator's :class:`~repro.distributed.cluster.NetworkModel`.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.hashing.base import BinaryHasher
+from repro.index.distance import pairwise_distances
+from repro.index.hash_table import HashTable
+from repro.probing.base import BucketProber
+from repro.search.results import SearchResult
+
+__all__ = ["ShardWorker"]
+
+
+class ShardWorker:
+    """One shard: local bucket table + local→global id translation.
+
+    Parameters
+    ----------
+    worker_id:
+        Position in the cluster (for reporting).
+    shard_ids:
+        Global ids of the items this worker owns.
+    data:
+        The full ``(n, d)`` array (workers slice their shard; in a real
+        deployment each worker would hold only its slice).
+    hasher:
+        The broadcast, already-fitted hasher.
+    prober:
+        The querying method (its own instance per worker — probers are
+        stateless between queries but may cache, e.g. a shared tree).
+    metric:
+        Evaluation metric for the local re-rank.
+    """
+
+    def __init__(
+        self,
+        worker_id: int,
+        shard_ids: np.ndarray,
+        data: np.ndarray,
+        hasher: BinaryHasher,
+        prober: BucketProber,
+        metric: str = "euclidean",
+    ) -> None:
+        if not hasher.is_fitted:
+            raise ValueError("workers need a fitted (broadcast) hasher")
+        self.worker_id = worker_id
+        self._global_ids = np.asarray(shard_ids, dtype=np.int64)
+        self._shard = np.asarray(data, dtype=np.float64)[self._global_ids]
+        self._hasher = hasher
+        self._prober = prober
+        self._metric = metric
+        self._table = HashTable(hasher.encode(self._shard))
+
+    @property
+    def num_items(self) -> int:
+        return len(self._shard)
+
+    @property
+    def table(self) -> HashTable:
+        return self._table
+
+    def search_local(
+        self,
+        query: np.ndarray,
+        k: int,
+        n_candidates: int,
+        probe_info: tuple[int, np.ndarray] | None = None,
+    ) -> SearchResult:
+        """Local top-k over this shard; ids in the result are *global*.
+
+        ``probe_info`` lets the coordinator compute the query's code and
+        flip costs once and broadcast them, saving one projection per
+        worker.  The result's ``extras['worker_seconds']`` records the
+        measured local compute time, which the coordinator's cost model
+        turns into a makespan.
+        """
+        start = time.perf_counter()
+        query = np.asarray(query, dtype=np.float64)
+        if probe_info is None:
+            probe_info = self._hasher.probe_info(query)
+        signature, costs = probe_info
+
+        found: list[np.ndarray] = []
+        total = 0
+        buckets = 0
+        for bucket in self._prober.probe(self._table, signature, costs):
+            ids = self._table.get(bucket)
+            if not len(ids):
+                continue
+            buckets += 1
+            found.append(ids)
+            total += len(ids)
+            if total >= n_candidates:
+                break
+        if found:
+            local = np.concatenate(found)
+            dists = pairwise_distances(
+                query[np.newaxis, :], self._shard[local], self._metric
+            )[0]
+            keep = min(k, len(local))
+            part = (
+                np.argpartition(dists, keep - 1)[:keep]
+                if keep < len(local)
+                else np.arange(len(local))
+            )
+            order = np.lexsort((local[part], dists[part]))
+            chosen = part[order]
+            ids_global = self._global_ids[local[chosen]]
+            top_dists = dists[chosen]
+        else:
+            ids_global = np.empty(0, dtype=np.int64)
+            top_dists = np.empty(0, dtype=np.float64)
+        elapsed = time.perf_counter() - start
+        return SearchResult(
+            ids_global,
+            top_dists,
+            total,
+            buckets,
+            extras={"worker_seconds": elapsed, "worker_id": self.worker_id},
+        )

@@ -1,0 +1,113 @@
+"""One-call method comparison with uncertainty.
+
+``compare_methods`` runs several indexes over the same queries at the
+same candidate budget, computes per-query recalls, and reports each
+pairwise gap against the best method with a paired bootstrap test —
+the complete "which method wins, and is it significant?" workflow in
+one call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.eval.reporting import format_table
+from repro.eval.stats import PairedTestResult, bootstrap_ci, paired_bootstrap_test
+
+__all__ = ["MethodComparison", "compare_methods"]
+
+
+@dataclass(frozen=True)
+class MethodComparison:
+    """Result of :func:`compare_methods`.
+
+    Attributes
+    ----------
+    per_query:
+        Method name → per-query recall array.
+    ci:
+        Method name → 95% bootstrap CI of mean recall.
+    best:
+        Method with the highest mean recall.
+    tests:
+        Method name → paired test of (best − method); the best method
+        maps to ``None``.
+    """
+
+    per_query: dict[str, np.ndarray]
+    ci: dict[str, tuple[float, float]]
+    best: str
+    tests: dict[str, PairedTestResult | None]
+
+    def mean(self, method: str) -> float:
+        return float(self.per_query[method].mean())
+
+    def to_table(self) -> str:
+        rows = []
+        for method, recalls in self.per_query.items():
+            lo, hi = self.ci[method]
+            test = self.tests[method]
+            if test is None:
+                verdict = "(best)"
+            elif test.significant:
+                verdict = f"worse by {test.mean_difference:.3f} (p={test.p_value:.3f})"
+            else:
+                verdict = f"tied (p={test.p_value:.3f})"
+            rows.append(
+                [method, round(float(recalls.mean()), 4),
+                 f"[{lo:.3f}, {hi:.3f}]", verdict]
+            )
+        return format_table(
+            ["method", "mean recall", "95% CI", "vs best"], rows
+        )
+
+
+def compare_methods(
+    indexes: dict[str, object],
+    queries: np.ndarray,
+    truth_ids: np.ndarray,
+    k: int,
+    n_candidates: int,
+    seed: int | None = 0,
+) -> MethodComparison:
+    """Per-query recall comparison of several indexes at one budget.
+
+    ``indexes`` maps method names to objects exposing
+    ``search(query, k, n_candidates)``.  All methods see the *same*
+    queries, so the bootstrap tests are paired.
+    """
+    queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+    truth = np.asarray(truth_ids)
+    if len(truth) != len(queries):
+        raise ValueError("need one truth row per query")
+    if not indexes:
+        raise ValueError("need at least one index")
+
+    per_query: dict[str, np.ndarray] = {}
+    for method, index in indexes.items():
+        recalls = np.empty(len(queries))
+        for i, (query, truth_row) in enumerate(zip(queries, truth)):
+            result = index.search(query, k, n_candidates)
+            recalls[i] = (
+                len(np.intersect1d(result.ids, truth_row)) / truth.shape[1]
+            )
+        per_query[method] = recalls
+
+    best = max(per_query, key=lambda name: per_query[name].mean())
+    ci = {
+        method: bootstrap_ci(recalls, seed=seed)
+        for method, recalls in per_query.items()
+    }
+    tests = {
+        method: (
+            None
+            if method == best
+            else paired_bootstrap_test(
+                per_query[best], per_query[method], seed=seed
+            )
+        )
+        for method in per_query
+    }
+    return MethodComparison(per_query=per_query, ci=ci, best=best, tests=tests)

@@ -1,0 +1,67 @@
+"""Per-query latency statistics.
+
+Mean query time (what the paper's batch curves show) hides the tail; a
+serving system cares about p95/p99.  :func:`measure_latencies` times
+each query individually and :func:`latency_summary` reduces to the
+usual percentiles — used by ``benchmarks/bench_latency_tail.py`` to
+compare the probers' tails (generate-to-probe methods have short,
+stable retrieval; sort-everything methods pay their start-up cost on
+every single query).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["measure_latencies", "latency_summary", "LatencySummary"]
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Percentile report over per-query wall times (seconds)."""
+
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    worst: float
+
+    def row(self, scale: float = 1e3) -> list[float]:
+        """The summary as a table row (default: milliseconds)."""
+        return [
+            round(self.mean * scale, 3),
+            round(self.p50 * scale, 3),
+            round(self.p95 * scale, 3),
+            round(self.p99 * scale, 3),
+            round(self.worst * scale, 3),
+        ]
+
+
+def measure_latencies(
+    index, queries: np.ndarray, k: int, n_candidates: int
+) -> np.ndarray:
+    """Wall time of each individual query, in seconds."""
+    queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+    latencies = np.empty(len(queries))
+    for i, query in enumerate(queries):
+        start = time.perf_counter()
+        index.search(query, k, n_candidates)
+        latencies[i] = time.perf_counter() - start
+    return latencies
+
+
+def latency_summary(latencies: np.ndarray) -> LatencySummary:
+    """Reduce per-query times to mean/median/tail percentiles."""
+    latencies = np.asarray(latencies, dtype=np.float64)
+    if not len(latencies):
+        raise ValueError("need at least one latency sample")
+    return LatencySummary(
+        mean=float(latencies.mean()),
+        p50=float(np.percentile(latencies, 50)),
+        p95=float(np.percentile(latencies, 95)),
+        p99=float(np.percentile(latencies, 99)),
+        worst=float(latencies.max()),
+    )

@@ -1,0 +1,88 @@
+"""ASCII plotting for recall-time curves.
+
+The benchmark reports are plain text; this renders the paper's curve
+figures as terminal scatter plots so the *shape* (who dominates, where
+curves cross) is visible without matplotlib, which this environment
+does not ship.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.eval.harness import CurvePoint
+
+__all__ = ["ascii_plot", "plot_recall_time"]
+
+_MARKERS = "*o+x#@%&"
+
+
+def ascii_plot(
+    series: dict[str, list[tuple[float, float]]],
+    width: int = 64,
+    height: int = 16,
+    x_label: str = "x",
+    y_label: str = "y",
+    logx: bool = False,
+) -> str:
+    """Render named (x, y) series on one character grid.
+
+    Each series gets a marker from ``*o+x…``; the legend maps markers to
+    names.  Points landing on the same cell keep the first marker drawn.
+    """
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        return "(no data)"
+    xs = [x for x, _ in points]
+    ys = [y for _, y in points]
+
+    def x_of(value: float) -> float:
+        return math.log10(max(value, 1e-12)) if logx else value
+
+    x_lo, x_hi = min(x_of(x) for x in xs), max(x_of(x) for x in xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for marker, (name, pts) in zip(_MARKERS, series.items()):
+        for x, y in pts:
+            col = round((x_of(x) - x_lo) / x_span * (width - 1))
+            row = height - 1 - round((y - y_lo) / y_span * (height - 1))
+            if grid[row][col] == " ":
+                grid[row][col] = marker
+
+    lines = [f"{y_hi:8.3g} ┤" + "".join(grid[0])]
+    for row in grid[1:-1]:
+        lines.append(" " * 8 + " │" + "".join(row))
+    lines.append(f"{y_lo:8.3g} ┤" + "".join(grid[-1]))
+    lines.append(" " * 10 + "└" + "─" * width)
+    x_axis = f"{x_lo if not logx else 10 ** x_lo:.3g}"
+    x_end = f"{x_hi if not logx else 10 ** x_hi:.3g}"
+    pad = width - len(x_axis) - len(x_end)
+    lines.append(" " * 11 + x_axis + " " * max(pad, 1) + x_end)
+    lines.append(f"   y: {y_label}   x: {x_label}"
+                 + ("  (log x)" if logx else ""))
+    legend = "   ".join(
+        f"{marker} {name}" for marker, name in zip(_MARKERS, series)
+    )
+    lines.append("   " + legend)
+    return "\n".join(lines)
+
+
+def plot_recall_time(
+    curves: dict[str, list[CurvePoint]], width: int = 64, height: int = 16
+) -> str:
+    """The paper's recall-time figure as an ASCII scatter plot."""
+    series = {
+        name: [(point.seconds, point.recall) for point in curve]
+        for name, curve in curves.items()
+    }
+    return ascii_plot(
+        series,
+        width=width,
+        height=height,
+        x_label="seconds",
+        y_label="recall",
+        logx=True,
+    )

@@ -1,0 +1,55 @@
+"""Plain-text reporting of the paper's tables and curve series.
+
+Benchmarks print their figure/table with these helpers so the output of
+``pytest benchmarks/`` reads like the paper's evaluation section.
+"""
+
+from __future__ import annotations
+
+from repro.eval.harness import CurvePoint
+
+__all__ = ["format_table", "format_curves", "format_curve_points"]
+
+
+def format_table(headers: list[str], rows: list[list]) -> str:
+    """Monospace table with right-aligned numeric-ish columns."""
+    cells = [[_fmt(value) for value in row] for row in rows]
+    widths = [
+        max(len(headers[col]), *(len(row[col]) for row in cells)) if cells
+        else len(headers[col])
+        for col in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in cells:
+        lines.append("  ".join(value.rjust(w) for value, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_curve_points(curve: list[CurvePoint]) -> str:
+    """One method's recall-time sweep as a table."""
+    return format_table(
+        ["budget", "seconds", "recall", "items", "buckets"],
+        [
+            [p.budget, round(p.seconds, 4), round(p.recall, 4),
+             round(p.items, 1), round(p.buckets, 1)]
+            for p in curve
+        ],
+    )
+
+
+def format_curves(curves: dict[str, list[CurvePoint]]) -> str:
+    """Several methods' sweeps side by side, keyed by method name."""
+    sections = []
+    for name, curve in curves.items():
+        sections.append(f"[{name}]")
+        sections.append(format_curve_points(curve))
+    return "\n".join(sections)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)

@@ -1,0 +1,84 @@
+"""Statistical rigor for method comparisons.
+
+"GQR beats GHR" on a finite query sample needs an uncertainty estimate.
+This module provides bootstrap confidence intervals over per-query
+recalls and a paired bootstrap test for the difference between two
+methods measured on the *same* queries (pairing removes the large
+query-difficulty variance component).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["bootstrap_ci", "paired_bootstrap_test", "PairedTestResult"]
+
+
+def bootstrap_ci(
+    samples: np.ndarray,
+    confidence: float = 0.95,
+    n_resamples: int = 2000,
+    seed: int | None = 0,
+) -> tuple[float, float]:
+    """Percentile bootstrap CI for the mean of ``samples``."""
+    samples = np.asarray(samples, dtype=np.float64)
+    if samples.ndim != 1 or not len(samples):
+        raise ValueError("samples must be a non-empty 1-D array")
+    if not 0 < confidence < 1:
+        raise ValueError("confidence must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    picks = rng.integers(len(samples), size=(n_resamples, len(samples)))
+    means = samples[picks].mean(axis=1)
+    alpha = (1 - confidence) / 2
+    return (
+        float(np.percentile(means, 100 * alpha)),
+        float(np.percentile(means, 100 * (1 - alpha))),
+    )
+
+
+@dataclass(frozen=True)
+class PairedTestResult:
+    """Outcome of a paired bootstrap comparison.
+
+    ``mean_difference`` is mean(a − b); ``ci`` its bootstrap interval;
+    ``p_value`` the two-sided bootstrap probability of a difference at
+    least as extreme under the null of zero mean difference.
+    """
+
+    mean_difference: float
+    ci: tuple[float, float]
+    p_value: float
+
+    @property
+    def significant(self) -> bool:
+        """True when the 95% CI excludes zero."""
+        lo, hi = self.ci
+        return lo > 0 or hi < 0
+
+
+def paired_bootstrap_test(
+    a: np.ndarray,
+    b: np.ndarray,
+    n_resamples: int = 2000,
+    seed: int | None = 0,
+) -> PairedTestResult:
+    """Paired bootstrap for mean(a) − mean(b) on the same queries."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape or a.ndim != 1 or not len(a):
+        raise ValueError("a and b must be equal-length 1-D arrays")
+    differences = a - b
+    observed = float(differences.mean())
+    rng = np.random.default_rng(seed)
+    picks = rng.integers(len(differences), size=(n_resamples, len(differences)))
+    resampled = differences[picks].mean(axis=1)
+    ci = (
+        float(np.percentile(resampled, 2.5)),
+        float(np.percentile(resampled, 97.5)),
+    )
+    # Shift to the null (zero mean) and count more-extreme outcomes.
+    null = resampled - observed
+    p = float((np.abs(null) >= abs(observed)).mean())
+    return PairedTestResult(mean_difference=observed, ci=ci, p_value=p)

@@ -1,0 +1,124 @@
+"""Per-query probe traces: what did the prober actually do?
+
+A trace records, bucket by bucket, the probe order, each bucket's
+score (QD or Hamming distance when the prober exposes one), its
+population, and the cumulative true-neighbour count — the raw material
+behind every curve in the paper, exposed for debugging and analysis
+("why did this query miss?").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.eval.reporting import format_table
+
+__all__ = ["ProbeStep", "ProbeTrace", "trace_query"]
+
+
+@dataclass(frozen=True)
+class ProbeStep:
+    """One probed bucket."""
+
+    bucket: int
+    score: float | None
+    n_items: int
+    n_hits: int  # true neighbours inside this bucket
+    cumulative_items: int
+    cumulative_recall: float
+
+
+@dataclass(frozen=True)
+class ProbeTrace:
+    """Full probe record of one query."""
+
+    steps: list[ProbeStep]
+    truth_size: int
+
+    @property
+    def n_buckets(self) -> int:
+        return len(self.steps)
+
+    def recall_at_items(self, n_items: int) -> float:
+        """Recall after the first bucket that reaches ``n_items``."""
+        for step in self.steps:
+            if step.cumulative_items >= n_items:
+                return step.cumulative_recall
+        return self.steps[-1].cumulative_recall if self.steps else 0.0
+
+    def to_table(self, max_rows: int = 20) -> str:
+        """Human-readable rendering of the first ``max_rows`` steps."""
+        rows = [
+            [
+                i,
+                format(step.bucket, "b"),
+                "-" if step.score is None else round(step.score, 4),
+                step.n_items,
+                step.n_hits,
+                round(step.cumulative_recall, 3),
+            ]
+            for i, step in enumerate(self.steps[:max_rows])
+        ]
+        return format_table(
+            ["#", "bucket", "score", "items", "hits", "recall"], rows
+        )
+
+
+def trace_query(
+    index,
+    query: np.ndarray,
+    truth_row: np.ndarray,
+    max_buckets: int | None = None,
+) -> ProbeTrace:
+    """Trace a query against a single-table :class:`HashIndex`.
+
+    Uses the prober's ``probe_scored`` when available (GQR, GHR) so the
+    trace includes each bucket's similarity score; falls back to the
+    plain stream otherwise.
+    """
+    if getattr(index, "num_tables", 1) != 1:
+        raise ValueError("tracing is defined for single-table indexes")
+    query = np.asarray(query, dtype=np.float64)
+    truth = set(int(t) for t in np.asarray(truth_row).ravel())
+    if not truth:
+        raise ValueError("truth row must be non-empty")
+
+    hasher = index._hashers[0]
+    table = index._tables[0]
+    signature, costs = hasher.probe_info(query)
+    prober = index.prober
+    if hasattr(prober, "probe_scored"):
+        stream = prober.probe_scored(table, signature, costs)
+        scored = True
+    else:
+        stream = ((bucket, None) for bucket in
+                  prober.probe(table, signature, costs))
+        scored = False
+
+    steps: list[ProbeStep] = []
+    cumulative_items = 0
+    found = 0
+    for bucket, score in stream:
+        ids = table.get(bucket)
+        if not len(ids):
+            continue
+        hits = sum(1 for item in ids if int(item) in truth)
+        cumulative_items += len(ids)
+        found += hits
+        steps.append(
+            ProbeStep(
+                bucket=int(bucket),
+                score=float(score) if scored else None,
+                n_items=len(ids),
+                n_hits=hits,
+                cumulative_items=cumulative_items,
+                cumulative_recall=found / len(truth),
+            )
+        )
+        if max_buckets is not None and len(steps) >= max_buckets:
+            break
+        if found == len(truth):
+            break
+    return ProbeTrace(steps=steps, truth_size=len(truth))

@@ -1,0 +1,138 @@
+"""Parameter tuning: pick the candidate budget for a recall target.
+
+The paper's stopping criterion ``N`` (candidates to collect) is the
+knob a deployment actually turns.  :func:`tune_candidate_budget` finds
+the smallest budget meeting a recall target on a validation sample by
+bisection over the (monotone) recall-vs-budget curve — the standard
+auto-tuning loop FLANN popularised, applied to L2H probing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.eval.harness import recall_at_budgets
+
+__all__ = ["tune_candidate_budget", "tune_code_length", "TuningResult"]
+
+
+class TuningResult(dict):
+    """Dict with attribute access: ``budget``, ``recall``, ``evaluations``."""
+
+    __getattr__ = dict.__getitem__
+
+
+def tune_candidate_budget(
+    index,
+    queries: np.ndarray,
+    truth_ids: np.ndarray,
+    target_recall: float = 0.9,
+    tolerance: int = 16,
+) -> TuningResult:
+    """Smallest candidate budget whose mean recall meets the target.
+
+    Parameters
+    ----------
+    index:
+        Any object with ``candidate_stream`` and ``num_items`` (the
+        recall probe runs stream traces, no timing involved).
+    queries, truth_ids:
+        Validation queries with exact truth rows.
+    target_recall:
+        Required mean recall in ``(0, 1]``.
+    tolerance:
+        Bisection stops when the bracket is narrower than this many
+        candidates.
+
+    Returns
+    -------
+    TuningResult
+        ``budget`` (the tuned N), ``recall`` (achieved on the sample),
+        ``evaluations`` (recall probes spent).  ``budget`` equals the
+        dataset size when even a full scan is required.
+    """
+    if not 0 < target_recall <= 1:
+        raise ValueError("target_recall must be in (0, 1]")
+    if tolerance < 1:
+        raise ValueError("tolerance must be positive")
+    n = index.num_items
+    evaluations = 0
+
+    def recall_at(budget: int) -> float:
+        nonlocal evaluations
+        evaluations += 1
+        return recall_at_budgets(index, queries, truth_ids, [budget])[0]
+
+    low, high = 1, n
+    high_recall = recall_at(high)
+    if high_recall < target_recall:
+        # Not reachable even with a full scan (truth/queries mismatch);
+        # report the full budget honestly.
+        return TuningResult(budget=n, recall=high_recall,
+                            evaluations=evaluations)
+    while high - low > tolerance:
+        mid = (low + high) // 2
+        if recall_at(mid) >= target_recall:
+            high = mid
+        else:
+            low = mid + 1
+    return TuningResult(
+        budget=high, recall=recall_at(high), evaluations=evaluations
+    )
+
+
+def tune_code_length(
+    hasher_factory,
+    data: np.ndarray,
+    queries: np.ndarray,
+    truth_ids: np.ndarray,
+    candidates: list[int] | None = None,
+    target_recall: float = 0.9,
+    k: int | None = None,
+) -> TuningResult:
+    """Pick the code length minimising time-to-target-recall.
+
+    Figure 10's trade-off as a tool: for each candidate ``m``, train
+    ``hasher_factory(m)``, build a GQR index and measure the wall time
+    to reach ``target_recall`` over a budget sweep; return the best.
+
+    Parameters
+    ----------
+    hasher_factory:
+        ``m -> BinaryHasher`` (e.g. ``lambda m: ITQ(code_length=m)``).
+    candidates:
+        Code lengths to try; defaults to the paper rule ±3.
+    k:
+        Neighbour count; defaults to the truth rows' width.
+
+    Returns
+    -------
+    TuningResult
+        ``code_length``, ``seconds`` (time to target at that length),
+        and ``per_length`` (the full sweep for reporting).
+    """
+    from repro.core.gqr import GQR
+    from repro.data.datasets import default_code_length
+    from repro.eval.harness import default_budgets, sweep_budgets, time_to_recall
+    from repro.search.searcher import HashIndex
+
+    data = np.asarray(data, dtype=np.float64)
+    truth = np.asarray(truth_ids)
+    if k is None:
+        k = truth.shape[1]
+    if candidates is None:
+        base = default_code_length(len(data))
+        candidates = [m for m in (base - 3, base, base + 3) if m >= 2]
+
+    per_length: dict[int, float] = {}
+    for m in candidates:
+        hasher = hasher_factory(m).fit(data)
+        index = HashIndex(hasher, data, prober=GQR())
+        curve = sweep_budgets(
+            index, queries, truth, k, default_budgets(len(data), 6)
+        )
+        per_length[m] = time_to_recall(curve, target_recall)
+    best = min(per_length, key=per_length.get)
+    return TuningResult(
+        code_length=best, seconds=per_length[best], per_length=per_length
+    )

@@ -1,0 +1,47 @@
+"""Programmatic reproduction of the paper's tables and figures.
+
+Usage::
+
+    from repro.experiments import list_experiments, run_experiment
+
+    print(list_experiments())         # {'fig07': 'GQR vs GHR/HR, ITQ', ...}
+    print(run_experiment("fig07"))    # the figure's series as text
+
+or from the shell: ``python -m repro reproduce --experiment fig07``.
+The benchmark suite (`benchmarks/`) covers the same exhibits *with
+assertions*; this package is the user-facing, assertion-free path.
+"""
+
+from repro.experiments.context import ExperimentContext, budget_sweep
+from repro.experiments.figures import EXPERIMENTS, prober_curves
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentContext",
+    "budget_sweep",
+    "list_experiments",
+    "prober_curves",
+    "run_experiment",
+]
+
+
+def list_experiments() -> dict[str, str]:
+    """Experiment ids mapped to one-line descriptions."""
+    return {name: description for name, (description, _) in EXPERIMENTS.items()}
+
+
+def run_experiment(
+    name: str,
+    scale: float = 1.0,
+    k: int = 20,
+    context: ExperimentContext | None = None,
+) -> str:
+    """Run one registered experiment and return its report text."""
+    if name not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {name!r}; known: {sorted(EXPERIMENTS)}"
+        )
+    if context is None:
+        context = ExperimentContext(scale=scale, k=k)
+    _, runner = EXPERIMENTS[name]
+    return runner(context)

@@ -1,0 +1,271 @@
+"""Library-level reproductions of the paper's tables and figures.
+
+Each function takes an :class:`~repro.experiments.context.ExperimentContext`
+and returns the exhibit's report text (the same series the paper
+plots).  The benchmark suite additionally *asserts* the qualitative
+claims; these functions exist so users can regenerate any exhibit
+programmatically or via ``python -m repro reproduce``.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+import numpy as np
+
+from repro.core.gqr import GQR
+from repro.core.qd_ranking import QDRanking
+from repro.eval.harness import sweep_budgets, time_to_recall
+from repro.eval.plotting import plot_recall_time
+from repro.eval.reporting import format_curves, format_table
+from repro.experiments.context import ExperimentContext, budget_sweep
+from repro.hashing import PCAHashing
+from repro.index.linear_scan import LinearScan
+from repro.probing import GenerateHammingRanking, HammingRanking
+from repro.quantization.opq import OptimizedProductQuantizer
+from repro.search.searcher import HashIndex, IMISearchIndex
+
+__all__ = ["MAIN_NAMES", "prober_curves", "EXPERIMENTS"]
+
+MAIN_NAMES = ["CIFAR60K", "GIST1M", "TINY5M", "SIFT10M"]
+
+PROBERS = {
+    "GQR": GQR,
+    "GHR": GenerateHammingRanking,
+    "HR": HammingRanking,
+}
+
+
+def prober_curves(
+    ctx: ExperimentContext,
+    dataset_name: str,
+    algo: str = "itq",
+    probers: dict | None = None,
+    k: int | None = None,
+):
+    """Recall-time curves of several probers on one dataset."""
+    dataset, truth = ctx.workload(dataset_name, k)
+    hasher = ctx.hasher(dataset_name, algo)
+    budgets = budget_sweep(len(dataset.data))
+    probers = PROBERS if probers is None else probers
+    return {
+        label: sweep_budgets(
+            HashIndex(hasher, dataset.data, prober=factory()),
+            dataset.queries, truth, k or ctx.k, budgets,
+        )
+        for label, factory in probers.items()
+    }
+
+
+def _per_dataset_curves(ctx: ExperimentContext, algo: str) -> str:
+    sections = []
+    for name in MAIN_NAMES:
+        curves = prober_curves(ctx, name, algo)
+        sections.append(f"--- {name} ({algo.upper()}) ---")
+        sections.append(plot_recall_time(curves))
+        sections.append(format_curves(curves))
+    return "\n".join(sections)
+
+
+def table1(ctx: ExperimentContext) -> str:
+    """Table 1: dataset statistics and linear-search time."""
+    rows = []
+    for name in MAIN_NAMES:
+        dataset, _ = ctx.workload(name)
+        scan = LinearScan(dataset.data)
+        start = time.perf_counter()
+        scan.search(dataset.queries, ctx.k)
+        elapsed = time.perf_counter() - start
+        spec = dataset.spec
+        rows.append([
+            name, spec.paper_dims, f"{spec.paper_items:,}",
+            spec.scaled_dims, f"{spec.scaled_items:,}",
+            spec.code_length, f"{elapsed:.3f}s",
+        ])
+    return format_table(
+        ["Dataset", "paper dim", "paper items", "our dim", "our items",
+         "m", "linear search"],
+        rows,
+    )
+
+
+def fig02(ctx: ExperimentContext) -> str:
+    """Figure 2: buckets per Hamming ring, C(20, r)."""
+    rows = [[r, math.comb(20, r)] for r in range(21)]
+    return format_table(["hamming r", "C(20, r) buckets"], rows)
+
+
+def fig06(ctx: ExperimentContext) -> str:
+    """Figure 6: GQR versus QR (slow start)."""
+    sections = []
+    for name in MAIN_NAMES:
+        curves = prober_curves(
+            ctx, name, "itq", probers={"GQR": GQR, "QR": QDRanking}
+        )
+        sections.append(f"--- {name} ---")
+        sections.append(format_curves(curves))
+    return "\n".join(sections)
+
+
+def fig07(ctx: ExperimentContext) -> str:
+    """Figure 7: GQR versus GHR/HR with ITQ."""
+    return _per_dataset_curves(ctx, "itq")
+
+
+def fig08(ctx: ExperimentContext) -> str:
+    """Figure 8: recall versus retrieved items."""
+    from repro.eval.harness import recall_at_budgets
+
+    sections = []
+    for name in MAIN_NAMES:
+        dataset, truth = ctx.workload(name)
+        hasher = ctx.hasher(name, "itq")
+        budgets = budget_sweep(len(dataset.data), n_points=8)
+        gqr = recall_at_budgets(
+            HashIndex(hasher, dataset.data, prober=GQR()),
+            dataset.queries, truth, budgets,
+        )
+        ghr = recall_at_budgets(
+            HashIndex(hasher, dataset.data, prober=GenerateHammingRanking()),
+            dataset.queries, truth, budgets,
+        )
+        rows = [
+            [b, round(g, 4), round(h, 4)]
+            for b, g, h in zip(budgets, gqr, ghr)
+        ]
+        sections.append(f"--- {name} ---")
+        sections.append(format_table(["# items", "GQR", "GHR & HR"], rows))
+    return "\n".join(sections)
+
+
+def fig09(ctx: ExperimentContext) -> str:
+    """Figure 9: querying time at typical recalls."""
+    targets = [0.80, 0.85, 0.90, 0.95]
+    sections = []
+    for name in MAIN_NAMES:
+        curves = prober_curves(ctx, name, "itq")
+        rows = [
+            [f"{t:.0%}"]
+            + [round(time_to_recall(curves[label], t), 4)
+               for label in ("HR", "GHR", "GQR")]
+            for t in targets
+        ]
+        sections.append(f"--- {name} ---")
+        sections.append(format_table(["recall", "HR", "GHR", "GQR"], rows))
+    return "\n".join(sections)
+
+
+def fig13(ctx: ExperimentContext) -> str:
+    """Figures 13-14: the Figure 7 comparison with PCAH."""
+    return _per_dataset_curves(ctx, "pcah")
+
+
+def fig15(ctx: ExperimentContext) -> str:
+    """Figures 15-16: the Figure 7 comparison with SH."""
+    return _per_dataset_curves(ctx, "sh")
+
+
+def fig17(ctx: ExperimentContext) -> str:
+    """Figure 17: PCAH+GQR vs PCAH+GHR vs OPQ+IMI (recall at items)."""
+    from repro.eval.harness import recall_at_budgets
+
+    sections = []
+    for name in ["CIFAR60K", "GIST1M", "TINY5M", "SIFT1M"]:
+        dataset, truth = ctx.workload(name)
+        budgets = budget_sweep(len(dataset.data), n_points=5)
+        hasher = ctx.hasher(name, "pcah")
+        n_centroids = max(8, int(np.sqrt(len(dataset.data) / 10)) + 1)
+        opq = OptimizedProductQuantizer(
+            2, n_centroids=n_centroids, n_iterations=4,
+            kmeans_iterations=10, seed=0,
+        ).fit(dataset.data)
+        series = {
+            "PCAH+GQR": recall_at_budgets(
+                HashIndex(hasher, dataset.data, prober=GQR()),
+                dataset.queries, truth, budgets,
+            ),
+            "PCAH+GHR": recall_at_budgets(
+                HashIndex(
+                    hasher, dataset.data, prober=GenerateHammingRanking()
+                ),
+                dataset.queries, truth, budgets,
+            ),
+            "OPQ+IMI": recall_at_budgets(
+                IMISearchIndex(opq, dataset.data),
+                dataset.queries, truth, budgets,
+            ),
+        }
+        rows = [
+            [b] + [round(series[label][i], 4) for label in series]
+            for i, b in enumerate(budgets)
+        ]
+        sections.append(f"--- {name} ---")
+        sections.append(format_table(["# items"] + list(series), rows))
+    return "\n".join(sections)
+
+
+def table2(ctx: ExperimentContext) -> str:
+    """Table 2: training cost of OPQ versus PCAH."""
+    rows = []
+    for name in ["CIFAR60K", "GIST1M", "TINY5M", "SIFT1M"]:
+        dataset, _ = ctx.workload(name)
+        n_centroids = max(8, int(np.sqrt(len(dataset.data) / 10)) + 1)
+        start = time.perf_counter()
+        OptimizedProductQuantizer(
+            2, n_centroids=n_centroids, n_iterations=4,
+            kmeans_iterations=10, seed=0,
+        ).fit(dataset.data)
+        opq_time = time.perf_counter() - start
+        start = time.perf_counter()
+        PCAHashing(dataset.code_length).fit(dataset.data)
+        pcah_time = time.perf_counter() - start
+        rows.append([
+            name, round(opq_time, 3), round(pcah_time, 3),
+            round(opq_time / pcah_time, 1),
+        ])
+    return format_table(
+        ["Dataset", "OPQ wall (s)", "PCAH wall (s)", "ratio"], rows
+    )
+
+
+def fig20(ctx: ExperimentContext) -> str:
+    """Figure 20: GQR versus GHR on K-means hashing."""
+    from repro.eval.harness import recall_at_budgets
+
+    sections = []
+    for name in ["CIFAR60K", "GIST1M", "TINY5M"]:
+        dataset, truth = ctx.workload(name)
+        hasher = ctx.hasher(name, "kmh")
+        budgets = budget_sweep(len(dataset.data), n_points=5)
+        gqr = recall_at_budgets(
+            HashIndex(hasher, dataset.data, prober=GQR()),
+            dataset.queries, truth, budgets,
+        )
+        ghr = recall_at_budgets(
+            HashIndex(hasher, dataset.data, prober=GenerateHammingRanking()),
+            dataset.queries, truth, budgets,
+        )
+        rows = [
+            [b, round(g, 4), round(h, 4)]
+            for b, g, h in zip(budgets, gqr, ghr)
+        ]
+        sections.append(f"--- {name} (KMH) ---")
+        sections.append(format_table(["# items", "GQR", "GHR"], rows))
+    return "\n".join(sections)
+
+
+#: Experiment registry: id -> (description, runner).
+EXPERIMENTS = {
+    "table1": ("dataset statistics + linear-search time", table1),
+    "fig02": ("buckets per Hamming ring", fig02),
+    "fig06": ("GQR vs QR (slow start)", fig06),
+    "fig07": ("GQR vs GHR/HR, ITQ", fig07),
+    "fig08": ("recall vs retrieved items", fig08),
+    "fig09": ("time at typical recalls", fig09),
+    "fig13": ("GQR vs GHR/HR, PCAH (Figs. 13-14)", fig13),
+    "fig15": ("GQR vs GHR/HR, SH (Figs. 15-16)", fig15),
+    "fig17": ("PCAH+GQR vs OPQ+IMI", fig17),
+    "table2": ("training cost, OPQ vs PCAH", table2),
+    "fig20": ("GQR vs GHR on KMH", fig20),
+}

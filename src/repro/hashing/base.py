@@ -1,0 +1,170 @@
+"""Base interface for learning-to-hash (L2H) algorithms.
+
+Every hasher follows the two-operation decomposition from Section 2.1 of
+the paper:
+
+* **projection** — map a ``d``-dimensional item to an ``m``-dimensional
+  real vector ``p(o) = (h_1(o), …, h_m(o))``;
+* **quantization** — threshold each entry at zero to obtain the binary
+  code ``c_i(o) = 1 if p_i(o) ≥ 0 else 0``.
+
+The querying methods in :mod:`repro.core` and :mod:`repro.probing` only
+need two things from a hasher at query time: the query's binary code and
+the *flip cost* of each bit — the price of quantizing the query into a
+bucket that differs in that bit.  For threshold hashers this cost is
+``|p_i(q)|`` (Definition 1); K-means hashing overrides it with codeword
+distances (paper appendix).  :meth:`BinaryHasher.probe_info` is that
+contract.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.index.codes import pack_bits, validate_code_length
+
+__all__ = ["BinaryHasher", "ProjectionHasher", "sign_quantize", "spectral_norm_bound"]
+
+
+def sign_quantize(projections: np.ndarray) -> np.ndarray:
+    """Threshold projections at zero into {0, 1} bits (Section 2.1)."""
+    return (np.asarray(projections) >= 0).astype(np.uint8)
+
+
+def spectral_norm_bound(hashing_matrix: np.ndarray) -> float:
+    """``M = σ_max(H)``, the Lipschitz constant of projection (Theorem 1)."""
+    return float(np.linalg.norm(np.asarray(hashing_matrix, dtype=np.float64), ord=2))
+
+
+class BinaryHasher(ABC):
+    """Abstract L2H algorithm: ``fit`` on data, then ``project``/``encode``."""
+
+    def __init__(self, code_length: int) -> None:
+        self._m = validate_code_length(code_length)
+        self._fitted = False
+
+    @property
+    def code_length(self) -> int:
+        """Number of bits ``m`` per code."""
+        return self._m
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._fitted
+
+    def _require_fitted(self) -> None:
+        if not self._fitted:
+            raise RuntimeError(
+                f"{type(self).__name__} must be fit() before use"
+            )
+
+    @abstractmethod
+    def fit(self, data: np.ndarray) -> "BinaryHasher":
+        """Learn hash functions from ``(n, d)`` training data."""
+
+    @abstractmethod
+    def project(self, items: np.ndarray) -> np.ndarray:
+        """Project ``(n, d)`` items to ``(n, m)`` real vectors ``p(o)``."""
+
+    def encode(self, items: np.ndarray) -> np.ndarray:
+        """Binary codes of items as a ``(n, m)`` bit array."""
+        return sign_quantize(self.project(items))
+
+    def signatures(self, items: np.ndarray) -> np.ndarray:
+        """Binary codes packed into integer signatures."""
+        return pack_bits(self.encode(np.atleast_2d(items)))
+
+    def probe_info(self, query: np.ndarray) -> tuple[int, np.ndarray]:
+        """Query-time contract for probers: ``(signature, flip_costs)``.
+
+        ``flip_costs[i]`` is the cost contributed to quantization distance
+        by probing a bucket whose ``i``-th bit differs from the query's —
+        ``|p_i(q)|`` for threshold hashers.
+        """
+        self._require_fitted()
+        query = np.asarray(query, dtype=np.float64)
+        if query.ndim != 1:
+            raise ValueError("probe_info expects a single query vector")
+        projection = self.project(query[np.newaxis, :])[0]
+        signature = int(pack_bits(sign_quantize(projection)))
+        return signature, np.abs(projection)
+
+    def probe_info_batch(
+        self, queries: np.ndarray
+    ) -> list[tuple[int, np.ndarray]]:
+        """Batched :meth:`probe_info`: one projection matmul for all rows.
+
+        Semantically identical to mapping :meth:`probe_info` over the
+        batch; hashers with per-query probe logic (K-means hashing)
+        override accordingly.
+        """
+        self._require_fitted()
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        projections = self.project(queries)
+        signatures = np.atleast_1d(
+            np.asarray(pack_bits(sign_quantize(projections)))
+        )
+        return [
+            (int(signature), np.abs(projection))
+            for signature, projection in zip(signatures, projections)
+        ]
+
+    def spectral_bound(self) -> float | None:
+        """``σ_max(H)`` if the hasher is (affine-)linear, else ``None``.
+
+        Used by the Theorem 2 lower bound ``‖o − q‖ ≥ dist(q, b)/(M√m)``.
+        """
+        return None
+
+
+class ProjectionHasher(BinaryHasher):
+    """Shared machinery for affine-linear hashers: ``p(o) = W^T (o − µ)``.
+
+    Subclasses implement :meth:`_learn`, returning the ``(d, m)`` weight
+    matrix ``W`` given centred training data.  The hashing matrix of
+    Theorem 1 is ``H = W^T``.
+    """
+
+    def __init__(self, code_length: int) -> None:
+        super().__init__(code_length)
+        self._weights: np.ndarray | None = None
+        self._mean: np.ndarray | None = None
+
+    @abstractmethod
+    def _learn(self, centered: np.ndarray) -> np.ndarray:
+        """Return the ``(d, m)`` projection weights from centred data."""
+
+    def fit(self, data: np.ndarray) -> "ProjectionHasher":
+        data = np.asarray(data, dtype=np.float64)
+        if data.ndim != 2:
+            raise ValueError("training data must be a (n, d) array")
+        n, d = data.shape
+        if n < 2:
+            raise ValueError("need at least 2 training items")
+        if not np.isfinite(data).all():
+            raise ValueError("training data contains NaN or infinity")
+        self._mean = data.mean(axis=0)
+        weights = self._learn(data - self._mean)
+        if weights.shape != (d, self._m):
+            raise ValueError(
+                f"_learn returned shape {weights.shape}, expected {(d, self._m)}"
+            )
+        self._weights = weights
+        self._fitted = True
+        return self
+
+    def project(self, items: np.ndarray) -> np.ndarray:
+        self._require_fitted()
+        items = np.atleast_2d(np.asarray(items, dtype=np.float64))
+        return (items - self._mean) @ self._weights
+
+    @property
+    def hashing_matrix(self) -> np.ndarray:
+        """``H = W^T`` with hash vectors as rows, per Theorem 1."""
+        self._require_fitted()
+        return self._weights.T
+
+    def spectral_bound(self) -> float:
+        return spectral_norm_bound(self.hashing_matrix)

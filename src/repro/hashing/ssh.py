@@ -1,0 +1,117 @@
+"""Semi-supervised hashing (SSH).
+
+Wang, Kumar & Chang, *Semi-Supervised Hashing for Scalable Image
+Retrieval* (CVPR 2010) — one of the L2H algorithms the paper's
+background cites.  SSH learns hash directions from a small set of
+labelled pairs plus an unsupervised variance regulariser: with
+similar-pair set ``S`` and dissimilar-pair set ``D``, the adjusted
+"fitting + regularisation" matrix is
+
+    M = Σ_{(i,j)∈S} (x_i x_j^T + x_j x_i^T)
+      − Σ_{(i,j)∈D} (x_i x_j^T + x_j x_i^T)
+      + η · X^T X / n
+
+and the hash directions are its top-``m`` eigenvectors (the
+non-orthogonal relaxation of the original paper, which works well in
+practice).  When no pairs are supplied SSH degenerates to PCAH, as in
+the original formulation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hashing.base import ProjectionHasher
+
+__all__ = ["SemiSupervisedHashing", "pairs_from_neighbors"]
+
+
+def pairs_from_neighbors(
+    data: np.ndarray,
+    n_anchors: int = 100,
+    n_neighbors: int = 5,
+    seed: int | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Synthesise (similar, dissimilar) pairs from metric neighbourhoods.
+
+    Stands in for human labels: for each sampled anchor, its exact
+    nearest neighbours form similar pairs and its farthest items form
+    dissimilar pairs.  Returns two ``(p, 2)`` id arrays.
+    """
+    data = np.asarray(data, dtype=np.float64)
+    rng = np.random.default_rng(seed)
+    anchors = rng.choice(len(data), size=min(n_anchors, len(data)), replace=False)
+    similar = []
+    dissimilar = []
+    for anchor in anchors:
+        dists = np.linalg.norm(data - data[anchor], axis=1)
+        order = np.argsort(dists)
+        for j in order[1 : n_neighbors + 1]:
+            similar.append((anchor, int(j)))
+        for j in order[-n_neighbors:]:
+            dissimilar.append((anchor, int(j)))
+    return (
+        np.asarray(similar, dtype=np.int64),
+        np.asarray(dissimilar, dtype=np.int64),
+    )
+
+
+class SemiSupervisedHashing(ProjectionHasher):
+    """Eigen-directions of the label-adjusted covariance.
+
+    Parameters
+    ----------
+    code_length:
+        Number of bits ``m``.
+    similar_pairs, dissimilar_pairs:
+        ``(p, 2)`` arrays of item-id pairs (row indices into the
+        training data).  Either may be ``None``/empty.
+    eta:
+        Weight of the unsupervised variance regulariser.
+    """
+
+    def __init__(
+        self,
+        code_length: int,
+        similar_pairs: np.ndarray | None = None,
+        dissimilar_pairs: np.ndarray | None = None,
+        eta: float = 1.0,
+    ) -> None:
+        super().__init__(code_length)
+        if eta < 0:
+            raise ValueError("eta must be non-negative")
+        self._similar = self._validate_pairs(similar_pairs)
+        self._dissimilar = self._validate_pairs(dissimilar_pairs)
+        self._eta = eta
+
+    @staticmethod
+    def _validate_pairs(pairs) -> np.ndarray:
+        if pairs is None:
+            return np.empty((0, 2), dtype=np.int64)
+        pairs = np.asarray(pairs, dtype=np.int64)
+        if pairs.size and (pairs.ndim != 2 or pairs.shape[1] != 2):
+            raise ValueError("pairs must be a (p, 2) array of item ids")
+        return pairs.reshape(-1, 2)
+
+    def _learn(self, centered: np.ndarray) -> np.ndarray:
+        n, d = centered.shape
+        for pairs in (self._similar, self._dissimilar):
+            if pairs.size and (pairs.min() < 0 or pairs.max() >= n):
+                raise ValueError("pair ids out of range for training data")
+
+        adjusted = self._eta * (centered.T @ centered) / n
+        for pairs, sign in ((self._similar, 1.0), (self._dissimilar, -1.0)):
+            if not pairs.size:
+                continue
+            left = centered[pairs[:, 0]]
+            right = centered[pairs[:, 1]]
+            cross = left.T @ right
+            adjusted += sign * (cross + cross.T) / max(len(pairs), 1)
+
+        eigenvalues, eigenvectors = np.linalg.eigh(adjusted)
+        top = np.argsort(eigenvalues)[::-1][: self._m]
+        directions = eigenvectors[:, top]
+        anchor = np.abs(directions).argmax(axis=0)
+        signs = np.sign(directions[anchor, np.arange(self._m)])
+        signs[signs == 0] = 1.0
+        return directions * signs

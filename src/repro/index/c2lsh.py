@@ -1,0 +1,110 @@
+"""C2LSH: collision counting with virtual rehashing.
+
+Gan et al., *Locality-Sensitive Hashing Scheme Based on Dynamic
+Collision Counting* (SIGMOD 2012), from the paper's related work.
+
+Each of the ``m`` hash functions buckets items on a quantized random
+projection ``h_i(o) = ⌊(a_i·o + b_i) / w⌋``.  A query starts from its
+own bucket in every function and *virtually rehashes*: round ``r``
+extends each function's window to the buckets within offset ``±r``.
+Items colliding with the query in at least ``collision_threshold``
+functions become candidates.  Unlike Multi-Probe LSH, C2LSH guarantees
+the whole dataset is eventually enumerated — the same requirement (R1)
+the paper imposes on GQR.
+
+Implementation note: projection ``i``'s window covers item ``o`` from
+radius ``|key_i(o) − key_i(q)|`` onward, so ``o`` crosses the collision
+threshold exactly at the ``l``-th smallest of those offsets.  We
+compute that order statistic vectorised instead of simulating the
+rehash rounds — identical emission order, much faster in Python.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+__all__ = ["C2LSH"]
+
+
+class C2LSH:
+    """In-memory C2LSH index.
+
+    Parameters
+    ----------
+    data:
+        ``(n, d)`` items to index.
+    n_projections:
+        Number of hash functions ``m``.
+    bucket_width:
+        Quantization width ``w`` in units of each projection's standard
+        deviation (widths are scaled per projection so the parameter is
+        dataset-independent).
+    collision_threshold:
+        Collisions required before an item becomes a candidate.
+    seed:
+        Seed for directions and offsets.
+    """
+
+    def __init__(
+        self,
+        data: np.ndarray,
+        n_projections: int = 16,
+        bucket_width: float = 1.0,
+        collision_threshold: int = 4,
+        seed: int | None = None,
+    ) -> None:
+        data = np.asarray(data, dtype=np.float64)
+        if data.ndim != 2:
+            raise ValueError("data must be a (n, d) array")
+        if n_projections < 1:
+            raise ValueError("n_projections must be positive")
+        if bucket_width <= 0:
+            raise ValueError("bucket_width must be positive")
+        if not 1 <= collision_threshold <= n_projections:
+            raise ValueError(
+                "collision_threshold must be in [1, n_projections]"
+            )
+        rng = np.random.default_rng(seed)
+        d = data.shape[1]
+        self._directions = rng.standard_normal((d, n_projections))
+        projections = data @ self._directions
+        scales = projections.std(axis=0)
+        scales[scales == 0] = 1.0
+        self._widths = bucket_width * scales
+        self._offsets = rng.uniform(0, self._widths)
+        self._keys = np.floor(
+            (projections + self._offsets) / self._widths
+        ).astype(np.int64)
+        self._n = len(data)
+        self._m = n_projections
+        self._threshold = collision_threshold
+
+    @property
+    def num_items(self) -> int:
+        return self._n
+
+    def emission_radii(self, query: np.ndarray) -> np.ndarray:
+        """Virtual-rehash radius at which each item becomes a candidate."""
+        query = np.asarray(query, dtype=np.float64)
+        anchors = np.floor(
+            (query @ self._directions + self._offsets) / self._widths
+        ).astype(np.int64)
+        offsets = np.abs(self._keys - anchors[np.newaxis, :])
+        return np.partition(offsets, self._threshold - 1, axis=1)[
+            :, self._threshold - 1
+        ]
+
+    def candidate_stream(self, query: np.ndarray) -> Iterator[np.ndarray]:
+        """Candidate batches per virtual-rehash radius, ascending.
+
+        Terminates after every item is emitted exactly once (each item
+        is covered at a finite radius in every projection).
+        """
+        radii = self.emission_radii(query)
+        order = np.argsort(radii, kind="stable")
+        sorted_radii = radii[order]
+        boundaries = np.flatnonzero(np.diff(sorted_radii)) + 1
+        for batch in np.split(order, boundaries):
+            yield batch.astype(np.int64)

@@ -1,0 +1,219 @@
+"""Classic E2LSH with original Multi-Probe query-directed probing.
+
+Two related-work systems in one module:
+
+* **E2LSH** (Datar et al., p-stable LSH): ``L`` tables, each hashing an
+  item to an integer tuple ``g(o) = (⌊(a_1·o + b_1)/w⌋, …)`` of ``m``
+  components; a query probes its own compound bucket in every table.
+* **Multi-Probe LSH** (Lv et al., VLDB 2007): instead of many tables,
+  derive a *probing sequence* of perturbation vectors ``Δ ∈ {-1,0,+1}^m``
+  per table, ordered by the score ``Σ x_i(δ_i)²`` where ``x_i(δ_i)`` is
+  the distance from the query's projection to the boundary being
+  crossed.  The sequence is generated lazily with the same heap idea
+  GQR later adapts to binary codes (the paper, Section 5.3, spells out
+  the differences — this module exists so they can be measured).
+
+Unlike GQR's flipping vectors, a perturbation may step outside any
+occupied bucket and the same compound bucket is never revisited, but
+perturbing a component by ±1 twice is invalid — handled here exactly as
+in the original paper (each component perturbs at most once, to the
+adjacent bucket on either side).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Iterator
+
+import numpy as np
+
+__all__ = ["E2LSH"]
+
+
+class E2LSH:
+    """p-stable LSH tables with optional Multi-Probe querying.
+
+    Parameters
+    ----------
+    data:
+        ``(n, d)`` items to index.
+    n_tables:
+        Number of independent compound hash tables ``L``.
+    n_components:
+        Integer hash functions per table ``m``.
+    bucket_width:
+        Quantization width in units of each projection's std.
+    seed:
+        Seed for projections and offsets.
+    """
+
+    def __init__(
+        self,
+        data: np.ndarray,
+        n_tables: int = 4,
+        n_components: int = 8,
+        bucket_width: float = 1.0,
+        seed: int | None = None,
+    ) -> None:
+        data = np.asarray(data, dtype=np.float64)
+        if data.ndim != 2:
+            raise ValueError("data must be a (n, d) array")
+        if n_tables < 1 or n_components < 1:
+            raise ValueError("n_tables and n_components must be positive")
+        if bucket_width <= 0:
+            raise ValueError("bucket_width must be positive")
+        rng = np.random.default_rng(seed)
+        d = data.shape[1]
+        self._n = len(data)
+        self._L = n_tables
+        self._m = n_components
+
+        self._directions = rng.standard_normal((n_tables, d, n_components))
+        projections = np.einsum("nd,tdm->tnm", data, self._directions)
+        scales = projections.std(axis=1)  # (L, m)
+        scales[scales == 0] = 1.0
+        self._widths = bucket_width * scales
+        self._offsets = rng.uniform(0, self._widths)
+        keys = np.floor(
+            (projections + self._offsets[:, np.newaxis, :])
+            / self._widths[:, np.newaxis, :]
+        ).astype(np.int64)
+
+        self._tables: list[dict[tuple, np.ndarray]] = []
+        for t in range(n_tables):
+            table: dict[tuple, list[int]] = {}
+            for item in range(self._n):
+                table.setdefault(tuple(keys[t, item]), []).append(item)
+            self._tables.append(
+                {key: np.asarray(ids, dtype=np.int64)
+                 for key, ids in table.items()}
+            )
+
+    @property
+    def num_items(self) -> int:
+        return self._n
+
+    @property
+    def n_tables(self) -> int:
+        return self._L
+
+    def _query_state(self, query: np.ndarray, table: int):
+        """Anchor keys plus boundary distances for one table."""
+        projection = query @ self._directions[table]
+        shifted = (projection + self._offsets[table]) / self._widths[table]
+        anchor = np.floor(shifted).astype(np.int64)
+        frac = shifted - anchor  # distance to the lower boundary in [0,1)
+        # x_i(-1): crossing to the bucket below; x_i(+1): above.
+        down = frac * self._widths[table]
+        up = (1.0 - frac) * self._widths[table]
+        return anchor, down, up
+
+    def _perturbation_sequence(
+        self, down: np.ndarray, up: np.ndarray
+    ) -> Iterator[tuple[float, tuple[tuple[int, int], ...]]]:
+        """Lv et al.'s heap over perturbation sets.
+
+        Scores ``2m`` elementary moves — component ``i`` to its lower
+        (``-1``) or upper (``+1``) neighbour, cost ``down[i]²``/``up[i]²``
+        — sorts them ascending, then expands subsets with the
+        shift/expand moves over the *sorted* move list, skipping subsets
+        that perturb one component twice.
+        """
+        moves = [(float(down[i]) ** 2, i, -1) for i in range(self._m)]
+        moves += [(float(up[i]) ** 2, i, +1) for i in range(self._m)]
+        moves.sort()
+        costs = [cost for cost, _, _ in moves]
+
+        def is_valid(mask: int) -> bool:
+            seen: set[int] = set()
+            remaining = mask
+            while remaining:
+                low = remaining & -remaining
+                component = moves[low.bit_length() - 1][1]
+                if component in seen:
+                    return False
+                seen.add(component)
+                remaining ^= low
+            return True
+
+        def to_moves(mask: int) -> tuple[tuple[int, int], ...]:
+            out = []
+            remaining = mask
+            while remaining:
+                low = remaining & -remaining
+                _, component, direction = moves[low.bit_length() - 1]
+                out.append((component, direction))
+                remaining ^= low
+            return tuple(out)
+
+        heap: list[tuple[float, int]] = [(costs[0], 1)]
+        while heap:
+            cost, mask = heapq.heappop(heap)
+            j = mask.bit_length() - 1
+            if j + 1 < len(moves):
+                heapq.heappush(
+                    heap, (cost + costs[j + 1], mask | (1 << (j + 1)))
+                )
+                heapq.heappush(
+                    heap,
+                    (cost + costs[j + 1] - costs[j],
+                     (mask ^ (1 << j)) | (1 << (j + 1))),
+                )
+            if is_valid(mask):
+                yield cost, to_moves(mask)
+
+    def candidate_stream(
+        self, query: np.ndarray, multiprobe: bool = True
+    ) -> Iterator[np.ndarray]:
+        """Candidate batches: anchor buckets first, then perturbations.
+
+        With ``multiprobe=False`` only the ``L`` anchor buckets are
+        probed (classic E2LSH — recall is then capped by table count).
+        With ``multiprobe=True`` each table's perturbation sequences are
+        merged globally by score, exactly one bucket per step.
+        """
+        query = np.asarray(query, dtype=np.float64)
+        seen = np.zeros(self._n, dtype=bool)
+        states = [self._query_state(query, t) for t in range(self._L)]
+
+        def emit(table: int, key: tuple) -> np.ndarray:
+            ids = self._tables[table].get(key)
+            if ids is None:
+                return _EMPTY
+            fresh = ids[~seen[ids]]
+            if len(fresh):
+                seen[fresh] = True
+            return fresh
+
+        for t in range(self._L):
+            fresh = emit(t, tuple(states[t][0]))
+            if len(fresh):
+                yield fresh
+        if not multiprobe:
+            return
+
+        sequences = [
+            self._perturbation_sequence(down, up)
+            for _, down, up in states
+        ]
+        heap: list[tuple[float, int, tuple]] = []
+        for t, sequence in enumerate(sequences):
+            first = next(sequence, None)
+            if first is not None:
+                heap.append((first[0], t, first[1]))
+        heapq.heapify(heap)
+        while heap:
+            _, t, perturbation = heapq.heappop(heap)
+            anchor = states[t][0]
+            key = list(anchor)
+            for component, direction in perturbation:
+                key[component] += direction
+            fresh = emit(t, tuple(key))
+            if len(fresh):
+                yield fresh
+            upcoming = next(sequences[t], None)
+            if upcoming is not None:
+                heapq.heappush(heap, (upcoming[0], t, upcoming[1]))
+
+
+_EMPTY = np.empty(0, dtype=np.int64)

@@ -1,0 +1,180 @@
+"""LSB-forest: Z-order (Morton) probing of quantized projections.
+
+Tao, Yi, Sheng & Kalnis, *Quality and Efficiency in High Dimensional
+Nearest Neighbor Search* (SIGMOD 2009), from the paper's related work:
+project items with p-stable LSH, quantize each projection to an
+integer, interleave the integers' bits into a *Z-value*, and keep items
+sorted by Z-value (a B-tree on disk; a sorted array here).  A query
+probes items in order of Z-value proximity, expanding bidirectionally
+from its own position — items sharing a long Z-prefix share many
+high-order quantized coordinates, hence are likely close.  Multiple
+trees (a forest) with independent projections reduce the variance.
+
+Like SK-LSH's compound keys, the Z-order linearisation is prefix-based,
+so it inherits the boundary problem QD avoids — which is why the paper
+groups these methods as "generally worse than L2H methods in practice".
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+__all__ = ["LSBForest", "interleave_bits"]
+
+
+def interleave_bits(coordinates: np.ndarray, bits_per_dim: int) -> np.ndarray:
+    """Morton-interleave rows of non-negative integers into Z-values.
+
+    ``coordinates`` is ``(n, m)`` with entries in ``[0, 2^bits_per_dim)``;
+    bit ``b`` of dimension ``i`` lands at position ``b·m + (m−1−i)`` so
+    higher-order bits of all dimensions come first.
+    """
+    coords = np.asarray(coordinates, dtype=np.int64)
+    if coords.ndim != 2:
+        raise ValueError("coordinates must be a (n, m) array")
+    n, m = coords.shape
+    if m * bits_per_dim > 62:
+        raise ValueError("interleaved width exceeds 62 bits")
+    if coords.size and (coords.min() < 0 or coords.max() >= (1 << bits_per_dim)):
+        raise ValueError("coordinates out of range for bits_per_dim")
+    z = np.zeros(n, dtype=np.int64)
+    for bit in range(bits_per_dim):
+        for dim in range(m):
+            position = bit * m + (m - 1 - dim)
+            z |= ((coords[:, dim] >> bit) & 1) << position
+    return z
+
+
+class LSBForest:
+    """Forest of Z-order-sorted projection tables.
+
+    Parameters
+    ----------
+    data:
+        ``(n, d)`` items to index.
+    n_trees:
+        Independent Z-order lists (the forest size).
+    n_components:
+        Projections per tree ``m`` (Z-value dimensionality).
+    bits_per_dim:
+        Quantization resolution of each projection.
+    seed:
+        RNG seed for the projections.
+    """
+
+    def __init__(
+        self,
+        data: np.ndarray,
+        n_trees: int = 4,
+        n_components: int = 6,
+        bits_per_dim: int = 8,
+        seed: int | None = None,
+    ) -> None:
+        data = np.asarray(data, dtype=np.float64)
+        if data.ndim != 2:
+            raise ValueError("data must be a (n, d) array")
+        if n_trees < 1 or n_components < 1 or bits_per_dim < 1:
+            raise ValueError(
+                "n_trees, n_components and bits_per_dim must be positive"
+            )
+        if n_components * bits_per_dim > 62:
+            raise ValueError("n_components * bits_per_dim must be <= 62")
+        rng = np.random.default_rng(seed)
+        d = data.shape[1]
+        self._n = len(data)
+        self._m = n_components
+        self._bits = bits_per_dim
+
+        self._directions = rng.standard_normal((n_trees, d, n_components))
+        self._mins: list[np.ndarray] = []
+        self._scales: list[np.ndarray] = []
+        self._orders: list[np.ndarray] = []
+        self._sorted_z: list[np.ndarray] = []
+        levels = (1 << bits_per_dim) - 1
+        for t in range(n_trees):
+            projection = data @ self._directions[t]
+            lo = projection.min(axis=0)
+            span = projection.max(axis=0) - lo
+            span[span == 0] = 1.0
+            self._mins.append(lo)
+            self._scales.append(levels / span)
+            quantized = np.clip(
+                ((projection - lo) * self._scales[-1]).astype(np.int64),
+                0,
+                levels,
+            )
+            z = interleave_bits(quantized, bits_per_dim)
+            order = np.argsort(z, kind="stable")
+            self._orders.append(order)
+            self._sorted_z.append(z[order])
+
+    @property
+    def num_items(self) -> int:
+        return self._n
+
+    @property
+    def n_trees(self) -> int:
+        return len(self._orders)
+
+    def _query_z(self, query: np.ndarray, tree: int) -> int:
+        projection = query @ self._directions[tree]
+        levels = (1 << self._bits) - 1
+        quantized = np.clip(
+            ((projection - self._mins[tree]) * self._scales[tree]).astype(
+                np.int64
+            ),
+            0,
+            levels,
+        )
+        return int(interleave_bits(quantized[np.newaxis, :], self._bits)[0])
+
+    def candidate_stream(self, query: np.ndarray) -> Iterator[np.ndarray]:
+        """Items in Z-value-proximity order, merged across trees.
+
+        Each tree expands bidirectionally from the query's Z position,
+        always taking the side with the smaller |Z difference|; trees
+        are merged round-robin one item each, with global
+        de-duplication.  Every item is eventually emitted.
+        """
+        query = np.asarray(query, dtype=np.float64)
+        anchors = [self._query_z(query, t) for t in range(self.n_trees)]
+        positions = [
+            int(np.searchsorted(self._sorted_z[t], anchors[t]))
+            for t in range(self.n_trees)
+        ]
+        left = [p - 1 for p in positions]
+        right = list(positions)
+        seen = np.zeros(self._n, dtype=bool)
+        remaining = self._n
+
+        while remaining:
+            batch = []
+            for t in range(self.n_trees):
+                z = self._sorted_z[t]
+                left_gap = (
+                    anchors[t] - int(z[left[t]]) if left[t] >= 0 else None
+                )
+                right_gap = (
+                    int(z[right[t]]) - anchors[t]
+                    if right[t] < self._n
+                    else None
+                )
+                if left_gap is None and right_gap is None:
+                    continue
+                take_left = right_gap is None or (
+                    left_gap is not None and left_gap <= right_gap
+                )
+                if take_left:
+                    item = int(self._orders[t][left[t]])
+                    left[t] -= 1
+                else:
+                    item = int(self._orders[t][right[t]])
+                    right[t] += 1
+                if not seen[item]:
+                    seen[item] = True
+                    remaining -= 1
+                    batch.append(item)
+            if batch:
+                yield np.asarray(batch, dtype=np.int64)

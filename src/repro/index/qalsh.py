@@ -1,0 +1,115 @@
+"""Query-aware LSH (QALSH).
+
+Huang et al., *Query-Aware Locality-Sensitive Hashing for Approximate
+Nearest Neighbor Search* (PVLDB 2015), one of the related-work systems
+in Section 7 of the paper.
+
+QALSH drops quantization entirely: each hash function is a random
+projection ``h_i(o) = a_i · o`` and items are conceptually kept sorted
+by projection value (the paper uses B+ trees).  A query anchors a
+window at ``h_i(q)`` in every list and widens all windows outward in
+lock-step; an item becomes a candidate once it has *collided* with the
+query (appeared inside the window) in at least ``collision_threshold``
+of the lists.  This query-aware anchoring avoids the boundary problem
+of pre-quantized buckets — the same problem QD solves for L2H — which
+makes QALSH the natural LSH-side comparison point.
+
+Implementation note: because the windows widen one item per list per
+round, the round at which item ``o`` collides in list ``i`` equals
+``o``'s rank by ``|h_i(o) − h_i(q)|`` in that list, and the emission
+round of ``o`` is the ``l``-th smallest of its per-list ranks.  We
+compute that order-statistic directly with NumPy instead of simulating
+the widening loop — identical emission order, orders of magnitude
+faster in Python.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+__all__ = ["QALSH"]
+
+
+class QALSH:
+    """In-memory QALSH index over random projections.
+
+    Parameters
+    ----------
+    data:
+        ``(n, d)`` items to index.
+    n_projections:
+        Number of hash functions / sorted lists ``m``.
+    collision_threshold:
+        Collisions required before an item becomes a candidate ``l``;
+        must satisfy ``1 ≤ l ≤ m``.
+    seed:
+        Seed for the random projection directions.
+    """
+
+    def __init__(
+        self,
+        data: np.ndarray,
+        n_projections: int = 16,
+        collision_threshold: int = 4,
+        seed: int | None = None,
+    ) -> None:
+        data = np.asarray(data, dtype=np.float64)
+        if data.ndim != 2:
+            raise ValueError("data must be a (n, d) array")
+        if n_projections < 1:
+            raise ValueError("n_projections must be positive")
+        if not 1 <= collision_threshold <= n_projections:
+            raise ValueError(
+                "collision_threshold must be in [1, n_projections]"
+            )
+        rng = np.random.default_rng(seed)
+        d = data.shape[1]
+        self._directions = rng.standard_normal((d, n_projections))
+        self._projections = data @ self._directions  # (n, m)
+        self._n = len(data)
+        self._m = n_projections
+        self._threshold = collision_threshold
+
+    @property
+    def num_items(self) -> int:
+        return self._n
+
+    @property
+    def n_projections(self) -> int:
+        return self._m
+
+    def emission_rounds(self, query: np.ndarray) -> np.ndarray:
+        """Round at which each item crosses the collision threshold.
+
+        Item ``o`` collides in list ``i`` at round ``rank_i(o)`` (its
+        position by anchor gap); it is emitted at the ``l``-th smallest
+        of those ranks.
+        """
+        query = np.asarray(query, dtype=np.float64)
+        anchors = query @ self._directions  # (m,)
+        gaps = np.abs(self._projections - anchors[np.newaxis, :])
+        # rank of each item within each list, by gap (stable by id).
+        ranks = np.empty_like(gaps, dtype=np.int64)
+        order = np.argsort(gaps, axis=0, kind="stable")
+        rows = np.arange(self._n)
+        for i in range(self._m):
+            ranks[order[:, i], i] = rows
+        return np.partition(ranks, self._threshold - 1, axis=1)[
+            :, self._threshold - 1
+        ]
+
+    def candidate_stream(self, query: np.ndarray) -> Iterator[np.ndarray]:
+        """Yield candidate-id batches in collision (emission-round) order.
+
+        Every item is eventually emitted exactly once (it appears in
+        all ``m`` lists, so its collision count reaches any threshold),
+        so full recall is always reachable.
+        """
+        emission = self.emission_rounds(query)
+        order = np.argsort(emission, kind="stable")
+        sorted_rounds = emission[order]
+        boundaries = np.flatnonzero(np.diff(sorted_rounds)) + 1
+        for batch in np.split(order, boundaries):
+            yield batch.astype(np.int64)

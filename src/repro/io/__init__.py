@@ -1,0 +1,5 @@
+"""Persistence: save and load trained indexes."""
+
+from repro.io.persistence import load_index, save_index
+
+__all__ = ["load_index", "save_index"]

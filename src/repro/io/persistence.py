@@ -1,0 +1,188 @@
+"""Index persistence: save a trained index to disk and reload it.
+
+Training (ITQ iterations, k-means, spectral decompositions) is the
+expensive phase of L2H; production systems train once and serve many
+processes.  This module serialises a :class:`~repro.search.searcher.HashIndex`
+— data, hasher state, prober choice, metric — into a single ``.npz``
+archive with a JSON manifest, using no pickling (the archive is
+inspectable and safe to load from untrusted storage).
+
+Supported hashers: every :class:`~repro.hashing.base.ProjectionHasher`
+(ITQ, PCAH, LSH), spectral hashing, and K-means hashing.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.gqr import GQR
+from repro.core.qd_ranking import QDRanking
+from repro.hashing.base import BinaryHasher, ProjectionHasher
+from repro.hashing.itq import ITQ
+from repro.hashing.kmh import KMeansHashing
+from repro.hashing.lsh import RandomProjectionLSH
+from repro.hashing.pcah import PCAHashing
+from repro.hashing.sh import SpectralHashing
+from repro.probing.ghr import GenerateHammingRanking
+from repro.probing.hamming_ranking import HammingRanking
+from repro.probing.multiprobe_lsh import MultiProbeLSH
+from repro.search.searcher import HashIndex
+
+__all__ = ["save_index", "load_index"]
+
+FORMAT_VERSION = 1
+
+_PROBERS = {
+    "gqr": GQR,
+    "qr": QDRanking,
+    "hr": HammingRanking,
+    "ghr": GenerateHammingRanking,
+    "multiprobe_lsh": MultiProbeLSH,
+}
+
+
+def _prober_name(prober) -> str:
+    # MultiProbeLSH subclasses GQR, so check the subclass first.
+    if isinstance(prober, MultiProbeLSH):
+        return "multiprobe_lsh"
+    for name, cls in _PROBERS.items():
+        if type(prober) is cls:
+            return name
+    raise TypeError(
+        f"cannot persist prober {type(prober).__name__}; "
+        f"supported: {sorted(_PROBERS)}"
+    )
+
+
+def _hasher_state(hasher: BinaryHasher, tag: str) -> tuple[dict, dict]:
+    """``(manifest_entry, arrays)`` describing one fitted hasher."""
+    arrays: dict[str, np.ndarray] = {}
+    if isinstance(hasher, SpectralHashing):
+        entry = {"kind": "sh", "code_length": hasher.code_length}
+        arrays[f"{tag}_basis"] = hasher._basis
+        arrays[f"{tag}_mean"] = hasher._mean
+        arrays[f"{tag}_mins"] = hasher._mins
+        arrays[f"{tag}_omegas"] = hasher._omegas
+        arrays[f"{tag}_dims"] = hasher._dims
+    elif isinstance(hasher, KMeansHashing):
+        entry = {
+            "kind": "kmh",
+            "code_length": hasher.code_length,
+            "bits_per_subspace": hasher.bits_per_subspace,
+            "scales": list(hasher._scales),
+        }
+        arrays[f"{tag}_splits"] = np.asarray(hasher._splits, dtype=np.int64)
+        for u, codebook in enumerate(hasher._codebooks):
+            arrays[f"{tag}_codebook{u}"] = codebook
+        entry["n_subspaces"] = hasher.n_subspaces
+    elif isinstance(hasher, ProjectionHasher):
+        kinds = {ITQ: "itq", PCAHashing: "pcah", RandomProjectionLSH: "lsh"}
+        kind = kinds.get(type(hasher), "projection")
+        entry = {"kind": kind, "code_length": hasher.code_length}
+        arrays[f"{tag}_weights"] = hasher._weights
+        arrays[f"{tag}_mean"] = hasher._mean
+    else:
+        raise TypeError(
+            f"cannot persist hasher {type(hasher).__name__}"
+        )
+    return entry, arrays
+
+
+class _RestoredProjectionHasher(ProjectionHasher):
+    """Generic affine-linear hasher rebuilt from persisted weights."""
+
+    def _learn(self, centered):  # pragma: no cover - never retrained
+        raise RuntimeError("restored hashers cannot be refit")
+
+
+def _restore_hasher(entry: dict, tag: str, arrays) -> BinaryHasher:
+    kind = entry["kind"]
+    m = int(entry["code_length"])
+    if kind == "sh":
+        hasher = SpectralHashing(code_length=m)
+        hasher._basis = arrays[f"{tag}_basis"]
+        hasher._mean = arrays[f"{tag}_mean"]
+        hasher._mins = arrays[f"{tag}_mins"]
+        hasher._omegas = arrays[f"{tag}_omegas"]
+        hasher._dims = arrays[f"{tag}_dims"]
+        hasher._fitted = True
+        return hasher
+    if kind == "kmh":
+        hasher = KMeansHashing(
+            code_length=m, bits_per_subspace=int(entry["bits_per_subspace"])
+        )
+        hasher._splits = arrays[f"{tag}_splits"]
+        hasher._codebooks = [
+            arrays[f"{tag}_codebook{u}"]
+            for u in range(int(entry["n_subspaces"]))
+        ]
+        hasher._scales = [float(s) for s in entry["scales"]]
+        hasher._fitted = True
+        return hasher
+    # All affine-linear hashers restore to the same behaviour; keep the
+    # original class where it matters for isinstance checks.
+    classes = {
+        "itq": ITQ,
+        "pcah": PCAHashing,
+        "lsh": RandomProjectionLSH,
+        "projection": _RestoredProjectionHasher,
+    }
+    hasher = classes[kind].__new__(classes[kind])
+    ProjectionHasher.__init__(hasher, m)
+    hasher._weights = arrays[f"{tag}_weights"]
+    hasher._mean = arrays[f"{tag}_mean"]
+    hasher._fitted = True
+    return hasher
+
+
+def save_index(index: HashIndex, path: str | Path) -> Path:
+    """Serialise a :class:`HashIndex` to ``<path>`` (``.npz`` appended).
+
+    Stores the raw data, every hasher's learned state, the prober name
+    and the metric.  Bucket tables are cheap to rebuild and are not
+    stored.
+    """
+    path = Path(path)
+    manifest = {
+        "format_version": FORMAT_VERSION,
+        "metric": index.metric,
+        "prober": _prober_name(index.prober),
+        "hashers": [],
+    }
+    arrays: dict[str, np.ndarray] = {"data": index.data}
+    for i, hasher in enumerate(index._hashers):
+        entry, hasher_arrays = _hasher_state(hasher, f"hasher{i}")
+        manifest["hashers"].append(entry)
+        arrays.update(hasher_arrays)
+    arrays["manifest"] = np.frombuffer(
+        json.dumps(manifest).encode("utf-8"), dtype=np.uint8
+    )
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    np.savez_compressed(path, **arrays)
+    return path
+
+
+def load_index(path: str | Path) -> HashIndex:
+    """Rebuild a :class:`HashIndex` saved by :func:`save_index`."""
+    with np.load(Path(path)) as archive:
+        manifest = json.loads(bytes(archive["manifest"]).decode("utf-8"))
+        if manifest.get("format_version") != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported index format {manifest.get('format_version')}"
+            )
+        data = archive["data"]
+        hashers = [
+            _restore_hasher(entry, f"hasher{i}", archive)
+            for i, entry in enumerate(manifest["hashers"])
+        ]
+    prober = _PROBERS[manifest["prober"]]()
+    return HashIndex(
+        hashers if len(hashers) > 1 else hashers[0],
+        data,
+        prober=prober,
+        metric=manifest["metric"],
+    )

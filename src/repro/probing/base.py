@@ -1,0 +1,11 @@
+"""Prober interface re-export.
+
+The :class:`~repro.core.prober.BucketProber` contract lives in
+:mod:`repro.core.prober` (QR and GQR implement it there); this module
+re-exports it so baseline probers and user code can import it from the
+:mod:`repro.probing` namespace alongside HR/GHR.
+"""
+
+from repro.core.prober import BucketProber, collect_candidates
+
+__all__ = ["BucketProber", "collect_candidates"]

@@ -1,0 +1,34 @@
+"""Multi-Probe LSH-style probing, adapted to binary codes.
+
+Lv et al. (VLDB 2007) probe LSH buckets by perturbing the query's hash
+values, scoring a perturbation set by the *sum of squared* distances of
+the query's projections to the crossed boundaries.  The paper credits
+Multi-Probe LSH as inspiration for GQR and lists the differences
+(Section 5.3): QD uses absolute rather than squared differences, works
+on binary rather than integer codes, can share a generation tree, and
+never generates invalid buckets.
+
+For sign-threshold binary hashing the boundary distance of bit ``i`` is
+``|p_i(q)|``, so the Multi-Probe score of flipping a bit set ``S`` is
+``Σ_{i∈S} p_i(q)²`` — i.e. GQR's machinery with squared costs.  Squaring
+is monotone on non-negative costs, so the same Append/Swap generation
+tree stays valid; only multi-bit probe order differs from GQR (squared
+costs exaggerate large flips).  This adapter exists to measure exactly
+that difference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.generation_tree import SharedGenerationTree
+from repro.core.gqr import GQR
+
+__all__ = ["MultiProbeLSH"]
+
+
+class MultiProbeLSH(GQR):
+    """GQR with Multi-Probe LSH's squared-boundary-distance score."""
+
+    def __init__(self, shared_tree: SharedGenerationTree | None = None) -> None:
+        super().__init__(shared_tree=shared_tree, cost_transform=np.square)

@@ -1,0 +1,56 @@
+"""SK-LSH-style prefix probing.
+
+Liu et al., *SK-LSH: An Efficient Index Structure for Approximate
+Nearest Neighbor Search* (PVLDB 2014), from the paper's related work:
+buckets sharing the *longest common prefix* with the query's compound
+key are probed first.  Adapted to binary codes, the compound key is the
+bit string read from the most-significant projection downward, and the
+probe order is by descending common-prefix length (ties broken by the
+numeric distance of the suffix, then signature).
+
+Included as a baseline showing why prefix order underperforms QD: a
+mismatch in the first bit costs everything regardless of how close the
+projection was to the threshold.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+from repro.index.hash_table import HashTable
+from repro.probing.base import BucketProber
+
+__all__ = ["PrefixRanking", "common_prefix_length"]
+
+
+def common_prefix_length(a: int, b: int, m: int) -> int:
+    """Shared leading bits of two ``m``-bit signatures (MSB first)."""
+    diff = (a ^ b) & ((1 << m) - 1)
+    if diff == 0:
+        return m
+    return m - diff.bit_length()
+
+
+class PrefixRanking(BucketProber):
+    """Probe occupied buckets by descending common-prefix length."""
+
+    generates_unoccupied = False
+
+    def probe(
+        self, table: HashTable, signature: int, flip_costs: np.ndarray
+    ) -> Iterator[int]:
+        del flip_costs  # prefix order only looks at binary codes
+        m = table.code_length
+        buckets = np.fromiter(
+            table.signatures(), dtype=np.int64, count=table.num_buckets
+        )
+        if not len(buckets):
+            return
+        prefix = np.asarray(
+            [common_prefix_length(int(b), signature, m) for b in buckets]
+        )
+        suffix_gap = np.abs(buckets - np.int64(signature))
+        order = np.lexsort((buckets, suffix_gap, -prefix))
+        yield from (int(b) for b in buckets[order])

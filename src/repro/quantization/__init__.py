@@ -1,0 +1,15 @@
+"""Vector-quantization stack: k-means, PQ, OPQ, inverted multi-index."""
+
+from repro.quantization.imi import InvertedMultiIndex, multi_sequence
+from repro.quantization.kmeans import KMeans, kmeans_plus_plus
+from repro.quantization.opq import OptimizedProductQuantizer
+from repro.quantization.pq import ProductQuantizer
+
+__all__ = [
+    "InvertedMultiIndex",
+    "KMeans",
+    "OptimizedProductQuantizer",
+    "ProductQuantizer",
+    "kmeans_plus_plus",
+    "multi_sequence",
+]

@@ -1,0 +1,130 @@
+"""Lloyd's k-means with k-means++ seeding.
+
+Substrate for the vector-quantization stack (PQ, OPQ, IMI — Section 6.5
+of the paper) and for K-means hashing (appendix).  Implemented here
+because no third-party ML library is assumed; pure NumPy, deterministic
+under a seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["KMeans", "kmeans_plus_plus"]
+
+
+def _squared_distances(points: np.ndarray, centers: np.ndarray) -> np.ndarray:
+    """Pairwise squared Euclidean distances ``(n_points, n_centers)``."""
+    sp = (points * points).sum(axis=1)[:, np.newaxis]
+    sc = (centers * centers).sum(axis=1)[np.newaxis, :]
+    d2 = sp - 2.0 * (points @ centers.T) + sc
+    np.maximum(d2, 0.0, out=d2)
+    return d2
+
+
+def kmeans_plus_plus(
+    data: np.ndarray, n_clusters: int, rng: np.random.Generator
+) -> np.ndarray:
+    """k-means++ initial centres (Arthur & Vassilvitskii 2007)."""
+    n = len(data)
+    centers = np.empty((n_clusters, data.shape[1]), dtype=np.float64)
+    first = rng.integers(n)
+    centers[0] = data[first]
+    closest = _squared_distances(data, centers[:1]).ravel()
+    for i in range(1, n_clusters):
+        total = closest.sum()
+        if total <= 0:
+            # All remaining points coincide with chosen centres.
+            choice = rng.integers(n)
+        else:
+            choice = rng.choice(n, p=closest / total)
+        centers[i] = data[choice]
+        new_d = _squared_distances(data, centers[i : i + 1]).ravel()
+        np.minimum(closest, new_d, out=closest)
+    return centers
+
+
+class KMeans:
+    """Lloyd's algorithm with k-means++ init and empty-cluster repair.
+
+    Parameters
+    ----------
+    n_clusters:
+        Number of centroids ``k``.
+    n_iterations:
+        Maximum Lloyd iterations.
+    tol:
+        Relative improvement in inertia below which iteration stops.
+    seed:
+        RNG seed for initialisation and empty-cluster repair.
+    """
+
+    def __init__(
+        self,
+        n_clusters: int,
+        n_iterations: int = 50,
+        tol: float = 1e-6,
+        seed: int | None = None,
+    ) -> None:
+        if n_clusters < 1:
+            raise ValueError("n_clusters must be positive")
+        self.n_clusters = n_clusters
+        self.n_iterations = n_iterations
+        self.tol = tol
+        self.seed = seed
+        self.centers: np.ndarray | None = None
+        self.inertia: float | None = None
+
+    def fit(self, data: np.ndarray) -> "KMeans":
+        data = np.asarray(data, dtype=np.float64)
+        if data.ndim != 2:
+            raise ValueError("data must be a (n, d) array")
+        n = len(data)
+        if n < self.n_clusters:
+            raise ValueError(
+                f"need at least n_clusters={self.n_clusters} points, got {n}"
+            )
+        rng = np.random.default_rng(self.seed)
+        centers = kmeans_plus_plus(data, self.n_clusters, rng)
+
+        previous_inertia = np.inf
+        for _ in range(self.n_iterations):
+            d2 = _squared_distances(data, centers)
+            labels = d2.argmin(axis=1)
+            inertia = float(d2[np.arange(n), labels].sum())
+
+            counts = np.bincount(labels, minlength=self.n_clusters)
+            sums = np.zeros_like(centers)
+            np.add.at(sums, labels, data)
+            nonempty = counts > 0
+            centers[nonempty] = sums[nonempty] / counts[nonempty, np.newaxis]
+            # Re-seed empty clusters at the points farthest from their centre.
+            for cluster in np.flatnonzero(~nonempty):
+                farthest = d2[np.arange(n), labels].argmax()
+                centers[cluster] = data[farthest]
+                labels[farthest] = cluster
+                d2[farthest] = _squared_distances(
+                    data[farthest : farthest + 1], centers
+                )
+
+            if previous_inertia - inertia <= self.tol * max(previous_inertia, 1e-12):
+                break
+            previous_inertia = inertia
+
+        self.centers = centers
+        self.inertia = inertia
+        return self
+
+    def predict(self, data: np.ndarray) -> np.ndarray:
+        """Index of the nearest centre for each point."""
+        if self.centers is None:
+            raise RuntimeError("KMeans must be fit() before predict()")
+        data = np.atleast_2d(np.asarray(data, dtype=np.float64))
+        return _squared_distances(data, self.centers).argmin(axis=1)
+
+    def transform(self, data: np.ndarray) -> np.ndarray:
+        """Squared distances from each point to every centre."""
+        if self.centers is None:
+            raise RuntimeError("KMeans must be fit() before transform()")
+        data = np.atleast_2d(np.asarray(data, dtype=np.float64))
+        return _squared_distances(data, self.centers)

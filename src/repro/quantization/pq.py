@@ -1,0 +1,126 @@
+"""Product quantization (PQ).
+
+Jégou, Douze & Schmid (TPAMI 2011).  The feature space is split into
+``n_subspaces`` contiguous blocks; an independent k-means codebook is
+learned per block; an item's code is the tuple of its nearest codeword
+indices.  PQ is the substrate for OPQ (:mod:`repro.quantization.opq`)
+and the inverted multi-index (:mod:`repro.quantization.imi`) — the
+vector-quantization comparator of the paper's Section 6.5.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.quantization.kmeans import KMeans
+
+__all__ = ["ProductQuantizer"]
+
+
+class ProductQuantizer:
+    """Independent k-means codebooks over contiguous dimension blocks.
+
+    Parameters
+    ----------
+    n_subspaces:
+        Number of blocks ``M``; must not exceed the dimensionality.
+    n_centroids:
+        Codewords per block ``K``.
+    n_iterations, seed:
+        Passed to the per-block :class:`~repro.quantization.kmeans.KMeans`.
+    """
+
+    def __init__(
+        self,
+        n_subspaces: int,
+        n_centroids: int = 16,
+        n_iterations: int = 25,
+        seed: int | None = None,
+    ) -> None:
+        if n_subspaces < 1:
+            raise ValueError("n_subspaces must be positive")
+        if n_centroids < 1:
+            raise ValueError("n_centroids must be positive")
+        self.n_subspaces = n_subspaces
+        self.n_centroids = n_centroids
+        self.n_iterations = n_iterations
+        self.seed = seed
+        self.codebooks: list[np.ndarray] = []
+        self._splits: np.ndarray | None = None
+
+    def _blocks(self, data: np.ndarray) -> list[np.ndarray]:
+        return np.split(data, self._splits, axis=1)
+
+    def fit(self, data: np.ndarray) -> "ProductQuantizer":
+        data = np.asarray(data, dtype=np.float64)
+        if data.ndim != 2:
+            raise ValueError("data must be a (n, d) array")
+        d = data.shape[1]
+        if self.n_subspaces > d:
+            raise ValueError(
+                f"n_subspaces={self.n_subspaces} exceeds dimensionality {d}"
+            )
+        base, extra = divmod(d, self.n_subspaces)
+        widths = [base + (1 if i < extra else 0) for i in range(self.n_subspaces)]
+        self._splits = np.cumsum(widths)[:-1]
+
+        self.codebooks = []
+        for i, block in enumerate(self._blocks(data)):
+            seed = None if self.seed is None else self.seed + i
+            km = KMeans(self.n_centroids, self.n_iterations, seed=seed).fit(block)
+            self.codebooks.append(km.centers)
+        return self
+
+    def _require_fitted(self) -> None:
+        if not self.codebooks:
+            raise RuntimeError("ProductQuantizer must be fit() before use")
+
+    def encode(self, data: np.ndarray) -> np.ndarray:
+        """Nearest codeword index per subspace, shape ``(n, n_subspaces)``."""
+        self._require_fitted()
+        data = np.atleast_2d(np.asarray(data, dtype=np.float64))
+        codes = np.empty((len(data), self.n_subspaces), dtype=np.int64)
+        for i, block in enumerate(self._blocks(data)):
+            codes[:, i] = _nearest(block, self.codebooks[i])
+        return codes
+
+    def decode(self, codes: np.ndarray) -> np.ndarray:
+        """Reconstruct vectors from codes (concatenated codewords)."""
+        self._require_fitted()
+        codes = np.atleast_2d(np.asarray(codes, dtype=np.int64))
+        parts = [self.codebooks[i][codes[:, i]] for i in range(self.n_subspaces)]
+        return np.concatenate(parts, axis=1)
+
+    def distance_tables(self, query: np.ndarray) -> list[np.ndarray]:
+        """Per-subspace squared distances from the query to every codeword.
+
+        Summing one entry per subspace gives the asymmetric (ADC) distance
+        between the query and any code.
+        """
+        self._require_fitted()
+        query = np.asarray(query, dtype=np.float64)
+        if query.ndim != 1:
+            raise ValueError("distance_tables expects a single query vector")
+        blocks = self._blocks(query[np.newaxis, :])
+        return [
+            _squared_to_centers(block[0], codebook)
+            for block, codebook in zip(blocks, self.codebooks)
+        ]
+
+    def quantization_error(self, data: np.ndarray) -> float:
+        """Mean squared reconstruction error on ``data``."""
+        data = np.atleast_2d(np.asarray(data, dtype=np.float64))
+        reconstructed = self.decode(self.encode(data))
+        return float(np.square(data - reconstructed).sum(axis=1).mean())
+
+
+def _squared_to_centers(vector: np.ndarray, centers: np.ndarray) -> np.ndarray:
+    diff = centers - vector[np.newaxis, :]
+    return (diff * diff).sum(axis=1)
+
+
+def _nearest(block: np.ndarray, centers: np.ndarray) -> np.ndarray:
+    sp = (block * block).sum(axis=1)[:, np.newaxis]
+    sc = (centers * centers).sum(axis=1)[np.newaxis, :]
+    d2 = sp - 2.0 * (block @ centers.T) + sc
+    return d2.argmin(axis=1)

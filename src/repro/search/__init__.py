@@ -1,0 +1,23 @@
+"""High-level search APIs over the hashing and probing substrates."""
+
+from repro.search.compact_index import CompactHashIndex
+from repro.search.dynamic_index import DynamicHashIndex
+from repro.search.results import SearchResult
+from repro.search.stream_index import StreamSearchIndex
+from repro.search.searcher import (
+    HashIndex,
+    IMISearchIndex,
+    MIHSearchIndex,
+    evaluate_candidates,
+)
+
+__all__ = [
+    "CompactHashIndex",
+    "DynamicHashIndex",
+    "HashIndex",
+    "IMISearchIndex",
+    "MIHSearchIndex",
+    "SearchResult",
+    "StreamSearchIndex",
+    "evaluate_candidates",
+]

@@ -1,0 +1,165 @@
+"""Compact index: codes-only storage with asymmetric-QD re-ranking.
+
+A deployment that cannot hold raw vectors in RAM keeps only binary
+codes.  The classic architecture (and the one that works — see below)
+separates the two roles codes play:
+
+* **probing codes** — short, ``m ≈ log2(N/10)`` bits, so buckets hold
+  ~10 items and generate-to-probe enumerates *occupied* buckets
+  efficiently (the paper's setting);
+* **re-ranking codes** — long (32-63 bits), dense enough to order
+  individual candidates.
+
+Candidates from the probing table are then ranked without raw vectors:
+
+* **symmetric** — Hamming distance between long codes, the standard
+  baseline;
+* **asymmetric** — keep the query side continuous: rank item ``o`` by
+  ``Σ_i (c_i(q) ⊕ c_i(o))·|p_i(q)|`` over the *long* code — which is
+  exactly the paper's quantization distance evaluated at the item's
+  code.  Theorem 2 makes it a scaled lower bound on the true distance,
+  and it inherits QD's fine grain: ties are broken by margins instead
+  of integer bit counts.
+
+Using a single short code for both roles fails in an instructive way:
+short codes bucket well but cannot rank items (a bucket's members all
+tie), while probing directly with long codes drowns in the empty
+``2^m`` code space — the paper's "long code" problem.  The two-hasher
+split is therefore not an optimisation but a requirement, which
+``benchmarks/bench_compact_rerank.py`` demonstrates.
+
+Measured honestly: on sign-threshold binary codes the asymmetric
+estimator's gain over symmetric Hamming is small (the two mostly agree
+once codes are long enough to rank at all) — the well-known large
+asymmetric gains in the literature come from multi-bit quantizers like
+PQ, where the query-side table carries much more information per
+dimension.  The recall ceiling of any code-only re-ranker is set by
+the rerank-code length, which the benchmark sweeps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.gqr import GQR
+from repro.core.quantization_distance import quantization_distances
+from repro.hashing.base import BinaryHasher
+from repro.index.codes import hamming_distance, pack_bits
+from repro.index.hash_table import HashTable
+from repro.probing.base import BucketProber
+from repro.search.results import SearchResult
+
+__all__ = ["CompactHashIndex"]
+
+
+class CompactHashIndex:
+    """Short-code probing + long-code re-ranking, no raw vectors kept.
+
+    Parameters
+    ----------
+    probe_hasher:
+        Fitted hasher with a short code (the bucket table).
+    rerank_hasher:
+        Fitted hasher with a long code (the ranking estimator).  May be
+        the same object as ``probe_hasher`` — see the module docstring
+        for why that degrades ranking.
+    data:
+        ``(n, d)`` items — encoded once at build time and discarded.
+    prober:
+        Querying method over the probing table; defaults to GQR.
+    rerank:
+        ``"asymmetric"`` (QD against each candidate's long code,
+        default) or ``"symmetric"`` (Hamming between long codes).
+    """
+
+    def __init__(
+        self,
+        probe_hasher: BinaryHasher,
+        rerank_hasher: BinaryHasher,
+        data: np.ndarray,
+        prober: BucketProber | None = None,
+        rerank: str = "asymmetric",
+    ) -> None:
+        for hasher in (probe_hasher, rerank_hasher):
+            if not hasher.is_fitted:
+                raise ValueError(
+                    "CompactHashIndex needs pre-fitted hashers (raw data "
+                    "is not retained, so they cannot be fit here)"
+                )
+        if rerank not in ("asymmetric", "symmetric"):
+            raise ValueError("rerank must be 'asymmetric' or 'symmetric'")
+        data = np.asarray(data, dtype=np.float64)
+        self._table = HashTable(probe_hasher.encode(data))
+        long_codes = rerank_hasher.encode(data)
+        self._long_signatures = np.atleast_1d(
+            np.asarray(pack_bits(long_codes), dtype=np.int64)
+        )
+        self._probe_hasher = probe_hasher
+        self._rerank_hasher = rerank_hasher
+        self._prober = prober if prober is not None else GQR()
+        self._rerank = rerank
+
+    @property
+    def num_items(self) -> int:
+        return self._table.num_items
+
+    @property
+    def rerank(self) -> str:
+        return self._rerank
+
+    def memory_bytes(self) -> int:
+        """Long signatures + bucket table — the full index footprint."""
+        return int(self._long_signatures.nbytes) + self._table.memory_bytes()
+
+    def candidate_stream(self, query: np.ndarray):
+        query = np.asarray(query, dtype=np.float64)
+        signature, costs = self._probe_hasher.probe_info(query)
+        for bucket in self._prober.probe(self._table, signature, costs):
+            ids = self._table.get(bucket)
+            if len(ids):
+                yield ids
+
+    def search(
+        self, query: np.ndarray, k: int, n_candidates: int
+    ) -> SearchResult:
+        """kNN by code-based re-ranking (no raw-vector distances).
+
+        Returned ``distances`` are the estimator's values (QD or
+        Hamming over the long codes), *not* Euclidean distances.
+        """
+        query = np.asarray(query, dtype=np.float64)
+        found: list[np.ndarray] = []
+        total = 0
+        buckets = 0
+        for ids in self.candidate_stream(query):
+            buckets += 1
+            found.append(ids)
+            total += len(ids)
+            if total >= n_candidates:
+                break
+        if not found:
+            return SearchResult(
+                np.empty(0, dtype=np.int64), np.empty(0), 0, buckets
+            )
+        candidates = np.concatenate(found)
+        long_sig, long_costs = self._rerank_hasher.probe_info(query)
+        candidate_codes = self._long_signatures[candidates]
+        if self._rerank == "asymmetric":
+            estimates = quantization_distances(
+                long_sig, candidate_codes, long_costs
+            )
+        else:
+            estimates = hamming_distance(
+                candidate_codes, np.int64(long_sig)
+            ).astype(np.float64)
+        keep = min(k, len(candidates))
+        part = (
+            np.argpartition(estimates, keep - 1)[:keep]
+            if keep < len(candidates)
+            else np.arange(len(candidates))
+        )
+        order = np.lexsort((candidates[part], estimates[part]))
+        chosen = part[order]
+        return SearchResult(
+            candidates[chosen], estimates[chosen], total, buckets
+        )

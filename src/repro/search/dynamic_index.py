@@ -1,0 +1,155 @@
+"""Dynamic ANN index: ingest and expire items without rebuilding.
+
+Wraps a fitted hasher and a :class:`~repro.index.dynamic.DynamicHashTable`
+into the same search interface as :class:`~repro.search.searcher.HashIndex`.
+The hash functions stay fixed (trained once on a representative sample,
+as L2H deployments do); items stream in and out of the bucket table.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+from repro.core.gqr import GQR
+from repro.hashing.base import BinaryHasher
+from repro.index.distance import METRICS, pairwise_distances
+from repro.index.dynamic import DynamicHashTable
+from repro.probing.base import BucketProber
+from repro.search.results import SearchResult
+
+__all__ = ["DynamicHashIndex"]
+
+
+class DynamicHashIndex:
+    """Mutable L2H index over a fixed, pre-fitted hasher.
+
+    Parameters
+    ----------
+    hasher:
+        A *fitted* :class:`BinaryHasher` (train it on a representative
+        sample first; retraining invalidates stored codes, so an
+        unfitted hasher is rejected).
+    dim:
+        Dimensionality of the vectors to be indexed.
+    prober, metric:
+        As in :class:`~repro.search.searcher.HashIndex`.
+    """
+
+    def __init__(
+        self,
+        hasher: BinaryHasher,
+        dim: int,
+        prober: BucketProber | None = None,
+        metric: str = "euclidean",
+    ) -> None:
+        if not hasher.is_fitted:
+            raise ValueError(
+                "DynamicHashIndex needs a pre-fitted hasher; fit it on a "
+                "representative sample first"
+            )
+        if metric not in METRICS:
+            raise KeyError(
+                f"unknown metric {metric!r}; options: {sorted(METRICS)}"
+            )
+        if dim < 1:
+            raise ValueError("dim must be positive")
+        self._hasher = hasher
+        self._dim = dim
+        self._prober = prober if prober is not None else GQR()
+        self._metric = metric
+        self._table = DynamicHashTable(hasher.code_length)
+        # Item storage: amortised-doubling array + free-id recycling.
+        self._vectors = np.empty((0, dim), dtype=np.float64)
+        self._size = 0
+        self._free_ids: list[int] = []
+
+    @property
+    def num_items(self) -> int:
+        return self._table.num_items
+
+    @property
+    def code_length(self) -> int:
+        return self._hasher.code_length
+
+    @property
+    def table(self) -> DynamicHashTable:
+        return self._table
+
+    def _grow_to(self, capacity: int) -> None:
+        if capacity <= len(self._vectors):
+            return
+        new_capacity = max(capacity, 2 * len(self._vectors), 16)
+        grown = np.empty((new_capacity, self._dim), dtype=np.float64)
+        grown[: self._size] = self._vectors[: self._size]
+        self._vectors = grown
+
+    def add(self, items: np.ndarray) -> np.ndarray:
+        """Insert one vector or a batch; returns the assigned item ids."""
+        items = np.atleast_2d(np.asarray(items, dtype=np.float64))
+        if items.shape[1] != self._dim:
+            raise ValueError(
+                f"expected dimensionality {self._dim}, got {items.shape[1]}"
+            )
+        codes = self._hasher.encode(items)
+        ids = np.empty(len(items), dtype=np.int64)
+        for row, (item, code) in enumerate(zip(items, codes)):
+            if self._free_ids:
+                item_id = self._free_ids.pop()
+            else:
+                item_id = self._size
+                self._grow_to(self._size + 1)
+                self._size += 1
+            self._vectors[item_id] = item
+            self._table.add(item_id, code)
+            ids[row] = item_id
+        return ids
+
+    def remove(self, item_ids: np.ndarray | int) -> None:
+        """Delete items by id; their ids may be recycled by later adds."""
+        for item_id in np.atleast_1d(np.asarray(item_ids, dtype=np.int64)):
+            self._table.remove(int(item_id))
+            self._free_ids.append(int(item_id))
+
+    def candidate_stream(self, query: np.ndarray) -> Iterator[np.ndarray]:
+        query = np.asarray(query, dtype=np.float64)
+        signature, costs = self._hasher.probe_info(query)
+        for bucket in self._prober.probe(self._table, signature, costs):
+            ids = self._table.get(bucket)
+            if len(ids):
+                yield ids
+
+    def search(
+        self, query: np.ndarray, k: int, n_candidates: int
+    ) -> SearchResult:
+        """Approximate kNN over the current live items."""
+        query = np.asarray(query, dtype=np.float64)
+        found: list[np.ndarray] = []
+        total = 0
+        buckets = 0
+        for ids in self.candidate_stream(query):
+            buckets += 1
+            found.append(ids)
+            total += len(ids)
+            if total >= n_candidates:
+                break
+        if not found:
+            return SearchResult(
+                np.empty(0, dtype=np.int64), np.empty(0), 0, buckets
+            )
+        candidates = np.concatenate(found)
+        dists = pairwise_distances(
+            query[np.newaxis, :], self._vectors[candidates], self._metric
+        )[0]
+        keep = min(k, len(candidates))
+        part = (
+            np.argpartition(dists, keep - 1)[:keep]
+            if keep < len(candidates)
+            else np.arange(len(candidates))
+        )
+        order = np.lexsort((candidates[part], dists[part]))
+        chosen = part[order]
+        return SearchResult(
+            candidates[chosen], dists[chosen], total, buckets
+        )

@@ -1,0 +1,36 @@
+"""Search-result container shared by all index types."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["SearchResult"]
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """Outcome of one approximate kNN query.
+
+    Attributes
+    ----------
+    ids:
+        Item ids of the returned neighbours, ascending distance; may be
+        shorter than ``k`` if fewer candidates were retrieved.
+    distances:
+        Exact Euclidean distances aligned with ``ids``.
+    n_candidates:
+        Number of candidate items retrieved (evaluation cost).
+    n_buckets_probed:
+        Number of buckets fetched from the table(s) (retrieval cost).
+    """
+
+    ids: np.ndarray
+    distances: np.ndarray
+    n_candidates: int = 0
+    n_buckets_probed: int = 0
+    extras: dict = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.ids)

@@ -1,0 +1,579 @@
+"""High-level ANN search indexes.
+
+The querying pipeline of Section 2.2 — *retrieval* picks buckets and
+gathers candidate ids, *evaluation* re-ranks candidates by exact
+distance — is factored so every method in the paper plugs into the same
+two-step loop:
+
+* :class:`HashIndex` — L2H hash table(s) + a pluggable
+  :class:`~repro.core.prober.BucketProber` (HR, GHR, QR, GQR, …), with
+  multi-table probing (round-robin or global QD merge), Theorem 2 early
+  stop, exact range search, and batch queries.
+* :class:`MIHSearchIndex` — Multi-Index Hashing over the same codes.
+* :class:`IMISearchIndex` — OPQ/PQ + inverted multi-index.
+
+All expose ``candidate_stream(query)`` (arrays of item ids, best bucket
+first) and ``search(query, k, n_candidates)``.  Evaluation supports the
+metrics in :mod:`repro.index.distance` (the paper's Section 4 notes the
+angular adaptation); the Theorem 2 bound is Euclidean-only.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from collections.abc import Iterator
+
+import numpy as np
+
+from repro.core.gqr import GQR
+from repro.core.quantization_distance import theorem2_mu
+from repro.hashing.base import BinaryHasher, ProjectionHasher
+from repro.index.distance import METRICS, pairwise_distances
+from repro.index.hash_table import HashTable
+from repro.index.mih import MultiIndexHashing
+from repro.probing.base import BucketProber
+from repro.quantization.imi import InvertedMultiIndex
+from repro.search.results import SearchResult
+
+__all__ = [
+    "HashIndex",
+    "MIHSearchIndex",
+    "IMISearchIndex",
+    "evaluate_candidates",
+]
+
+
+def evaluate_candidates(
+    query: np.ndarray,
+    data: np.ndarray,
+    candidate_ids: np.ndarray,
+    k: int,
+    metric: str = "euclidean",
+) -> tuple[np.ndarray, np.ndarray]:
+    """Exact re-rank of candidates; returns top-``k`` ``(ids, distances)``.
+
+    The evaluation step shared by every querying method: compute true
+    distances to the retrieved items under ``metric`` and keep the k
+    best (ties broken by id).
+    """
+    if not len(candidate_ids):
+        empty = np.empty(0, dtype=np.int64)
+        return empty, np.empty(0, dtype=np.float64)
+    dists = pairwise_distances(
+        query[np.newaxis, :], data[candidate_ids], metric
+    )[0]
+    keep = min(k, len(candidate_ids))
+    if keep < len(candidate_ids):
+        part = np.argpartition(dists, keep - 1)[:keep]
+    else:
+        part = np.arange(len(candidate_ids))
+    order = np.lexsort((candidate_ids[part], dists[part]))
+    chosen = part[order]
+    return candidate_ids[chosen], dists[chosen]
+
+
+def _collect(stream: Iterator[np.ndarray], n_candidates: int):
+    """Drain a candidate stream to at least ``n_candidates`` ids."""
+    found: list[np.ndarray] = []
+    total = 0
+    batches = 0
+    for ids in stream:
+        batches += 1
+        found.append(ids)
+        total += len(ids)
+        if total >= n_candidates:
+            break
+    candidates = np.concatenate(found) if found else np.empty(0, dtype=np.int64)
+    return candidates, total, batches
+
+
+class HashIndex:
+    """L2H index: one or more hash tables plus a querying method.
+
+    Parameters
+    ----------
+    hasher:
+        A fitted or unfitted :class:`BinaryHasher`; unfitted hashers are
+        fit on ``data``.  For multiple tables pass a *list* of hashers
+        (e.g. ITQ instances with different seeds), one per table.
+    data:
+        ``(n, d)`` indexed items; retained for exact evaluation.
+    prober:
+        The querying method; defaults to :class:`~repro.core.gqr.GQR`.
+    metric:
+        Evaluation metric — a key of :data:`repro.index.distance.METRICS`.
+    multi_table_strategy:
+        How to interleave probe orders across tables: ``"round_robin"``
+        (one bucket from each table in turn, the paper's scheme) or
+        ``"qd_merge"`` (a heap-merge of the tables' scored streams into
+        one globally ascending-QD order; requires a prober with
+        ``probe_scored``, i.e. GQR).
+    """
+
+    def __init__(
+        self,
+        hasher: BinaryHasher | list[BinaryHasher],
+        data: np.ndarray,
+        prober: BucketProber | None = None,
+        metric: str = "euclidean",
+        multi_table_strategy: str = "round_robin",
+    ) -> None:
+        self._data = np.asarray(data, dtype=np.float64)
+        if self._data.ndim != 2:
+            raise ValueError("data must be a (n, d) array")
+        if metric not in METRICS:
+            raise KeyError(
+                f"unknown metric {metric!r}; options: {sorted(METRICS)}"
+            )
+        if multi_table_strategy not in ("round_robin", "qd_merge"):
+            raise ValueError(
+                "multi_table_strategy must be 'round_robin' or 'qd_merge'"
+            )
+        hashers = list(hasher) if isinstance(hasher, (list, tuple)) else [hasher]
+        if not hashers:
+            raise ValueError("need at least one hasher")
+        lengths = {h.code_length for h in hashers}
+        if len(lengths) != 1:
+            raise ValueError("all hashers must share one code length")
+        for h in hashers:
+            if not h.is_fitted:
+                h.fit(self._data)
+        self._hashers = hashers
+        self._tables = [HashTable(h.encode(self._data)) for h in hashers]
+        self._prober = prober if prober is not None else GQR()
+        self._metric = metric
+        self._multi_table_strategy = multi_table_strategy
+
+    @property
+    def data(self) -> np.ndarray:
+        return self._data
+
+    @property
+    def num_items(self) -> int:
+        return len(self._data)
+
+    @property
+    def num_tables(self) -> int:
+        return len(self._tables)
+
+    @property
+    def code_length(self) -> int:
+        return self._hashers[0].code_length
+
+    @property
+    def metric(self) -> str:
+        return self._metric
+
+    @property
+    def tables(self) -> list[HashTable]:
+        return list(self._tables)
+
+    @property
+    def prober(self) -> BucketProber:
+        return self._prober
+
+    @prober.setter
+    def prober(self, prober: BucketProber) -> None:
+        self._prober = prober
+
+    def memory_footprint(self) -> dict[str, int]:
+        """Approximate bytes held by each component.
+
+        ``tables`` is the part that scales with the number of hash
+        tables — the cost axis of the paper's Figure 12 comparison
+        (single-table GQR vs multi-table GHR).
+        """
+        return {
+            "data": int(self._data.nbytes),
+            "tables": int(sum(t.memory_bytes() for t in self._tables)),
+            "num_tables": len(self._tables),
+        }
+
+    # -- retrieval ----------------------------------------------------
+
+    def candidate_stream(self, query: np.ndarray) -> Iterator[np.ndarray]:
+        """Arrays of item ids, one per probed non-empty bucket.
+
+        With multiple tables, probing either round-robins across the
+        tables' probe orders (the paper's multi-hash-table strategy,
+        Section 6.3.5) or heap-merges the scored streams into one
+        globally ascending-QD order; duplicates across tables are
+        suppressed either way.
+        """
+        query = np.asarray(query, dtype=np.float64)
+        if len(self._tables) == 1:
+            signature, costs = self._hashers[0].probe_info(query)
+            table = self._tables[0]
+            for bucket in self._prober.probe(table, signature, costs):
+                ids = table.get(bucket)
+                if len(ids):
+                    yield ids
+            return
+        if self._multi_table_strategy == "qd_merge":
+            yield from self._qd_merged_stream(query)
+        else:
+            yield from self._round_robin_stream(query)
+
+    def _round_robin_stream(self, query: np.ndarray) -> Iterator[np.ndarray]:
+        streams = []
+        for hasher, table in zip(self._hashers, self._tables):
+            signature, costs = hasher.probe_info(query)
+            streams.append(self._prober.probe(table, signature, costs))
+        seen = np.zeros(self.num_items, dtype=bool)
+        active = list(zip(streams, self._tables))
+        while active:
+            still_active = []
+            for stream, table in active:
+                bucket = next(stream, None)
+                if bucket is None:
+                    continue
+                still_active.append((stream, table))
+                ids = table.get(bucket)
+                if len(ids):
+                    fresh = ids[~seen[ids]]
+                    if len(fresh):
+                        seen[fresh] = True
+                        yield fresh
+            active = still_active
+
+    def _qd_merged_stream(self, query: np.ndarray) -> Iterator[np.ndarray]:
+        """Global ascending-QD merge of all tables' scored probe streams.
+
+        A bucket with small quantization distance is a good bucket in
+        *any* table, so merging by score probes the globally best bucket
+        next instead of strictly alternating tables.
+        """
+        if not hasattr(self._prober, "probe_scored"):
+            raise TypeError(
+                "qd_merge needs a prober with probe_scored (e.g. GQR)"
+            )
+        streams = []
+        for hasher, table in zip(self._hashers, self._tables):
+            signature, costs = hasher.probe_info(query)
+            streams.append(
+                iter(self._prober.probe_scored(table, signature, costs))
+            )
+        heap: list[tuple[float, int, int]] = []  # (qd, table_idx, bucket)
+        for idx, stream in enumerate(streams):
+            first = next(stream, None)
+            if first is not None:
+                bucket, qd = first
+                heap.append((qd, idx, bucket))
+        heapq.heapify(heap)
+        seen = np.zeros(self.num_items, dtype=bool)
+        while heap:
+            _, idx, bucket = heapq.heappop(heap)
+            ids = self._tables[idx].get(bucket)
+            if len(ids):
+                fresh = ids[~seen[ids]]
+                if len(fresh):
+                    seen[fresh] = True
+                    yield fresh
+            upcoming = next(streams[idx], None)
+            if upcoming is not None:
+                next_bucket, qd = upcoming
+                heapq.heappush(heap, (qd, idx, next_bucket))
+
+    # -- evaluation ---------------------------------------------------
+
+    def search(
+        self,
+        query: np.ndarray,
+        k: int,
+        n_candidates: int | None = None,
+        max_buckets: int | None = None,
+        time_budget: float | None = None,
+    ) -> SearchResult:
+        """Approximate kNN with the paper's pluggable stopping criteria.
+
+        Retrieval stops at whichever bound is hit first (Algorithm 1's
+        remark that "other stopping criteria can also be used"):
+
+        * ``n_candidates`` — collect at least this many candidate ids;
+        * ``max_buckets`` — probe at most this many non-empty buckets;
+        * ``time_budget`` — stop retrieving after this many seconds.
+
+        At least one criterion must be given.  Collected candidates are
+        exactly re-ranked and the top-``k`` returned.
+        """
+        if n_candidates is None and max_buckets is None and time_budget is None:
+            raise ValueError(
+                "give at least one stopping criterion: n_candidates, "
+                "max_buckets or time_budget"
+            )
+        query = np.asarray(query, dtype=np.float64)
+        deadline = (
+            None if time_budget is None else time.perf_counter() + time_budget
+        )
+        found: list[np.ndarray] = []
+        total = 0
+        buckets = 0
+        for ids in self.candidate_stream(query):
+            buckets += 1
+            found.append(ids)
+            total += len(ids)
+            if n_candidates is not None and total >= n_candidates:
+                break
+            if max_buckets is not None and buckets >= max_buckets:
+                break
+            if deadline is not None and time.perf_counter() >= deadline:
+                break
+        candidates = (
+            np.concatenate(found) if found else np.empty(0, dtype=np.int64)
+        )
+        ids, dists = evaluate_candidates(
+            query, self._data, candidates, k, self._metric
+        )
+        return SearchResult(ids, dists, total, buckets)
+
+    def search_batch(
+        self, queries: np.ndarray, k: int, n_candidates: int
+    ) -> list[SearchResult]:
+        """``search`` over a query batch.
+
+        Single-table indexes amortise the projection step: all queries'
+        codes and flip costs come from one matmul
+        (:meth:`BinaryHasher.probe_info_batch`); results are identical
+        to mapping :meth:`search` over the rows.
+        """
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        if len(self._tables) != 1:
+            return [self.search(q, k, n_candidates) for q in queries]
+        table = self._tables[0]
+        infos = self._hashers[0].probe_info_batch(queries)
+        results = []
+        for query, (signature, costs) in zip(queries, infos):
+            found: list[np.ndarray] = []
+            total = 0
+            buckets = 0
+            for bucket in self._prober.probe(table, signature, costs):
+                ids = table.get(bucket)
+                if not len(ids):
+                    continue
+                buckets += 1
+                found.append(ids)
+                total += len(ids)
+                if total >= n_candidates:
+                    break
+            candidates = (
+                np.concatenate(found) if found
+                else np.empty(0, dtype=np.int64)
+            )
+            ids, dists = evaluate_candidates(
+                query, self._data, candidates, k, self._metric
+            )
+            results.append(SearchResult(ids, dists, total, buckets))
+        return results
+
+    def search_early_stop(
+        self, query: np.ndarray, k: int, max_candidates: int | None = None
+    ) -> SearchResult:
+        """Exact-pruning search with the Theorem 2 bound (single table).
+
+        Probes buckets in ascending QD and stops once the bound
+        ``µ·dist(q, b)`` of the next bucket exceeds the current k-th
+        nearest distance — at that point no unprobed bucket can contain
+        a closer item, so the returned neighbours are exact.
+
+        Requires a GQR prober, a hasher with a linear hashing matrix
+        (the bound needs ``M = σ_max(H)``), and the Euclidean metric.
+        """
+        prober, hasher, mu = self._early_stop_setup()
+        query = np.asarray(query, dtype=np.float64)
+        signature, costs = hasher.probe_info(query)
+        table = self._tables[0]
+        if max_candidates is None:
+            max_candidates = self.num_items
+
+        total = 0
+        buckets = 0
+        kth_distance = np.inf
+        best: list[tuple[float, int]] = []
+        for bucket, qd in prober.probe_scored(table, signature, costs):
+            if mu * qd > kth_distance:
+                break
+            ids = table.get(bucket)
+            buckets += 1
+            if not len(ids):
+                continue
+            total += len(ids)
+            dists = pairwise_distances(
+                query[np.newaxis, :], self._data[ids], "euclidean"
+            )[0]
+            for item_id, dist in zip(ids, dists):
+                best.append((float(dist), int(item_id)))
+            best.sort()
+            del best[k:]
+            if len(best) == k:
+                kth_distance = best[-1][0]
+            if total >= max_candidates:
+                break
+
+        ids = np.asarray([item for _, item in best], dtype=np.int64)
+        dists = np.asarray([dist for dist, _ in best], dtype=np.float64)
+        return SearchResult(
+            ids, dists, total, buckets, extras={"stopped_early": bool(best)}
+        )
+
+    def search_range(self, query: np.ndarray, radius: float) -> SearchResult:
+        """All items within ``radius`` of the query — *exactly*.
+
+        Section 4.1's early-stop criterion for distance-threshold
+        queries: probing stops once every unprobed bucket satisfies
+        ``µ·dist(q, b) > radius``; by Theorem 2 none of their items can
+        lie within the radius.  Same preconditions as
+        :meth:`search_early_stop`.
+        """
+        if radius < 0:
+            raise ValueError("radius must be non-negative")
+        prober, hasher, mu = self._early_stop_setup()
+        query = np.asarray(query, dtype=np.float64)
+        signature, costs = hasher.probe_info(query)
+        table = self._tables[0]
+
+        hits: list[tuple[float, int]] = []
+        total = 0
+        buckets = 0
+        for bucket, qd in prober.probe_scored(table, signature, costs):
+            if mu * qd > radius:
+                break
+            ids = table.get(bucket)
+            buckets += 1
+            if not len(ids):
+                continue
+            total += len(ids)
+            dists = pairwise_distances(
+                query[np.newaxis, :], self._data[ids], "euclidean"
+            )[0]
+            hits.extend(
+                (float(d), int(i)) for i, d in zip(ids, dists) if d <= radius
+            )
+        hits.sort()
+        ids = np.asarray([item for _, item in hits], dtype=np.int64)
+        dists = np.asarray([dist for dist, _ in hits], dtype=np.float64)
+        return SearchResult(ids, dists, total, buckets)
+
+    def _early_stop_setup(self):
+        """Shared preconditions of the Theorem 2 search modes."""
+        if len(self._tables) != 1:
+            raise ValueError("early stop is defined for a single table")
+        if self._metric != "euclidean":
+            raise ValueError("the Theorem 2 bound is Euclidean-only")
+        hasher = self._hashers[0]
+        if not isinstance(hasher, ProjectionHasher):
+            raise TypeError("early stop needs a hasher with a hashing matrix")
+        if not isinstance(self._prober, GQR):
+            raise TypeError("early stop needs a GQR prober")
+        return self._prober, hasher, theorem2_mu(hasher.hashing_matrix)
+
+
+class MIHSearchIndex:
+    """Multi-Index Hashing as a querying method over L2H codes."""
+
+    def __init__(
+        self,
+        hasher: BinaryHasher,
+        data: np.ndarray,
+        num_blocks: int = 2,
+        metric: str = "euclidean",
+    ) -> None:
+        self._data = np.asarray(data, dtype=np.float64)
+        if not hasher.is_fitted:
+            hasher.fit(self._data)
+        self._hasher = hasher
+        self._mih = MultiIndexHashing(hasher.encode(self._data), num_blocks)
+        self._metric = metric
+
+    @property
+    def num_items(self) -> int:
+        return len(self._data)
+
+    def candidate_stream(self, query: np.ndarray) -> Iterator[np.ndarray]:
+        query = np.asarray(query, dtype=np.float64)
+        signature, _ = self._hasher.probe_info(query)
+        for _, ids in self._mih.probe_increasing(signature):
+            if len(ids):
+                yield ids
+
+    def search(self, query: np.ndarray, k: int, n_candidates: int) -> SearchResult:
+        query = np.asarray(query, dtype=np.float64)
+        candidates, total, rings = _collect(
+            self.candidate_stream(query), n_candidates
+        )
+        ids, dists = evaluate_candidates(
+            query, self._data, candidates, k, self._metric
+        )
+        return SearchResult(ids, dists, total, rings)
+
+
+class IMISearchIndex:
+    """OPQ/PQ + inverted multi-index (the VQ comparator of Section 6.5).
+
+    Parameters
+    ----------
+    quantizer:
+        A fitted 2-subspace (O)PQ defining the IMI grid.
+    data:
+        The ``(n, d)`` indexed items.
+    rerank_quantizer:
+        Optional *fine* :class:`~repro.quantization.pq.ProductQuantizer`
+        (typically many subspaces).  When given, candidates are scored
+        with asymmetric distance computation (ADC) over their compressed
+        codes instead of raw vectors — the memory-saving mode real VQ
+        systems run in; results become approximate.
+    """
+
+    def __init__(
+        self,
+        quantizer,
+        data: np.ndarray,
+        metric: str = "euclidean",
+        rerank_quantizer=None,
+    ) -> None:
+        self._data = np.asarray(data, dtype=np.float64)
+        self._imi = InvertedMultiIndex(quantizer, self._data)
+        self._metric = metric
+        self._fine = rerank_quantizer
+        if rerank_quantizer is not None:
+            if not rerank_quantizer.codebooks:
+                rerank_quantizer.fit(self._data)
+            self._fine_codes = rerank_quantizer.encode(self._data)
+
+    @property
+    def num_items(self) -> int:
+        return len(self._data)
+
+    def candidate_stream(self, query: np.ndarray) -> Iterator[np.ndarray]:
+        yield from self._imi.probe(np.asarray(query, dtype=np.float64))
+
+    def _adc_rerank(
+        self, query: np.ndarray, candidates: np.ndarray, k: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        tables = self._fine.distance_tables(query)
+        codes = self._fine_codes[candidates]
+        approx = np.zeros(len(candidates), dtype=np.float64)
+        for subspace, table in enumerate(tables):
+            approx += table[codes[:, subspace]]
+        keep = min(k, len(candidates))
+        part = (
+            np.argpartition(approx, keep - 1)[:keep]
+            if keep < len(candidates)
+            else np.arange(len(candidates))
+        )
+        order = np.lexsort((candidates[part], approx[part]))
+        chosen = part[order]
+        return candidates[chosen], np.sqrt(np.maximum(approx[chosen], 0.0))
+
+    def search(self, query: np.ndarray, k: int, n_candidates: int) -> SearchResult:
+        query = np.asarray(query, dtype=np.float64)
+        candidates, total, cells = _collect(
+            self.candidate_stream(query), n_candidates
+        )
+        if self._fine is not None and len(candidates):
+            ids, dists = self._adc_rerank(query, candidates, k)
+        else:
+            ids, dists = evaluate_candidates(
+                query, self._data, candidates, k, self._metric
+            )
+        return SearchResult(ids, dists, total, cells)

@@ -1,0 +1,68 @@
+"""Generic search wrapper over any candidate-stream index.
+
+QALSH and C2LSH (related-work LSH baselines) produce candidate-id
+streams rather than bucket signatures; this wrapper attaches the shared
+evaluation step (exact re-rank under a metric) so they plug into the
+same harness as every other method.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+from repro.index.distance import METRICS
+from repro.search.results import SearchResult
+from repro.search.searcher import evaluate_candidates
+
+__all__ = ["StreamSearchIndex"]
+
+
+class StreamSearchIndex:
+    """Exact re-ranking over a ``candidate_stream(query)`` provider.
+
+    Parameters
+    ----------
+    stream_index:
+        Object with ``candidate_stream(query) -> Iterator[np.ndarray]``
+        and ``num_items`` (e.g. :class:`~repro.index.qalsh.QALSH` or
+        :class:`~repro.index.c2lsh.C2LSH`).
+    data:
+        The ``(n, d)`` raw vectors for evaluation.
+    """
+
+    def __init__(self, stream_index, data: np.ndarray, metric: str = "euclidean") -> None:
+        self._inner = stream_index
+        self._data = np.asarray(data, dtype=np.float64)
+        if metric not in METRICS:
+            raise KeyError(
+                f"unknown metric {metric!r}; options: {sorted(METRICS)}"
+            )
+        self._metric = metric
+
+    @property
+    def num_items(self) -> int:
+        return self._inner.num_items
+
+    def candidate_stream(self, query: np.ndarray) -> Iterator[np.ndarray]:
+        yield from self._inner.candidate_stream(query)
+
+    def search(self, query: np.ndarray, k: int, n_candidates: int) -> SearchResult:
+        query = np.asarray(query, dtype=np.float64)
+        found: list[np.ndarray] = []
+        total = 0
+        batches = 0
+        for ids in self.candidate_stream(query):
+            batches += 1
+            found.append(ids)
+            total += len(ids)
+            if total >= n_candidates:
+                break
+        candidates = (
+            np.concatenate(found) if found else np.empty(0, dtype=np.int64)
+        )
+        ids, dists = evaluate_candidates(
+            query, self._data, candidates, k, self._metric
+        )
+        return SearchResult(ids, dists, total, batches)

@@ -1,0 +1,12 @@
+"""Tree-based (k-d / k-means) search — the paper's related-work family.
+
+Exact k-d trees illustrate the curse of dimensionality that motivates
+hashing; the randomized k-d forest and hierarchical k-means tree are
+the FLANN-style approximate comparators of Section 7.
+"""
+
+from repro.trees.kdtree import KDTree
+from repro.trees.kmeans_tree import KMeansTree
+from repro.trees.randomized_forest import RandomizedKDForest
+
+__all__ = ["KDTree", "KMeansTree", "RandomizedKDForest"]

@@ -1,0 +1,146 @@
+"""Hierarchical k-means tree with priority-queue search.
+
+Muja & Lowe's second FLANN index (the "k-means tree") from the paper's
+related work: the data is recursively partitioned by k-means into
+``branching`` clusters per node; search descends to the closest child
+at each level while pushing the siblings onto a priority queue keyed by
+their centre distance, then keeps expanding the best unexplored branch
+until the leaf budget is spent.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.quantization.kmeans import KMeans
+
+__all__ = ["KMeansTree"]
+
+
+@dataclass
+class _Node:
+    centers: np.ndarray | None = None
+    children: list["_Node"] = field(default_factory=list)
+    ids: np.ndarray = field(default_factory=lambda: np.empty(0, np.int64))
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+
+class KMeansTree:
+    """Hierarchical k-means tree (FLANN's second index type).
+
+    Parameters
+    ----------
+    data:
+        ``(n, d)`` points to index.
+    branching:
+        Clusters per internal node (FLANN default 32; smaller values
+        make deeper trees).
+    leaf_size:
+        Points per leaf before recursion stops.
+    kmeans_iterations, seed:
+        Passed to the per-node k-means.
+    """
+
+    def __init__(
+        self,
+        data: np.ndarray,
+        branching: int = 8,
+        leaf_size: int = 32,
+        kmeans_iterations: int = 10,
+        seed: int | None = None,
+    ) -> None:
+        self._data = np.asarray(data, dtype=np.float64)
+        if self._data.ndim != 2:
+            raise ValueError("data must be a (n, d) array")
+        if branching < 2:
+            raise ValueError("branching must be at least 2")
+        if leaf_size < 1:
+            raise ValueError("leaf_size must be positive")
+        self._branching = branching
+        self._leaf_size = leaf_size
+        self._kmeans_iterations = kmeans_iterations
+        self._seed = seed
+        self._counter = 0
+        self._root = self._build(np.arange(len(self._data), dtype=np.int64))
+
+    def _build(self, ids: np.ndarray) -> _Node:
+        if len(ids) <= max(self._leaf_size, self._branching):
+            return _Node(ids=ids)
+        points = self._data[ids]
+        if (points.max(axis=0) == points.min(axis=0)).all():
+            return _Node(ids=ids)  # identical points: nothing to split
+        self._counter += 1
+        seed = None if self._seed is None else self._seed + self._counter
+        km = KMeans(
+            self._branching, self._kmeans_iterations, seed=seed
+        ).fit(points)
+        labels = km.predict(points)
+        partitions = [
+            (ids[labels == cluster], km.centers[cluster])
+            for cluster in range(self._branching)
+        ]
+        partitions = [(part, center) for part, center in partitions if len(part)]
+        # Progress guard: every child must be strictly smaller, else the
+        # recursion would never terminate (e.g. near-identical points).
+        if len(partitions) <= 1 or any(
+            len(part) == len(ids) for part, _ in partitions
+        ):
+            return _Node(ids=ids)
+        children = [self._build(part) for part, _ in partitions]
+        centers = np.asarray([center for _, center in partitions])
+        return _Node(centers=centers, children=children)
+
+    @property
+    def num_items(self) -> int:
+        return len(self._data)
+
+    def query(
+        self, query: np.ndarray, k: int, max_leaves: int = 16
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Approximate kNN expanding at most ``max_leaves`` leaves."""
+        query = np.asarray(query, dtype=np.float64)
+        if not 1 <= k <= len(self._data):
+            raise ValueError(f"k must be in [1, {len(self._data)}]")
+        heap: list[tuple[float, int, _Node]] = []
+        counter = 0
+        seen_ids: list[np.ndarray] = []
+        leaves = 0
+
+        def descend(node: _Node) -> None:
+            nonlocal counter
+            while not node.is_leaf:
+                dists = np.linalg.norm(node.centers - query, axis=1)
+                nearest = int(dists.argmin())
+                for child_idx, child in enumerate(node.children):
+                    if child_idx != nearest:
+                        counter += 1
+                        heapq.heappush(
+                            heap, (float(dists[child_idx]), counter, child)
+                        )
+                node = node.children[nearest]
+            seen_ids.append(node.ids)
+
+        descend(self._root)
+        leaves += 1
+        while heap and leaves < max_leaves:
+            _, _, node = heapq.heappop(heap)
+            descend(node)
+            leaves += 1
+
+        candidates = np.unique(np.concatenate(seen_ids))
+        dists = np.linalg.norm(self._data[candidates] - query, axis=1)
+        keep = min(k, len(candidates))
+        part = (
+            np.argpartition(dists, keep - 1)[:keep]
+            if keep < len(candidates)
+            else np.arange(len(candidates))
+        )
+        order = np.lexsort((candidates[part], dists[part]))
+        chosen = part[order]
+        return candidates[chosen], dists[chosen]

@@ -1,0 +1,159 @@
+"""Randomized k-d forest with best-bin-first search (FLANN-style).
+
+Muja & Lowe (VISAPP 2009 / TPAMI 2014), the tree-based *approximate*
+method of the paper's related work: multiple k-d trees, each splitting
+on a random choice among the top-variance dimensions, searched jointly
+with a shared priority queue of unexplored branches ordered by their
+distance to the query ("best-bin-first").  The search examines a fixed
+budget of leaves across all trees and returns the best points seen.
+
+This is the ANN comparator the paper says has "low preprocessing and
+querying efficiency … as the tree is time-consuming to manipulate";
+`benchmarks/bench_trees_vs_gqr.py` measures it against GQR.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["RandomizedKDForest"]
+
+
+@dataclass
+class _Node:
+    split_dim: int = -1
+    split_value: float = 0.0
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+    ids: np.ndarray = field(default_factory=lambda: np.empty(0, np.int64))
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.split_dim < 0
+
+
+class RandomizedKDForest:
+    """Forest of randomized k-d trees searched best-bin-first.
+
+    Parameters
+    ----------
+    data:
+        ``(n, d)`` points to index.
+    n_trees:
+        Number of randomized trees (FLANN uses 4-32).
+    leaf_size:
+        Points per leaf.
+    top_dims:
+        Each split picks uniformly among this many highest-variance
+        dimensions of the node's points (FLANN's D=5 heuristic).
+    seed:
+        RNG seed for split choices.
+    """
+
+    def __init__(
+        self,
+        data: np.ndarray,
+        n_trees: int = 4,
+        leaf_size: int = 16,
+        top_dims: int = 5,
+        seed: int | None = None,
+    ) -> None:
+        self._data = np.asarray(data, dtype=np.float64)
+        if self._data.ndim != 2:
+            raise ValueError("data must be a (n, d) array")
+        if n_trees < 1 or leaf_size < 1 or top_dims < 1:
+            raise ValueError("n_trees, leaf_size and top_dims must be positive")
+        self._leaf_size = leaf_size
+        self._top_dims = top_dims
+        rng = np.random.default_rng(seed)
+        ids = np.arange(len(self._data), dtype=np.int64)
+        self._roots = [self._build(ids, rng) for _ in range(n_trees)]
+
+    def _build(self, ids: np.ndarray, rng: np.random.Generator) -> _Node:
+        if len(ids) <= self._leaf_size:
+            return _Node(ids=ids)
+        points = self._data[ids]
+        variances = points.var(axis=0)
+        if variances.max() == 0:
+            return _Node(ids=ids)
+        candidates = np.argsort(variances)[::-1][: self._top_dims]
+        candidates = candidates[variances[candidates] > 0]
+        dim = int(rng.choice(candidates))
+        split_value = float(np.median(points[:, dim]))
+        mask = points[:, dim] < split_value
+        # Guard against degenerate medians (many equal coordinates).
+        if not mask.any() or mask.all():
+            order = np.argsort(points[:, dim], kind="stable")
+            middle = len(ids) // 2
+            left_ids, right_ids = ids[order[:middle]], ids[order[middle:]]
+            split_value = float(points[order[middle], dim])
+        else:
+            left_ids, right_ids = ids[mask], ids[~mask]
+        return _Node(
+            split_dim=dim,
+            split_value=split_value,
+            left=self._build(left_ids, rng),
+            right=self._build(right_ids, rng),
+        )
+
+    @property
+    def num_items(self) -> int:
+        return len(self._data)
+
+    @property
+    def n_trees(self) -> int:
+        return len(self._roots)
+
+    def query(
+        self, query: np.ndarray, k: int, max_leaves: int = 32
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Approximate kNN examining at most ``max_leaves`` leaves.
+
+        All trees share one priority queue keyed by the accumulated
+        boundary distance of the path (best-bin-first); duplicates
+        across trees are deduplicated before the final ranking.
+        """
+        query = np.asarray(query, dtype=np.float64)
+        if not 1 <= k <= len(self._data):
+            raise ValueError(f"k must be in [1, {len(self._data)}]")
+        # Heap of (bound, counter, node); counter breaks ties.
+        heap: list[tuple[float, int, _Node]] = []
+        counter = 0
+        seen_ids: list[np.ndarray] = []
+
+        def descend(node: _Node, bound: float) -> None:
+            nonlocal counter
+            while not node.is_leaf:
+                gap = query[node.split_dim] - node.split_value
+                near, far = (
+                    (node.left, node.right)
+                    if gap < 0
+                    else (node.right, node.left)
+                )
+                counter += 1
+                heapq.heappush(heap, (bound + gap * gap, counter, far))
+                node = near
+            seen_ids.append(node.ids)
+
+        for root in self._roots:
+            descend(root, 0.0)
+        leaves = len(self._roots)
+        while heap and leaves < max_leaves:
+            bound, _, node = heapq.heappop(heap)
+            descend(node, bound)
+            leaves += 1
+
+        candidates = np.unique(np.concatenate(seen_ids))
+        dists = np.linalg.norm(self._data[candidates] - query, axis=1)
+        keep = min(k, len(candidates))
+        part = (
+            np.argpartition(dists, keep - 1)[:keep]
+            if keep < len(candidates)
+            else np.arange(len(candidates))
+        )
+        order = np.lexsort((candidates[part], dists[part]))
+        chosen = part[order]
+        return candidates[chosen], dists[chosen]

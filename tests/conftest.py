@@ -1,0 +1,35 @@
+"""Shared fixtures: small synthetic datasets and fitted hashers.
+
+Data sizes are deliberately small — the unit suite exercises logic and
+invariants, not throughput (benchmarks own the timing claims).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import gaussian_mixture, sample_queries
+from repro.hashing import ITQ
+from repro.index import HashTable
+
+
+@pytest.fixture(scope="session")
+def small_data() -> np.ndarray:
+    """Clustered dataset: 1200 points in 24 dims."""
+    return gaussian_mixture(1200, 24, n_clusters=10, seed=42)
+
+
+@pytest.fixture(scope="session")
+def small_queries(small_data) -> np.ndarray:
+    return sample_queries(small_data, 20, seed=7)
+
+
+@pytest.fixture(scope="session")
+def fitted_itq(small_data) -> ITQ:
+    return ITQ(code_length=8, seed=0).fit(small_data)
+
+
+@pytest.fixture(scope="session")
+def small_table(fitted_itq, small_data) -> HashTable:
+    return HashTable(fitted_itq.encode(small_data))

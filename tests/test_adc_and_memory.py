@@ -1,0 +1,78 @@
+"""Tests for IMI's ADC re-ranking mode and index memory accounting."""
+
+import numpy as np
+import pytest
+
+from repro.data import gaussian_mixture
+from repro.hashing import ITQ
+from repro.index.linear_scan import knn_linear_scan
+from repro.quantization.opq import OptimizedProductQuantizer
+from repro.quantization.pq import ProductQuantizer
+from repro.search.searcher import HashIndex, IMISearchIndex
+
+
+@pytest.fixture(scope="module")
+def data():
+    return gaussian_mixture(800, 16, n_clusters=8, seed=31)
+
+
+@pytest.fixture(scope="module")
+def coarse(data):
+    return OptimizedProductQuantizer(
+        2, n_centroids=8, n_iterations=2, seed=0
+    ).fit(data)
+
+
+class TestADCRerank:
+    def test_adc_close_to_exact(self, data, coarse):
+        """A fine PQ should place most true neighbours in the ADC top-k."""
+        fine = ProductQuantizer(n_subspaces=8, n_centroids=128, seed=0)
+        adc_index = IMISearchIndex(coarse, data, rerank_quantizer=fine)
+        exact_index = IMISearchIndex(coarse, data)
+        hits = 0
+        for qi in range(10):
+            a = adc_index.search(data[qi], k=10, n_candidates=200)
+            b = exact_index.search(data[qi], k=10, n_candidates=200)
+            hits += len(np.intersect1d(a.ids, b.ids))
+        assert hits / 100 > 0.7
+
+    def test_adc_distance_is_reconstruction_distance(self, data, coarse):
+        fine = ProductQuantizer(n_subspaces=8, n_centroids=32, seed=0)
+        index = IMISearchIndex(coarse, data, rerank_quantizer=fine)
+        query = data[0]
+        result = index.search(query, k=5, n_candidates=100)
+        decoded = fine.decode(fine.encode(data[result.ids]))
+        expected = np.linalg.norm(decoded - query, axis=1)
+        assert np.allclose(result.distances, expected, atol=1e-9)
+
+    def test_unfitted_fine_quantizer_fitted_lazily(self, data, coarse):
+        fine = ProductQuantizer(n_subspaces=4, n_centroids=16, seed=0)
+        assert not fine.codebooks
+        IMISearchIndex(coarse, data, rerank_quantizer=fine)
+        assert fine.codebooks
+
+    def test_exact_mode_unchanged_without_fine(self, data, coarse):
+        index = IMISearchIndex(coarse, data)
+        query = data[9]
+        result = index.search(query, k=10, n_candidates=len(data))
+        truth, _ = knn_linear_scan(query[None, :], data, 10)
+        assert np.array_equal(np.sort(result.ids), np.sort(truth[0]))
+
+
+class TestMemoryFootprint:
+    def test_tables_scale_with_count(self, data):
+        single = HashIndex(ITQ(code_length=6, seed=0), data)
+        triple = HashIndex(
+            [ITQ(code_length=6, seed=s) for s in range(3)], data
+        )
+        mem_single = single.memory_footprint()
+        mem_triple = triple.memory_footprint()
+        assert mem_triple["tables"] > 2 * mem_single["tables"]
+        assert mem_triple["data"] == mem_single["data"]
+        assert mem_triple["num_tables"] == 3
+
+    def test_table_bytes_positive_and_bounded(self, data):
+        index = HashIndex(ITQ(code_length=6, seed=0), data)
+        table_bytes = index.tables[0].memory_bytes()
+        assert table_bytes > len(data) * 8  # at least the id arrays
+        assert table_bytes < len(data) * 8 + 70_000  # bounded overhead

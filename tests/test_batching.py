@@ -1,0 +1,65 @@
+"""Tests for batched probe info and batched search."""
+
+import numpy as np
+import pytest
+
+from repro.core.gqr import GQR
+from repro.data import gaussian_mixture
+from repro.hashing import ITQ, KMeansHashing, SpectralHashing
+from repro.search.searcher import HashIndex
+
+
+@pytest.fixture(scope="module")
+def data():
+    return gaussian_mixture(1000, 16, n_clusters=8, seed=81)
+
+
+class TestProbeInfoBatch:
+    @pytest.mark.parametrize(
+        "hasher_factory",
+        [
+            lambda: ITQ(code_length=8, seed=0),
+            lambda: SpectralHashing(code_length=8),
+            lambda: KMeansHashing(code_length=8, bits_per_subspace=4, seed=0),
+        ],
+        ids=["itq", "sh", "kmh"],
+    )
+    def test_matches_single_calls(self, data, hasher_factory):
+        hasher = hasher_factory().fit(data)
+        queries = data[:8]
+        batch = hasher.probe_info_batch(queries)
+        for query, (signature, costs) in zip(queries, batch):
+            single_sig, single_costs = hasher.probe_info(query)
+            assert signature == single_sig
+            assert np.allclose(costs, single_costs)
+
+    def test_single_row_input(self, data):
+        hasher = ITQ(code_length=8, seed=0).fit(data)
+        batch = hasher.probe_info_batch(data[0])
+        assert len(batch) == 1
+
+    def test_requires_fit(self, data):
+        with pytest.raises(RuntimeError):
+            ITQ(code_length=8).probe_info_batch(data[:2])
+
+
+class TestSearchBatchFastPath:
+    def test_matches_per_query_search(self, data):
+        index = HashIndex(ITQ(code_length=8, seed=0), data, prober=GQR())
+        queries = data[:6]
+        batch = index.search_batch(queries, k=5, n_candidates=150)
+        for query, result in zip(queries, batch):
+            single = index.search(query, k=5, n_candidates=150)
+            assert np.array_equal(result.ids, single.ids)
+            assert np.allclose(result.distances, single.distances)
+            assert result.n_candidates == single.n_candidates
+
+    def test_multi_table_fallback(self, data):
+        index = HashIndex(
+            [ITQ(code_length=8, seed=s) for s in (0, 1)], data, prober=GQR()
+        )
+        batch = index.search_batch(data[:3], k=5, n_candidates=100)
+        assert len(batch) == 3
+        for query, result in zip(data[:3], batch):
+            single = index.search(query, k=5, n_candidates=100)
+            assert np.array_equal(result.ids, single.ids)

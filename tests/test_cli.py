@@ -1,0 +1,65 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_compare_defaults(self):
+        args = build_parser().parse_args(["compare"])
+        assert args.dataset == "CIFAR60K"
+        assert args.hasher == "itq"
+        assert args.k == 20
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compare", "--dataset", "NOPE"])
+
+
+class TestCommands:
+    def test_datasets_lists_all(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        for name in ("CIFAR60K", "GIST1M", "TINY5M", "SIFT10M", "GLOVE1.2M"):
+            assert name in out
+
+    def test_compare_runs_small(self, capsys):
+        code = main([
+            "compare", "--dataset", "CIFAR60K", "--scale", "0.05",
+            "--budget", "50", "--k", "5",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        for prober in ("HR", "GHR", "QR", "GQR"):
+            assert prober in out
+
+    def test_compare_with_sh(self, capsys):
+        code = main([
+            "compare", "--dataset", "CIFAR60K", "--scale", "0.05",
+            "--hasher", "sh", "--budget", "50", "--k", "5",
+        ])
+        assert code == 0
+        assert "recall@5" in capsys.readouterr().out
+
+
+class TestReproduceCommand:
+    def test_list(self, capsys):
+        assert main(["reproduce", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig07" in out and "table2" in out
+
+    def test_runs_small_experiment(self, capsys):
+        code = main([
+            "reproduce", "--experiment", "table1", "--scale", "0.05",
+            "--k", "5",
+        ])
+        assert code == 0
+        assert "linear search" in capsys.readouterr().out
+
+    def test_missing_experiment_flag(self, capsys):
+        assert main(["reproduce"]) == 2

@@ -1,0 +1,131 @@
+"""Tests for the codes-only compact index (short probe / long rerank)."""
+
+import numpy as np
+import pytest
+
+from repro.data import correlated_gaussian, ground_truth_knn
+from repro.hashing import ITQ
+from repro.search.compact_index import CompactHashIndex
+from repro.search.searcher import HashIndex
+
+
+@pytest.fixture(scope="module")
+def setup():
+    # Unclustered correlated data: neighbourhoods are "metric" rather
+    # than cluster-internal, the regime where code-only re-ranking has
+    # a fair ceiling (inside tight clusters no code length can rank the
+    # k-NN — see the module docstring).
+    data = correlated_gaussian(2500, 24, correlation=0.5, seed=151)
+    queries = data[:40]
+    truth = ground_truth_knn(queries, data, 10)
+    probe = ITQ(code_length=8, seed=0).fit(data)
+    long = ITQ(code_length=24, seed=1).fit(data)
+    return data, queries, truth, probe, long
+
+
+def mean_recall(index, queries, truth, budget):
+    hits = 0
+    for query, truth_row in zip(queries, truth):
+        result = index.search(query, k=10, n_candidates=budget)
+        hits += len(np.intersect1d(result.ids, truth_row))
+    return hits / (10 * len(queries))
+
+
+class TestConstruction:
+    def test_requires_fitted_hashers(self, setup):
+        data, _, _, probe, _ = setup
+        with pytest.raises(ValueError):
+            CompactHashIndex(ITQ(code_length=8), probe, data)
+        with pytest.raises(ValueError):
+            CompactHashIndex(probe, ITQ(code_length=48), data)
+
+    def test_rerank_validated(self, setup):
+        data, _, _, probe, long = setup
+        with pytest.raises(ValueError):
+            CompactHashIndex(probe, long, data, rerank="fuzzy")
+
+    def test_memory_far_below_raw_vectors(self, setup):
+        data, _, _, probe, long = setup
+        compact = CompactHashIndex(probe, long, data)
+        assert compact.memory_bytes() < data.nbytes / 4
+
+
+class TestRecall:
+    def test_longer_rerank_codes_help(self, setup):
+        """The compact recall ceiling grows with rerank-code length."""
+        data, queries, truth, probe, long = setup
+        short_rerank = ITQ(code_length=6, seed=2).fit(data)
+        coarse = CompactHashIndex(probe, short_rerank, data)
+        fine = CompactHashIndex(probe, long, data)
+        budget = 200
+        assert mean_recall(fine, queries, truth, budget) > (
+            mean_recall(coarse, queries, truth, budget)
+        )
+
+    def test_asymmetric_beats_symmetric_when_hamming_ties(self, setup):
+        """Few bits per dimension -> frequent Hamming ties -> the QD
+        margins pay off (the asymmetric-distance effect)."""
+        data, queries, truth, probe, long = setup
+        asym = CompactHashIndex(probe, long, data, rerank="asymmetric")
+        sym = CompactHashIndex(probe, long, data, rerank="symmetric")
+        budget = 400
+        assert mean_recall(asym, queries, truth, budget) > (
+            mean_recall(sym, queries, truth, budget)
+        )
+
+    def test_exact_rerank_upper_bounds_compact(self, setup):
+        data, queries, truth, probe, long = setup
+        compact = CompactHashIndex(probe, long, data)
+        full = HashIndex(probe, data)
+        budget = 200
+        assert mean_recall(full, queries, truth, budget) >= (
+            mean_recall(compact, queries, truth, budget) - 0.02
+        )
+
+    def test_compact_recall_reasonable(self, setup):
+        data, queries, truth, probe, long = setup
+        compact = CompactHashIndex(probe, long, data)
+        assert mean_recall(compact, queries, truth, 400) > 0.25
+
+
+class TestEstimates:
+    def test_asymmetric_distances_are_long_code_qd(self, setup):
+        from repro.core.quantization_distance import quantization_distance
+
+        data, queries, _, probe, long = setup
+        compact = CompactHashIndex(probe, long, data)
+        query = queries[0]
+        long_sig, long_costs = long.probe_info(query)
+        result = compact.search(query, k=5, n_candidates=100)
+        for item, estimate in zip(result.ids, result.distances):
+            item_sig = int(compact._long_signatures[item])
+            assert estimate == pytest.approx(
+                quantization_distance(long_sig, item_sig, long_costs)
+            )
+
+    def test_symmetric_distances_are_integers(self, setup):
+        data, queries, _, probe, long = setup
+        compact = CompactHashIndex(probe, long, data, rerank="symmetric")
+        result = compact.search(queries[1], k=5, n_candidates=100)
+        assert np.allclose(result.distances, np.round(result.distances))
+
+    def test_estimates_ascending(self, setup):
+        data, queries, _, probe, long = setup
+        compact = CompactHashIndex(probe, long, data)
+        result = compact.search(queries[2], k=10, n_candidates=200)
+        assert (np.diff(result.distances) >= -1e-12).all()
+
+    def test_empty_result_for_empty_stream(self, setup):
+        """A prober that yields nothing gives an empty, well-formed result."""
+        from repro.core.prober import BucketProber
+
+        class SilentProber(BucketProber):
+            def probe(self, table, signature, flip_costs):
+                return iter([])
+
+        data, queries, _, probe, long = setup
+        compact = CompactHashIndex(
+            probe, long, data, prober=SilentProber()
+        )
+        result = compact.search(queries[0], k=5, n_candidates=100)
+        assert len(result.ids) == 0

@@ -1,0 +1,69 @@
+"""Tests for the one-call method comparison."""
+
+import numpy as np
+import pytest
+
+from repro.core.gqr import GQR
+from repro.data import gaussian_mixture, ground_truth_knn
+from repro.eval.comparison import compare_methods
+from repro.hashing import ITQ
+from repro.probing import GenerateHammingRanking
+from repro.search.searcher import HashIndex
+
+
+@pytest.fixture(scope="module")
+def setup():
+    data = gaussian_mixture(2000, 16, n_clusters=14,
+                            cluster_spread=1.0, seed=141)
+    queries = data[:40]
+    truth = ground_truth_knn(queries, data, 10)
+    hasher = ITQ(code_length=8, seed=0).fit(data)
+    indexes = {
+        "GQR": HashIndex(hasher, data, prober=GQR()),
+        "GHR": HashIndex(hasher, data, prober=GenerateHammingRanking()),
+    }
+    return queries, truth, indexes
+
+
+class TestCompareMethods:
+    def test_gqr_wins_significantly(self, setup):
+        queries, truth, indexes = setup
+        comparison = compare_methods(indexes, queries, truth, 10, 120)
+        assert comparison.best == "GQR"
+        assert comparison.tests["GQR"] is None
+        ghr_test = comparison.tests["GHR"]
+        assert ghr_test.mean_difference > 0
+
+    def test_per_query_shapes(self, setup):
+        queries, truth, indexes = setup
+        comparison = compare_methods(indexes, queries, truth, 10, 120)
+        for recalls in comparison.per_query.values():
+            assert recalls.shape == (len(queries),)
+            assert (recalls >= 0).all() and (recalls <= 1).all()
+
+    def test_ci_brackets_mean(self, setup):
+        queries, truth, indexes = setup
+        comparison = compare_methods(indexes, queries, truth, 10, 120)
+        for method in indexes:
+            lo, hi = comparison.ci[method]
+            assert lo <= comparison.mean(method) <= hi
+
+    def test_to_table_renders(self, setup):
+        queries, truth, indexes = setup
+        comparison = compare_methods(indexes, queries, truth, 10, 120)
+        table = comparison.to_table()
+        assert "(best)" in table and "95% CI" in table
+
+    def test_identical_methods_tie(self, setup):
+        queries, truth, indexes = setup
+        same = {"a": indexes["GQR"], "b": indexes["GQR"]}
+        comparison = compare_methods(same, queries, truth, 10, 120)
+        loser = "b" if comparison.best == "a" else "a"
+        assert not comparison.tests[loser].significant
+
+    def test_validation(self, setup):
+        queries, truth, indexes = setup
+        with pytest.raises(ValueError):
+            compare_methods({}, queries, truth, 10, 100)
+        with pytest.raises(ValueError):
+            compare_methods(indexes, queries, truth[:3], 10, 100)

@@ -1,0 +1,168 @@
+"""Tests for synthetic data generators, the dataset registry, and truth."""
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import (
+    APPENDIX_DATASETS,
+    DATASETS,
+    MAIN_DATASETS,
+    default_code_length,
+    load_dataset,
+)
+from repro.data.ground_truth import GroundTruthCache, ground_truth_knn
+from repro.data.synthetic import (
+    correlated_gaussian,
+    gaussian_mixture,
+    sample_queries,
+    uniform_hypercube,
+)
+from repro.index.linear_scan import knn_linear_scan
+
+
+class TestGaussianMixture:
+    def test_shape_and_determinism(self):
+        a = gaussian_mixture(100, 8, seed=0)
+        b = gaussian_mixture(100, 8, seed=0)
+        assert a.shape == (100, 8)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(
+            gaussian_mixture(50, 4, seed=0), gaussian_mixture(50, 4, seed=1)
+        )
+
+    def test_clustered_structure(self):
+        """Within-cluster spread far smaller than between-cluster."""
+        data = gaussian_mixture(
+            500, 6, n_clusters=4, cluster_spread=0.05, seed=0
+        )
+        from repro.quantization.kmeans import KMeans
+
+        km = KMeans(4, seed=0).fit(data)
+        assert km.inertia / len(data) < 0.5
+
+    def test_anisotropic_variance(self):
+        data = gaussian_mixture(
+            3000, 10, n_clusters=1, anisotropy=10.0, seed=0
+        )
+        variances = data.var(axis=0)
+        assert variances[0] > variances[-1]
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            gaussian_mixture(0, 4)
+        with pytest.raises(ValueError):
+            gaussian_mixture(10, 0)
+
+
+class TestOtherGenerators:
+    def test_correlated_gaussian_correlation(self):
+        data = correlated_gaussian(5000, 6, correlation=0.9, seed=0)
+        r = np.corrcoef(data[:, 0], data[:, 1])[0, 1]
+        assert r > 0.7
+
+    def test_correlated_rejects_bad_rho(self):
+        with pytest.raises(ValueError):
+            correlated_gaussian(10, 4, correlation=1.0)
+
+    def test_uniform_bounds(self):
+        data = uniform_hypercube(200, 5, seed=0)
+        assert data.min() >= -1 and data.max() <= 1
+
+    def test_sample_queries_near_data(self):
+        data = gaussian_mixture(300, 8, seed=0)
+        queries = sample_queries(data, 10, perturbation=0.01, seed=1)
+        _, dists = knn_linear_scan(queries, data, 1)
+        assert dists.max() < data.std() * 2
+
+    def test_sample_queries_count_validation(self):
+        with pytest.raises(ValueError):
+            sample_queries(np.zeros((5, 2)), 0)
+
+
+class TestDefaultCodeLength:
+    def test_paper_values(self):
+        """Table 1 / Section 6.1: m = 12, 16, 18, 20 for the 4 datasets."""
+        assert default_code_length(60_000) == 13 or default_code_length(60_000) == 12
+        assert default_code_length(1_000_000) == 17 or default_code_length(1_000_000) == 16
+        # The exact paper values use "an integer around log2(N/10)";
+        # verify we are within 1 bit.
+        for n, m in [(60_000, 12), (1_000_000, 16), (5_000_000, 18), (10_000_000, 20)]:
+            assert abs(default_code_length(n) - m) <= 1
+
+    def test_tiny_dataset(self):
+        assert default_code_length(5) == 1
+
+    def test_monotone_in_n(self):
+        values = [default_code_length(n) for n in (100, 1000, 10_000, 100_000)]
+        assert values == sorted(values)
+
+
+class TestRegistry:
+    def test_twelve_paper_datasets_plus_sift1m(self):
+        assert len(MAIN_DATASETS) == 4
+        assert len(APPENDIX_DATASETS) == 9
+        assert set(MAIN_DATASETS) == {"CIFAR60K", "GIST1M", "TINY5M", "SIFT10M"}
+
+    def test_size_ordering_preserved(self):
+        """Scaled sizes keep the paper's ordering."""
+        sizes = [MAIN_DATASETS[n].scaled_items for n in
+                 ("CIFAR60K", "GIST1M", "TINY5M", "SIFT10M")]
+        assert sizes == sorted(sizes)
+
+    def test_load_dataset_shapes(self):
+        ds = load_dataset("CIFAR60K", scale=0.05)
+        assert ds.data.shape[1] == DATASETS["CIFAR60K"].scaled_dims
+        assert len(ds.queries) >= 8
+
+    def test_load_dataset_cache(self):
+        a = load_dataset("CIFAR60K", scale=0.05)
+        b = load_dataset("CIFAR60K", scale=0.05)
+        assert a is b
+
+    def test_load_dataset_case_insensitive(self):
+        assert load_dataset("cifar60k", scale=0.05).name == "CIFAR60K"
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            load_dataset("NOPE")
+
+    def test_scale_validation(self):
+        with pytest.raises(ValueError):
+            load_dataset("CIFAR60K", scale=0.0)
+        with pytest.raises(ValueError):
+            load_dataset("CIFAR60K", scale=1.5)
+
+    def test_code_length_follows_rule(self):
+        spec = DATASETS["GIST1M"]
+        assert spec.code_length == default_code_length(spec.scaled_items)
+        assert spec.paper_code_length == default_code_length(spec.paper_items)
+
+
+class TestGroundTruth:
+    def test_matches_linear_scan(self):
+        data = gaussian_mixture(200, 6, seed=0)
+        queries = data[:5]
+        ids = ground_truth_knn(queries, data, 4)
+        expected, _ = knn_linear_scan(queries, data, 4)
+        assert np.array_equal(ids, expected)
+
+    def test_cache_slices(self):
+        data = gaussian_mixture(200, 6, seed=0)
+        cache = GroundTruthCache(data[:5], data)
+        ten = cache.knn(10)
+        three = cache.knn(3)
+        assert np.array_equal(three, ten[:, :3])
+
+    def test_cache_grows_when_needed(self):
+        data = gaussian_mixture(200, 6, seed=0)
+        cache = GroundTruthCache(data[:5], data)
+        cache.knn(2)
+        assert cache.knn(8).shape == (5, 8)
+
+    def test_cache_rejects_bad_k(self):
+        data = gaussian_mixture(50, 4, seed=0)
+        cache = GroundTruthCache(data[:2], data)
+        with pytest.raises(ValueError):
+            cache.knn(0)

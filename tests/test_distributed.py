@@ -1,0 +1,151 @@
+"""Tests for the simulated distributed index."""
+
+import numpy as np
+import pytest
+
+from repro.data import gaussian_mixture
+from repro.distributed.cluster import DistributedHashIndex, NetworkModel
+from repro.distributed.partitioner import cluster_partition, random_partition
+from repro.distributed.worker import ShardWorker
+from repro.core.gqr import GQR
+from repro.hashing import ITQ
+from repro.index.linear_scan import knn_linear_scan
+
+
+@pytest.fixture(scope="module")
+def data():
+    return gaussian_mixture(3000, 16, n_clusters=12, seed=13)
+
+
+@pytest.fixture(scope="module")
+def hasher(data):
+    return ITQ(code_length=8, seed=0).fit(data)
+
+
+class TestPartitioners:
+    def test_random_partition_covers_all(self):
+        shards = random_partition(100, 4, seed=0)
+        combined = np.concatenate(shards)
+        assert sorted(combined.tolist()) == list(range(100))
+
+    def test_random_partition_balanced(self):
+        shards = random_partition(1000, 4, seed=0)
+        sizes = [len(s) for s in shards]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_random_partition_validation(self):
+        with pytest.raises(ValueError):
+            random_partition(10, 0)
+        with pytest.raises(ValueError):
+            random_partition(2, 5)
+
+    def test_cluster_partition_covers_all(self, data):
+        shards, centroids = cluster_partition(data, 4, seed=0)
+        combined = np.concatenate(shards)
+        assert sorted(combined.tolist()) == list(range(len(data)))
+        assert centroids.shape == (4, data.shape[1])
+
+    def test_cluster_partition_is_locality_aware(self, data):
+        shards, centroids = cluster_partition(data, 4, seed=0)
+        for worker, shard in enumerate(shards):
+            if not len(shard):
+                continue
+            own = np.linalg.norm(data[shard] - centroids[worker], axis=1)
+            others = [
+                np.linalg.norm(data[shard] - centroids[w], axis=1)
+                for w in range(4)
+                if w != worker
+            ]
+            assert (own <= np.minimum.reduce(others) + 1e-9).all()
+
+
+class TestShardWorker:
+    def test_returns_global_ids(self, data, hasher):
+        shard = np.arange(100, 200)
+        worker = ShardWorker(0, shard, data, hasher, GQR())
+        result = worker.search_local(data[150], k=5, n_candidates=100)
+        assert set(result.ids.tolist()) <= set(shard.tolist())
+        assert 150 in result.ids
+
+    def test_probe_info_broadcast(self, data, hasher):
+        shard = np.arange(100)
+        worker = ShardWorker(0, shard, data, hasher, GQR())
+        info = hasher.probe_info(data[5])
+        a = worker.search_local(data[5], 5, 50, probe_info=info)
+        b = worker.search_local(data[5], 5, 50)
+        assert np.array_equal(a.ids, b.ids)
+
+    def test_requires_fitted_hasher(self, data):
+        with pytest.raises(ValueError):
+            ShardWorker(0, np.arange(10), data, ITQ(code_length=4), GQR())
+
+    def test_reports_compute_time(self, data, hasher):
+        worker = ShardWorker(0, np.arange(50), data, hasher, GQR())
+        result = worker.search_local(data[0], 3, 20)
+        assert result.extras["worker_seconds"] >= 0
+
+
+class TestNetworkModel:
+    def test_makespan_formula(self):
+        model = NetworkModel(latency_seconds=1.0,
+                             bandwidth_bytes_per_second=100.0)
+        assert model.makespan([0.5, 2.0], result_bytes=200) == pytest.approx(
+            2 * 1.0 + 2.0 + 2.0
+        )
+
+    def test_empty_workers(self):
+        model = NetworkModel(latency_seconds=0.1)
+        assert model.makespan([], 0) == pytest.approx(0.2)
+
+
+class TestDistributedHashIndex:
+    def test_full_budget_matches_exact(self, data, hasher):
+        index = DistributedHashIndex(hasher, data, num_workers=4, seed=0)
+        query = data[10]
+        result = index.search(query, k=10, n_candidates=len(data) * 2)
+        truth, _ = knn_linear_scan(query[None, :], data, 10)
+        assert np.array_equal(np.sort(result.ids), np.sort(truth[0]))
+
+    def test_matches_single_node_at_high_budget(self, data, hasher):
+        from repro.search.searcher import HashIndex
+
+        single = HashIndex(hasher, data, prober=GQR())
+        dist = DistributedHashIndex(hasher, data, num_workers=3, seed=0)
+        query = data[42]
+        a = single.search(query, 10, 1500)
+        b = dist.search(query, 10, 1500)
+        overlap = len(np.intersect1d(a.ids, b.ids))
+        assert overlap >= 8  # shard boundaries may shave the margin
+
+    def test_extras_report_makespan(self, data, hasher):
+        index = DistributedHashIndex(hasher, data, num_workers=4, seed=0)
+        result = index.search(data[0], 5, 400)
+        assert result.extras["makespan_seconds"] > 0
+        assert result.extras["workers_contacted"] == 4
+        assert len(result.extras["worker_seconds"]) == 4
+
+    def test_cluster_partitioning_with_fanout(self, data, hasher):
+        index = DistributedHashIndex(
+            hasher, data, num_workers=6, partitioning="cluster", seed=0
+        )
+        query = data[5]
+        routed = index.search(query, k=10, n_candidates=600, fanout=2)
+        assert routed.extras["workers_contacted"] == 2
+        # Locality sharding: the 2 nearest shards hold most of the true
+        # neighbours for a query drawn from the data.
+        truth, _ = knn_linear_scan(query[None, :], data, 10)
+        overlap = len(np.intersect1d(routed.ids, truth[0]))
+        assert overlap >= 6
+
+    def test_fanout_requires_cluster_partitioning(self, data, hasher):
+        index = DistributedHashIndex(hasher, data, num_workers=4, seed=0)
+        with pytest.raises(ValueError):
+            index.search(data[0], 5, 100, fanout=2)
+
+    def test_partitioning_validated(self, data, hasher):
+        with pytest.raises(ValueError):
+            DistributedHashIndex(hasher, data, partitioning="zigzag")
+
+    def test_shard_sizes_sum_to_n(self, data, hasher):
+        index = DistributedHashIndex(hasher, data, num_workers=5, seed=0)
+        assert sum(index.shard_sizes()) == len(data)

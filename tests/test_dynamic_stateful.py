@@ -1,0 +1,76 @@
+"""Stateful property test: DynamicHashTable against a model dict.
+
+Hypothesis drives random add/remove/lookup sequences and checks the
+table never diverges from a trivially correct reference model —
+covering the tombstone/compaction/recycling interactions that
+example-based tests can miss.
+"""
+
+import numpy as np
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.index.dynamic import DynamicHashTable
+
+CODE_LENGTH = 4
+MAX_SIGNATURE = (1 << CODE_LENGTH) - 1
+
+
+class DynamicTableMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.table = DynamicHashTable(CODE_LENGTH)
+        self.model: dict[int, int] = {}  # item_id -> signature
+        self.next_id = 0
+
+    @rule(signature=st.integers(0, MAX_SIGNATURE))
+    def add_new(self, signature):
+        item_id = self.next_id
+        self.next_id += 1
+        self.table.add(item_id, signature)
+        self.model[item_id] = signature
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data())
+    def remove_existing(self, data):
+        item_id = data.draw(st.sampled_from(sorted(self.model)))
+        self.table.remove(item_id)
+        del self.model[item_id]
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data(), signature=st.integers(0, MAX_SIGNATURE))
+    def readd_removed(self, data, signature):
+        item_id = data.draw(st.sampled_from(sorted(self.model)))
+        self.table.remove(item_id)
+        self.table.add(item_id, signature)
+        self.model[item_id] = signature
+
+    @rule(signature=st.integers(0, MAX_SIGNATURE))
+    def lookup(self, signature):
+        expected = sorted(
+            item for item, sig in self.model.items() if sig == signature
+        )
+        assert sorted(self.table.get(signature).tolist()) == expected
+
+    @invariant()
+    def counts_match(self):
+        assert self.table.num_items == len(self.model)
+
+    @invariant()
+    def all_items_recoverable(self):
+        recovered = []
+        for signature in self.table.signatures():
+            recovered.extend(self.table.get(signature).tolist())
+        assert sorted(recovered) == sorted(self.model)
+
+
+DynamicTableMachine.TestCase.settings = settings(
+    max_examples=30, stateful_step_count=40, deadline=None
+)
+TestDynamicTableStateful = DynamicTableMachine.TestCase

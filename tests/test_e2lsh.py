@@ -1,0 +1,130 @@
+"""Tests for classic E2LSH with original Multi-Probe probing."""
+
+import numpy as np
+import pytest
+
+from repro.data import gaussian_mixture
+from repro.index.e2lsh import E2LSH
+from repro.index.linear_scan import knn_linear_scan
+from repro.search.stream_index import StreamSearchIndex
+
+
+@pytest.fixture(scope="module")
+def data():
+    return gaussian_mixture(1200, 16, n_clusters=10, seed=101)
+
+
+@pytest.fixture(scope="module")
+def index(data):
+    return E2LSH(data, n_tables=4, n_components=6, bucket_width=1.0, seed=0)
+
+
+class TestConstruction:
+    def test_validation(self, data):
+        with pytest.raises(ValueError):
+            E2LSH(data, n_tables=0)
+        with pytest.raises(ValueError):
+            E2LSH(data, n_components=0)
+        with pytest.raises(ValueError):
+            E2LSH(data, bucket_width=0)
+        with pytest.raises(ValueError):
+            E2LSH(np.zeros(5))
+
+    def test_properties(self, index, data):
+        assert index.num_items == len(data)
+        assert index.n_tables == 4
+
+
+class TestClassicProbing:
+    def test_anchor_only_probes_l_buckets(self, index, data):
+        batches = list(index.candidate_stream(data[0], multiprobe=False))
+        assert 1 <= len(batches) <= 4
+
+    def test_anchor_buckets_contain_query_point(self, index, data):
+        found = np.concatenate(
+            list(index.candidate_stream(data[7], multiprobe=False))
+        )
+        assert 7 in found
+
+
+class TestMultiProbe:
+    def test_no_duplicate_candidates(self, index, data):
+        batches = []
+        total = 0
+        for ids in index.candidate_stream(data[0]):
+            batches.extend(ids.tolist())
+            total += len(ids)
+            if total > 600:
+                break
+        assert len(batches) == len(set(batches))
+
+    def test_multiprobe_extends_classic(self, index, data):
+        """Multi-probe finds strictly more candidates than anchors only."""
+        classic = sum(
+            len(ids)
+            for ids in index.candidate_stream(data[3], multiprobe=False)
+        )
+        extended = 0
+        for ids in index.candidate_stream(data[3], multiprobe=True):
+            extended += len(ids)
+            if extended > classic + 50:
+                break
+        assert extended > classic
+
+    def test_early_candidates_are_near(self, index, data):
+        query = data[11]
+        first = []
+        for ids in index.candidate_stream(query):
+            first.extend(ids.tolist())
+            if len(first) >= 50:
+                break
+        near = np.linalg.norm(data[first] - query, axis=1).mean()
+        overall = np.linalg.norm(data - query, axis=1).mean()
+        assert near < overall
+
+    def _first_perturbations(self, index, data, count):
+        _, down, up = index._query_state(data[0], 0)
+        sequence = index._perturbation_sequence(down, up)
+        return [next(sequence) for _ in range(count)]
+
+    def test_perturbations_never_reuse_component(self, index, data):
+        """Validity rule: a perturbation set touches each hash component
+        at most once."""
+        for _, moves in self._first_perturbations(index, data, 200):
+            components = [component for component, _ in moves]
+            assert len(components) == len(set(components))
+
+    def test_perturbation_scores_non_decreasing(self, index, data):
+        scores = [
+            score for score, _ in self._first_perturbations(index, data, 100)
+        ]
+        assert all(b >= a - 1e-12 for a, b in zip(scores, scores[1:]))
+
+    def test_good_recall_with_multiprobe(self, data):
+        index = StreamSearchIndex(
+            E2LSH(data, n_tables=6, n_components=6, seed=0), data
+        )
+        truth, _ = knn_linear_scan(data[:15], data, 10)
+        hits = 0
+        for qi in range(15):
+            result = index.search(data[qi], k=10, n_candidates=200)
+            hits += len(np.intersect1d(result.ids, truth[qi]))
+        assert hits / 150 > 0.5
+
+
+class TestClassicVsMultiprobeRelationship:
+    def test_multiprobe_candidates_superset_of_classic(self, index, data):
+        """The anchor buckets come first in both modes, so the classic
+        candidate set is a prefix-subset of the multi-probe stream."""
+        query = data[21]
+        classic = set(
+            int(i)
+            for ids in index.candidate_stream(query, multiprobe=False)
+            for i in ids
+        )
+        extended = set()
+        for ids in index.candidate_stream(query, multiprobe=True):
+            extended.update(int(i) for i in ids)
+            if classic <= extended:
+                break
+        assert classic <= extended

@@ -1,0 +1,106 @@
+"""Tests for the programmatic experiment runner."""
+
+import pytest
+
+from repro.experiments import (
+    EXPERIMENTS,
+    ExperimentContext,
+    list_experiments,
+    prober_curves,
+    run_experiment,
+)
+
+
+class TestRegistry:
+    def test_all_core_exhibits_registered(self):
+        expected = {
+            "table1", "fig02", "fig06", "fig07", "fig08", "fig09",
+            "fig13", "fig15", "fig17", "table2", "fig20",
+        }
+        assert expected <= set(EXPERIMENTS)
+
+    def test_list_experiments_descriptions(self):
+        listing = list_experiments()
+        assert all(isinstance(v, str) and v for v in listing.values())
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            run_experiment("fig99")
+
+
+class TestContext:
+    def test_scale_validation(self):
+        with pytest.raises(ValueError):
+            ExperimentContext(scale=0)
+        with pytest.raises(ValueError):
+            ExperimentContext(k=0)
+
+    def test_workload_memoised(self):
+        ctx = ExperimentContext(scale=0.05)
+        a = ctx.workload("CIFAR60K")
+        b = ctx.workload("CIFAR60K")
+        assert a[1] is b[1]
+
+    def test_hasher_memoised(self):
+        ctx = ExperimentContext(scale=0.05)
+        assert ctx.hasher("CIFAR60K", "itq") is ctx.hasher("CIFAR60K", "itq")
+
+    def test_unknown_hasher_algo(self):
+        ctx = ExperimentContext(scale=0.05)
+        with pytest.raises(ValueError):
+            ctx.hasher("CIFAR60K", "nope")
+
+
+class TestRunners:
+    @pytest.fixture(scope="class")
+    def ctx(self):
+        return ExperimentContext(scale=0.05, k=5)
+
+    def test_table1_report(self, ctx):
+        report = run_experiment("table1", context=ctx)
+        assert "CIFAR60K" in report and "linear search" in report
+
+    def test_fig02_combinatorics(self, ctx):
+        report = run_experiment("fig02", context=ctx)
+        assert "184756" in report  # C(20, 10)
+
+    def test_fig07_curves(self, ctx):
+        report = run_experiment("fig07", context=ctx)
+        for label in ("GQR", "GHR", "HR", "recall"):
+            assert label in report
+
+    def test_prober_curves_structure(self, ctx):
+        curves = prober_curves(ctx, "CIFAR60K", "itq")
+        assert set(curves) == {"GQR", "GHR", "HR"}
+        for curve in curves.values():
+            assert all(0 <= p.recall <= 1 for p in curve)
+
+    def test_fig20_kmh(self, ctx):
+        report = run_experiment("fig20", context=ctx)
+        assert "KMH" in report
+
+
+class TestMoreRunners:
+    @pytest.fixture(scope="class")
+    def ctx(self):
+        return ExperimentContext(scale=0.04, k=5)
+
+    def test_fig06_report(self, ctx):
+        report = run_experiment("fig06", context=ctx)
+        assert "GQR" in report and "QR" in report
+
+    def test_fig08_report(self, ctx):
+        report = run_experiment("fig08", context=ctx)
+        assert "# items" in report
+
+    def test_fig09_report(self, ctx):
+        report = run_experiment("fig09", context=ctx)
+        assert "80%" in report
+
+    def test_table2_report(self, ctx):
+        report = run_experiment("table2", context=ctx)
+        assert "OPQ wall (s)" in report
+
+    def test_fig17_report(self, ctx):
+        report = run_experiment("fig17", context=ctx)
+        assert "OPQ+IMI" in report and "PCAH+GQR" in report

@@ -1,0 +1,152 @@
+"""Tests for flipping vectors and the Append/Swap generation tree."""
+
+import numpy as np
+import pytest
+
+from repro.core.generation_tree import (
+    FlippingVectorGenerator,
+    SharedGenerationTree,
+    append_move,
+    mask_cost,
+    swap_move,
+)
+
+
+class TestMoves:
+    def test_paper_figure5_examples(self):
+        """Figure 5's tree with code length 4 (bit 0 = leftmost entry)."""
+        root = 0b0001  # (1, 0, 0, 0)
+        assert append_move(root) == 0b0011  # (1, 1, 0, 0)
+        assert swap_move(root) == 0b0010  # (0, 1, 0, 0)
+        assert append_move(0b0011) == 0b0111  # (1, 1, 1, 0)
+        assert swap_move(0b0011) == 0b0101  # (1, 0, 1, 0)
+
+    def test_append_adds_one_bit(self):
+        for mask in [1, 0b101, 0b0110]:
+            assert bin(append_move(mask)).count("1") == bin(mask).count("1") + 1
+
+    def test_swap_preserves_bit_count(self):
+        for mask in [1, 0b101, 0b0110]:
+            assert bin(swap_move(mask)).count("1") == bin(mask).count("1")
+
+    def test_mask_cost_sums_set_bits(self):
+        costs = np.array([0.1, 0.2, 0.4, 0.8])
+        assert mask_cost(0b1010, costs) == pytest.approx(0.2 + 0.8)
+        assert mask_cost(0, costs) == 0.0
+        assert mask_cost(0b1111, costs) == pytest.approx(1.5)
+
+
+class TestFlippingVectorGenerator:
+    def _emit_all(self, costs):
+        return list(FlippingVectorGenerator(np.asarray(costs)))
+
+    def test_first_mask_is_zero(self):
+        emitted = self._emit_all([0.1, 0.2, 0.3])
+        assert emitted[0] == (0, 0.0)
+
+    def test_property1_each_mask_exactly_once(self):
+        """Property 1: all 2^m masks appear exactly once."""
+        emitted = self._emit_all([0.1, 0.25, 0.3, 0.9])
+        masks = [mask for mask, _ in emitted]
+        assert sorted(masks) == list(range(16))
+
+    def test_property2_costs_non_decreasing(self):
+        """Heap over the tree emits non-decreasing QD."""
+        rng = np.random.default_rng(0)
+        costs = np.sort(np.abs(rng.standard_normal(10)))
+        emitted = list(FlippingVectorGenerator(costs))
+        values = [cost for _, cost in emitted]
+        assert all(b >= a - 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_emitted_costs_match_mask_cost(self):
+        rng = np.random.default_rng(1)
+        costs = np.sort(np.abs(rng.standard_normal(8)))
+        for mask, cost in FlippingVectorGenerator(costs):
+            assert cost == pytest.approx(mask_cost(mask, costs))
+
+    def test_order_matches_full_sort(self):
+        """The lazy stream equals sorting all masks by cost."""
+        rng = np.random.default_rng(2)
+        costs = np.sort(np.abs(rng.standard_normal(7)))
+        emitted = [mask for mask, _ in FlippingVectorGenerator(costs)]
+        all_costs = [mask_cost(mask, costs) for mask in range(1 << 7)]
+        expected = sorted(range(1 << 7), key=lambda mask: (all_costs[mask],))
+        # Compare cost sequences (mask ties may legally reorder).
+        assert [all_costs[m] for m in emitted] == pytest.approx(
+            [all_costs[m] for m in expected]
+        )
+
+    def test_duplicate_costs_handled(self):
+        emitted = self._emit_all([0.5, 0.5, 0.5])
+        masks = [mask for mask, _ in emitted]
+        assert sorted(masks) == list(range(8))
+
+    def test_zero_costs_handled(self):
+        emitted = self._emit_all([0.0, 0.0, 1.0])
+        assert sorted(m for m, _ in emitted) == list(range(8))
+
+    def test_single_bit(self):
+        assert self._emit_all([0.3]) == [(0, 0.0), (1, pytest.approx(0.3))]
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(ValueError):
+            FlippingVectorGenerator(np.array([0.3, 0.1]))
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            FlippingVectorGenerator(np.array([-0.1, 0.2]))
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            FlippingVectorGenerator(np.zeros((2, 2)))
+
+    def test_single_iteration_only(self):
+        gen = FlippingVectorGenerator(np.array([0.1, 0.2]))
+        list(gen)
+        with pytest.raises(RuntimeError):
+            list(gen)
+
+    def test_heap_stays_small(self):
+        """The paper: at iteration i the heap holds at most i elements."""
+        rng = np.random.default_rng(3)
+        costs = np.sort(np.abs(rng.standard_normal(12)))
+        gen = FlippingVectorGenerator(costs)
+        for i, _ in enumerate(gen):
+            assert gen.heap_size <= i + 2
+
+
+class TestSharedGenerationTree:
+    def test_same_stream_as_plain_generator(self):
+        rng = np.random.default_rng(4)
+        costs = np.sort(np.abs(rng.standard_normal(9)))
+        tree = SharedGenerationTree(code_length=9)
+        shared = list(tree.generate(costs))
+        plain = list(FlippingVectorGenerator(costs))
+        assert [m for m, _ in shared] == [m for m, _ in plain]
+        assert [c for _, c in shared] == pytest.approx([c for _, c in plain])
+
+    def test_cache_reused_across_queries(self):
+        tree = SharedGenerationTree(code_length=6)
+        costs_a = np.sort(np.abs(np.random.default_rng(5).standard_normal(6)))
+        list(tree.generate(costs_a))
+        cached = tree.num_cached_nodes
+        assert cached > 0
+        costs_b = np.sort(np.abs(np.random.default_rng(6).standard_normal(6)))
+        list(tree.generate(costs_b))
+        assert tree.num_cached_nodes == cached  # full tree already cached
+
+    def test_children_leaf_marker(self):
+        tree = SharedGenerationTree(code_length=3)
+        append_child, swap_child, _ = tree.children(0b100)
+        assert append_child == -1 and swap_child == -1
+
+    def test_max_nodes_respected(self):
+        tree = SharedGenerationTree(code_length=8, max_nodes=5)
+        costs = np.sort(np.abs(np.random.default_rng(7).standard_normal(8)))
+        list(tree.generate(costs))
+        assert tree.num_cached_nodes <= 5
+
+    def test_cost_length_validated(self):
+        tree = SharedGenerationTree(code_length=4)
+        with pytest.raises(ValueError):
+            list(tree.generate(np.zeros(3)))

@@ -1,0 +1,108 @@
+"""Tests for generate-to-probe QD ranking (Algorithms 2-4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.generation_tree import SharedGenerationTree
+from repro.core.gqr import GQR
+from repro.core.qd_ranking import QDRanking
+from repro.core.quantization_distance import quantization_distances
+from repro.index.hash_table import HashTable
+
+
+@pytest.fixture()
+def probe_inputs(fitted_itq, small_data):
+    query = small_data[23]
+    signature, costs = fitted_itq.probe_info(query)
+    return signature, costs
+
+
+class TestGQR:
+    def test_generates_full_code_space_once(self, small_table, probe_inputs):
+        signature, costs = probe_inputs
+        buckets = list(GQR().probe(small_table, signature, costs))
+        assert sorted(buckets) == list(range(1 << 8))
+
+    def test_first_bucket_is_query_code(self, small_table, probe_inputs):
+        signature, costs = probe_inputs
+        assert next(GQR().probe(small_table, signature, costs)) == signature
+
+    def test_qd_stream_non_decreasing(self, small_table, probe_inputs):
+        signature, costs = probe_inputs
+        qds = [qd for _, qd in GQR().probe_scored(small_table, signature, costs)]
+        assert all(b >= a - 1e-12 for a, b in zip(qds, qds[1:]))
+
+    def test_scored_qd_matches_definition(self, small_table, probe_inputs):
+        signature, costs = probe_inputs
+        pairs = list(GQR().probe_scored(small_table, signature, costs))
+        buckets = np.asarray([b for b, _ in pairs])
+        expected = quantization_distances(signature, buckets, costs)
+        assert np.allclose([qd for _, qd in pairs], expected)
+
+    def test_equivalent_to_qd_ranking(self, small_table, probe_inputs):
+        """R2: GQR is QD ranking in semantics — same occupied-bucket
+        order up to exact-QD ties."""
+        signature, costs = probe_inputs
+        qr_order = list(QDRanking().probe(small_table, signature, costs))
+        gqr_order = [
+            b for b in GQR().probe(small_table, signature, costs)
+            if b in small_table
+        ]
+        qr_qds = quantization_distances(signature, np.asarray(qr_order), costs)
+        gqr_qds = quantization_distances(signature, np.asarray(gqr_order), costs)
+        assert np.allclose(qr_qds, gqr_qds)
+        assert sorted(qr_order) == sorted(gqr_order)
+
+    def test_collect_matches_qr_candidates(
+        self, small_table, fitted_itq, small_data
+    ):
+        """Same candidate sets at any budget (modulo QD ties)."""
+        for qi in (5, 50, 500):
+            signature, costs = fitted_itq.probe_info(small_data[qi])
+            gqr_ids = set(
+                GQR().collect(small_table, signature, costs, 150).tolist()
+            )
+            qr_ids = set(
+                QDRanking().collect(small_table, signature, costs, 150).tolist()
+            )
+            # Tie-broken orders may swap equal-QD buckets at the margin;
+            # the overwhelming majority of candidates must coincide.
+            assert len(gqr_ids & qr_ids) / len(gqr_ids | qr_ids) > 0.9
+
+    def test_flip_cost_length_validated(self, small_table):
+        with pytest.raises(ValueError):
+            list(GQR().probe(small_table, 0, np.zeros(5)))
+
+    def test_shared_tree_same_order(self, small_table, probe_inputs):
+        signature, costs = probe_inputs
+        plain = list(GQR().probe(small_table, signature, costs))
+        tree = SharedGenerationTree(code_length=8)
+        shared = list(GQR(shared_tree=tree).probe(small_table, signature, costs))
+        assert plain == shared
+
+    def test_shared_tree_code_length_mismatch(self, small_table, probe_inputs):
+        signature, costs = probe_inputs
+        tree = SharedGenerationTree(code_length=9)
+        with pytest.raises(ValueError):
+            list(GQR(shared_tree=tree).probe(small_table, signature, costs))
+
+    def test_cost_transform_changes_multibit_order_only(
+        self, small_table, probe_inputs
+    ):
+        """Squared costs keep single-bit order but may reorder multi-bit
+        flips; the stream must still cover the code space exactly once."""
+        signature, costs = probe_inputs
+        squared = list(
+            GQR(cost_transform=np.square).probe(small_table, signature, costs)
+        )
+        assert sorted(squared) == list(range(1 << 8))
+
+    def test_cost_transform_validated(self, small_table, probe_inputs):
+        signature, costs = probe_inputs
+        bad = GQR(cost_transform=lambda c: -c)
+        with pytest.raises(ValueError):
+            list(bad.probe(small_table, signature, costs))
+
+    def test_zero_costs_fine(self, small_table):
+        buckets = list(GQR().probe(small_table, 0, np.zeros(8)))
+        assert sorted(buckets) == list(range(256))

@@ -1,0 +1,100 @@
+"""Tests for Hamming ranking (HR) and generate-to-probe HR (GHR)."""
+
+import numpy as np
+import pytest
+
+from repro.index.codes import hamming_distance
+from repro.index.hash_table import HashTable
+from repro.probing.ghr import GenerateHammingRanking, hamming_ring_signatures
+from repro.probing.hamming_ranking import HammingRanking
+
+
+@pytest.fixture()
+def probe_inputs(fitted_itq, small_data):
+    query = small_data[31]
+    signature, costs = fitted_itq.probe_info(query)
+    return signature, costs
+
+
+class TestHammingRingSignatures:
+    def test_ring_zero_is_query(self):
+        assert list(hamming_ring_signatures(0b101, 3, 0)) == [0b101]
+
+    def test_ring_sizes_are_binomial(self):
+        import math
+
+        for r in range(6):
+            ring = list(hamming_ring_signatures(0, 5, r))
+            assert len(ring) == math.comb(5, r)
+
+    def test_ring_members_at_exact_distance(self):
+        query = 0b10110
+        for r in range(6):
+            for sig in hamming_ring_signatures(query, 5, r):
+                assert hamming_distance(query, sig) == r
+
+
+class TestHammingRanking:
+    def test_probes_every_occupied_bucket_once(self, small_table, probe_inputs):
+        signature, costs = probe_inputs
+        order = list(HammingRanking().probe(small_table, signature, costs))
+        assert sorted(order) == sorted(small_table.signatures())
+
+    def test_order_non_decreasing_hamming(self, small_table, probe_inputs):
+        signature, costs = probe_inputs
+        order = np.asarray(
+            list(HammingRanking().probe(small_table, signature, costs))
+        )
+        dists = hamming_distance(order, np.int64(signature))
+        assert (np.diff(dists) >= 0).all()
+
+    def test_ignores_flip_costs(self, small_table, probe_inputs):
+        signature, _ = probe_inputs
+        a = list(HammingRanking().probe(small_table, signature, np.zeros(8)))
+        b = list(HammingRanking().probe(small_table, signature, np.ones(8)))
+        assert a == b
+
+    def test_empty_table(self, probe_inputs):
+        signature, costs = probe_inputs
+        table = HashTable(np.empty((0, 8), dtype=np.uint8))
+        assert list(HammingRanking().probe(table, signature, costs)) == []
+
+
+class TestGenerateHammingRanking:
+    def test_enumerates_code_space_once(self, small_table, probe_inputs):
+        signature, costs = probe_inputs
+        buckets = list(
+            GenerateHammingRanking().probe(small_table, signature, costs)
+        )
+        assert sorted(buckets) == list(range(1 << 8))
+
+    def test_rings_in_order(self, small_table, probe_inputs):
+        signature, costs = probe_inputs
+        dists = [
+            hamming_distance(signature, b)
+            for b in GenerateHammingRanking().probe(small_table, signature, costs)
+        ]
+        assert dists == sorted(dists)
+
+    def test_scored_variant(self, small_table, probe_inputs):
+        signature, costs = probe_inputs
+        for bucket, radius in GenerateHammingRanking().probe_scored(
+            small_table, signature, costs
+        ):
+            assert hamming_distance(signature, bucket) == radius
+            if radius > 2:
+                break
+
+    def test_same_occupied_set_as_hr(self, small_table, probe_inputs):
+        """GHR visits the same occupied buckets HR sorts — ring by ring."""
+        signature, costs = probe_inputs
+        hr = list(HammingRanking().probe(small_table, signature, costs))
+        ghr = [
+            b
+            for b in GenerateHammingRanking().probe(small_table, signature, costs)
+            if b in small_table
+        ]
+        assert sorted(hr) == sorted(ghr)
+        hr_d = [hamming_distance(signature, b) for b in hr]
+        ghr_d = [hamming_distance(signature, b) for b in ghr]
+        assert hr_d == ghr_d

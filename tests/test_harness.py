@@ -1,0 +1,126 @@
+"""Tests for the recall-time experiment harness."""
+
+import numpy as np
+import pytest
+
+from repro.core.gqr import GQR
+from repro.data import gaussian_mixture, ground_truth_knn
+from repro.eval.harness import (
+    CurvePoint,
+    default_budgets,
+    recall_at_budgets,
+    speedup_at_recall,
+    sweep_budgets,
+    time_to_recall,
+)
+from repro.hashing import ITQ
+from repro.probing import GenerateHammingRanking
+from repro.search.searcher import HashIndex
+
+
+@pytest.fixture(scope="module")
+def setup():
+    data = gaussian_mixture(800, 16, n_clusters=8, seed=0)
+    queries = data[:10]
+    truth = ground_truth_knn(queries, data, 10)
+    index = HashIndex(ITQ(code_length=6, seed=0), data, prober=GQR())
+    return data, queries, truth, index
+
+
+class TestDefaultBudgets:
+    def test_strictly_increasing_ending_at_n(self):
+        budgets = default_budgets(10_000)
+        assert budgets == sorted(set(budgets))
+        assert budgets[-1] == 10_000
+
+    def test_small_dataset(self):
+        budgets = default_budgets(50)
+        assert budgets[-1] == 50
+
+
+class TestSweepBudgets:
+    def test_curve_shape(self, setup):
+        _, queries, truth, index = setup
+        curve = sweep_budgets(index, queries, truth, k=10, budgets=[50, 200, 800])
+        assert len(curve) == 3
+        assert all(isinstance(p, CurvePoint) for p in curve)
+
+    def test_recall_monotone_in_budget(self, setup):
+        _, queries, truth, index = setup
+        curve = sweep_budgets(index, queries, truth, k=10, budgets=[20, 100, 800])
+        recalls = [p.recall for p in curve]
+        assert all(b >= a - 1e-12 for a, b in zip(recalls, recalls[1:]))
+
+    def test_full_budget_recall_one(self, setup):
+        data, queries, truth, index = setup
+        curve = sweep_budgets(index, queries, truth, k=10, budgets=[len(data)])
+        assert curve[0].recall == pytest.approx(1.0)
+
+    def test_truth_alignment_validated(self, setup):
+        _, queries, truth, index = setup
+        with pytest.raises(ValueError):
+            sweep_budgets(index, queries, truth[:3], k=10, budgets=[10])
+
+
+class TestRecallAtBudgets:
+    def test_matches_sweep_recalls(self, setup):
+        _, queries, truth, index = setup
+        budgets = [50, 200, 800]
+        fast = recall_at_budgets(index, queries, truth, budgets)
+        slow = [
+            p.recall
+            for p in sweep_budgets(index, queries, truth, k=10, budgets=budgets)
+        ]
+        assert fast == pytest.approx(slow, abs=0.08)
+
+    def test_budget_past_stream_end(self, setup):
+        data, queries, truth, index = setup
+        out = recall_at_budgets(index, queries, truth, [10 * len(data)])
+        assert out[0] == pytest.approx(1.0)
+
+
+class TestTimeToRecall:
+    def _curve(self, pairs):
+        return [
+            CurvePoint(budget=i, seconds=s, recall=r, items=0, buckets=0)
+            for i, (s, r) in enumerate(pairs)
+        ]
+
+    def test_exact_point(self):
+        curve = self._curve([(1.0, 0.5), (2.0, 0.9)])
+        assert time_to_recall(curve, 0.9) == 2.0
+
+    def test_interpolation(self):
+        curve = self._curve([(1.0, 0.5), (3.0, 0.9)])
+        assert time_to_recall(curve, 0.7) == pytest.approx(2.0)
+
+    def test_unreachable_is_inf(self):
+        curve = self._curve([(1.0, 0.5)])
+        assert time_to_recall(curve, 0.99) == float("inf")
+
+    def test_first_point_already_above(self):
+        curve = self._curve([(1.0, 0.95)])
+        assert time_to_recall(curve, 0.9) == 1.0
+
+    def test_target_validation(self):
+        with pytest.raises(ValueError):
+            time_to_recall([], 0.0)
+
+
+class TestSpeedup:
+    def test_ratio(self):
+        slow = [CurvePoint(0, 4.0, 0.9, 0, 0)]
+        fast = [CurvePoint(0, 1.0, 0.9, 0, 0)]
+        assert speedup_at_recall(slow, fast, 0.9) == pytest.approx(4.0)
+
+
+class TestSpeedupEdgeCases:
+    def test_unreachable_method_gives_zero_speedup(self):
+        reach = [CurvePoint(0, 1.0, 0.95, 0, 0)]
+        plateau = [CurvePoint(0, 1.0, 0.5, 0, 0)]
+        assert speedup_at_recall(reach, plateau, 0.9) == 0.0
+
+    def test_unreachable_baseline_gives_inf(self):
+        plateau = [CurvePoint(0, 1.0, 0.5, 0, 0)]
+        reach = [CurvePoint(0, 1.0, 0.95, 0, 0)]
+        assert speedup_at_recall(plateau, reach, 0.9) == float("inf")

@@ -1,0 +1,88 @@
+"""Tests for the bucketed hash-table substrate."""
+
+import numpy as np
+import pytest
+
+from repro.index.codes import pack_bits
+from repro.index.hash_table import HashTable
+
+
+def _bits(rows):
+    return np.asarray(rows, dtype=np.uint8)
+
+
+class TestConstruction:
+    def test_from_bit_array(self):
+        table = HashTable(_bits([[0, 0], [0, 1], [0, 0]]))
+        assert table.code_length == 2
+        assert table.num_items == 3
+        assert table.num_buckets == 2
+
+    def test_from_signatures_requires_code_length(self):
+        with pytest.raises(ValueError):
+            HashTable(np.array([0, 1, 2]))
+
+    def test_from_signatures(self):
+        table = HashTable(np.array([0, 1, 1, 3]), code_length=2)
+        assert table.num_buckets == 3
+        assert table.get(1).tolist() == [1, 2]
+
+    def test_code_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            HashTable(_bits([[0, 1]]), code_length=5)
+
+    def test_explicit_ids(self):
+        table = HashTable(_bits([[1], [1]]), ids=np.array([10, 20]))
+        assert table.get(1).tolist() == [10, 20]
+
+    def test_misaligned_ids_rejected(self):
+        with pytest.raises(ValueError):
+            HashTable(_bits([[1], [1]]), ids=np.array([10]))
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValueError):
+            HashTable(np.zeros((2, 2, 2), dtype=np.uint8))
+
+
+class TestLookup:
+    def test_items_grouped_by_signature(self):
+        bits = _bits([[1, 0], [0, 1], [1, 0], [1, 1]])
+        table = HashTable(bits)
+        assert table.get(pack_bits([1, 0])).tolist() == [0, 2]
+        assert table.get(pack_bits([0, 1])).tolist() == [1]
+
+    def test_missing_bucket_is_empty(self):
+        table = HashTable(_bits([[0, 0]]))
+        empty = table.get(3)
+        assert len(empty) == 0
+        assert empty.dtype == np.int64
+
+    def test_contains(self):
+        table = HashTable(_bits([[1, 1]]))
+        assert 3 in table
+        assert 0 not in table
+
+    def test_all_items_recoverable(self):
+        rng = np.random.default_rng(0)
+        bits = rng.integers(0, 2, size=(500, 6)).astype(np.uint8)
+        table = HashTable(bits)
+        recovered = np.concatenate([table.get(s) for s in table.signatures()])
+        assert sorted(recovered.tolist()) == list(range(500))
+
+    def test_bucket_sizes_sum_to_items(self):
+        rng = np.random.default_rng(1)
+        bits = rng.integers(0, 2, size=(300, 5)).astype(np.uint8)
+        table = HashTable(bits)
+        assert sum(table.bucket_sizes().values()) == 300
+
+
+class TestStatistics:
+    def test_expected_population(self):
+        table = HashTable(_bits([[0, 0], [0, 0], [1, 1], [1, 1]]))
+        assert table.expected_population() == 2.0
+
+    def test_repr_mentions_shape(self):
+        table = HashTable(_bits([[0, 1]]))
+        text = repr(table)
+        assert "code_length=2" in text
+        assert "items=1" in text

@@ -1,0 +1,119 @@
+"""Tests for the hasher base classes and quantization rule."""
+
+import numpy as np
+import pytest
+
+from repro.hashing.base import (
+    ProjectionHasher,
+    sign_quantize,
+    spectral_norm_bound,
+)
+from repro.hashing.lsh import RandomProjectionLSH
+
+
+class TestSignQuantize:
+    def test_threshold_at_zero(self):
+        bits = sign_quantize(np.array([-0.5, 0.0, 0.5]))
+        assert bits.tolist() == [0, 1, 1]
+
+    def test_dtype_uint8(self):
+        assert sign_quantize(np.array([1.0])).dtype == np.uint8
+
+    def test_preserves_shape(self):
+        assert sign_quantize(np.zeros((3, 4))).shape == (3, 4)
+
+
+class TestSpectralNormBound:
+    def test_matches_largest_singular_value(self):
+        rng = np.random.default_rng(0)
+        h = rng.standard_normal((6, 10))
+        assert spectral_norm_bound(h) == pytest.approx(
+            np.linalg.svd(h, compute_uv=False)[0]
+        )
+
+    def test_theorem1_inequality(self):
+        """``‖Hq‖ ≤ M‖q‖`` for random vectors (Theorem 1)."""
+        rng = np.random.default_rng(1)
+        h = rng.standard_normal((5, 12))
+        bound = spectral_norm_bound(h)
+        for _ in range(50):
+            q = rng.standard_normal(12)
+            assert np.linalg.norm(h @ q) <= bound * np.linalg.norm(q) + 1e-9
+
+
+class _IdentityHasher(ProjectionHasher):
+    """Projects onto the first m coordinates; for interface tests."""
+
+    def _learn(self, centered):
+        d = centered.shape[1]
+        weights = np.zeros((d, self._m))
+        weights[: self._m, : self._m] = np.eye(self._m)
+        return weights
+
+
+class TestProjectionHasher:
+    def test_requires_fit_before_use(self):
+        hasher = _IdentityHasher(code_length=2)
+        with pytest.raises(RuntimeError):
+            hasher.project(np.zeros((1, 4)))
+        with pytest.raises(RuntimeError):
+            hasher.probe_info(np.zeros(4))
+
+    def test_fit_centers_data(self):
+        rng = np.random.default_rng(2)
+        data = rng.standard_normal((100, 4)) + 10.0
+        hasher = _IdentityHasher(code_length=2).fit(data)
+        projections = hasher.project(data)
+        assert abs(projections.mean()) < 1.0  # centred, not offset by +10
+
+    def test_encode_is_sign_of_project(self, small_data, fitted_itq):
+        projections = fitted_itq.project(small_data[:50])
+        assert np.array_equal(
+            fitted_itq.encode(small_data[:50]), sign_quantize(projections)
+        )
+
+    def test_probe_info_consistency(self, small_data, fitted_itq):
+        query = small_data[3]
+        signature, costs = fitted_itq.probe_info(query)
+        assert signature == fitted_itq.signatures(query[np.newaxis, :])[0]
+        assert np.allclose(
+            costs, np.abs(fitted_itq.project(query[np.newaxis, :])[0])
+        )
+        assert (costs >= 0).all()
+
+    def test_probe_info_rejects_batch(self, fitted_itq, small_data):
+        with pytest.raises(ValueError):
+            fitted_itq.probe_info(small_data[:2])
+
+    def test_fit_validations(self):
+        hasher = _IdentityHasher(code_length=2)
+        with pytest.raises(ValueError):
+            hasher.fit(np.zeros(5))  # 1-D
+        with pytest.raises(ValueError):
+            hasher.fit(np.zeros((1, 5)))  # single row
+
+    def test_hashing_matrix_shape(self, fitted_itq, small_data):
+        h = fitted_itq.hashing_matrix
+        assert h.shape == (8, small_data.shape[1])
+
+    def test_spectral_bound_positive(self, fitted_itq):
+        assert fitted_itq.spectral_bound() > 0
+
+
+class TestRandomProjectionLSH:
+    def test_deterministic_under_seed(self, small_data):
+        a = RandomProjectionLSH(6, seed=3).fit(small_data)
+        b = RandomProjectionLSH(6, seed=3).fit(small_data)
+        assert np.array_equal(a.encode(small_data[:10]), b.encode(small_data[:10]))
+
+    def test_different_seeds_differ(self, small_data):
+        a = RandomProjectionLSH(6, seed=3).fit(small_data)
+        b = RandomProjectionLSH(6, seed=4).fit(small_data)
+        assert not np.array_equal(
+            a.encode(small_data[:50]), b.encode(small_data[:50])
+        )
+
+    def test_bits_roughly_balanced(self, small_data):
+        hasher = RandomProjectionLSH(8, seed=0).fit(small_data)
+        means = hasher.encode(small_data).mean(axis=0)
+        assert (means > 0.15).all() and (means < 0.85).all()

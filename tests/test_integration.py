@@ -1,0 +1,117 @@
+"""End-to-end integration tests: the paper's qualitative claims on
+small synthetic data.
+
+These assert the *shape* of the paper's results: GQR beats Hamming-based
+probing at a fixed candidate budget, QD orders candidates better than
+Hamming distance, every querying method converges to exact recall, and
+the methods compose with every hasher.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.gqr import GQR
+from repro.core.qd_ranking import QDRanking
+from repro.data import gaussian_mixture, ground_truth_knn, sample_queries
+from repro.eval.harness import recall_at_budgets
+from repro.hashing import ITQ, KMeansHashing, PCAHashing, SpectralHashing
+from repro.probing import GenerateHammingRanking, HammingRanking
+from repro.search.searcher import HashIndex
+
+
+@pytest.fixture(scope="module")
+def workload():
+    data = gaussian_mixture(3000, 32, n_clusters=20, seed=11)
+    queries = sample_queries(data, 30, seed=12)
+    truth = ground_truth_knn(queries, data, 20)
+    return data, queries, truth
+
+
+def _mean_recall_at(index, queries, truth, budget):
+    return recall_at_budgets(index, queries, truth, [budget])[0]
+
+
+class TestPaperClaims:
+    def test_gqr_beats_hamming_at_fixed_budget(self, workload):
+        """Figure 8: at the same #retrieved items GQR finds more true
+        neighbours than HR/GHR."""
+        data, queries, truth = workload
+        hasher = ITQ(code_length=9, seed=0).fit(data)
+        budget = 150
+        gqr = _mean_recall_at(
+            HashIndex(hasher, data, prober=GQR()), queries, truth, budget
+        )
+        ghr = _mean_recall_at(
+            HashIndex(hasher, data, prober=GenerateHammingRanking()),
+            queries, truth, budget,
+        )
+        assert gqr > ghr
+
+    def test_gqr_equivalent_to_qr_results(self, workload):
+        """Section 5.1 (R1)+(R2): GQR ≡ QR in semantics."""
+        data, queries, truth = workload
+        hasher = ITQ(code_length=9, seed=0).fit(data)
+        gqr_recall = _mean_recall_at(
+            HashIndex(hasher, data, prober=GQR()), queries, truth, 200
+        )
+        qr_recall = _mean_recall_at(
+            HashIndex(hasher, data, prober=QDRanking()), queries, truth, 200
+        )
+        assert gqr_recall == pytest.approx(qr_recall, abs=0.02)
+
+    def test_all_probers_reach_full_recall(self, workload):
+        data, queries, truth = workload
+        hasher = ITQ(code_length=9, seed=0).fit(data)
+        for prober in (
+            GQR(), QDRanking(), HammingRanking(), GenerateHammingRanking()
+        ):
+            index = HashIndex(hasher, data, prober=prober)
+            assert _mean_recall_at(
+                index, queries, truth, len(data)
+            ) == pytest.approx(1.0)
+
+    @pytest.mark.parametrize(
+        "hasher_factory",
+        [
+            lambda: ITQ(code_length=8, seed=0),
+            lambda: PCAHashing(code_length=8),
+            lambda: SpectralHashing(code_length=8),
+            lambda: KMeansHashing(code_length=8, bits_per_subspace=4, seed=0),
+        ],
+        ids=["ITQ", "PCAH", "SH", "KMH"],
+    )
+    def test_generality_across_hashers(self, workload, hasher_factory):
+        """Section 6.4: GQR works with every L2H algorithm, and never
+        loses to GHR on the same hash functions."""
+        data, queries, truth = workload
+        hasher = hasher_factory().fit(data)
+        budget = 150
+        gqr = _mean_recall_at(
+            HashIndex(hasher, data, prober=GQR()), queries, truth, budget
+        )
+        ghr = _mean_recall_at(
+            HashIndex(hasher, data, prober=GenerateHammingRanking()),
+            queries, truth, budget,
+        )
+        assert gqr >= ghr - 0.02
+
+    def test_recall_monotone_in_budget(self, workload):
+        data, queries, truth = workload
+        index = HashIndex(ITQ(code_length=9, seed=0), data, prober=GQR())
+        recalls = recall_at_budgets(
+            index, queries, truth, [30, 100, 300, 1000, 3000]
+        )
+        assert all(b >= a - 1e-12 for a, b in zip(recalls, recalls[1:]))
+
+    def test_precision_increases_with_code_length(self, workload):
+        """Figure 4a: longer codes retrieve higher-precision candidates
+        at the same recall level (HR)."""
+        data, queries, truth = workload
+        recalls = {}
+        for m in (6, 12):
+            index = HashIndex(
+                ITQ(code_length=m, seed=0), data,
+                prober=GenerateHammingRanking(),
+            )
+            recalls[m] = _mean_recall_at(index, queries, truth, 200)
+        assert recalls[12] > recalls[6]

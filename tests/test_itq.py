@@ -1,0 +1,53 @@
+"""Tests for iterative quantization."""
+
+import numpy as np
+import pytest
+
+from repro.hashing.itq import ITQ
+from repro.hashing.pcah import PCAHashing
+
+
+class TestITQ:
+    def test_loss_non_increasing(self, small_data):
+        hasher = ITQ(code_length=8, n_iterations=20, seed=0).fit(small_data)
+        losses = hasher.quantization_loss
+        assert len(losses) == 20
+        # Alternating minimisation: loss may plateau but must not grow.
+        assert all(b <= a + 1e-9 for a, b in zip(losses, losses[1:]))
+
+    def test_improves_on_pcah_quantization_loss(self, small_data):
+        """ITQ exists to cut binary quantization error below plain PCA."""
+        m = 8
+        itq = ITQ(code_length=m, n_iterations=30, seed=0).fit(small_data)
+        pcah = PCAHashing(code_length=m).fit(small_data)
+
+        def loss(hasher):
+            v = hasher.project(small_data)
+            b = np.where(v >= 0, 1.0, -1.0)
+            return np.square(b - v).sum() / len(small_data)
+
+        assert loss(itq) <= loss(pcah) + 1e-9
+
+    def test_rotation_preserves_spectral_bound(self, small_data):
+        """ITQ = PCA + rotation, so σ_max(H) stays 1 (orthonormal rows)."""
+        hasher = ITQ(code_length=6, seed=0).fit(small_data)
+        assert hasher.spectral_bound() == pytest.approx(1.0, abs=1e-8)
+
+    def test_deterministic_under_seed(self, small_data):
+        a = ITQ(code_length=6, n_iterations=5, seed=9).fit(small_data)
+        b = ITQ(code_length=6, n_iterations=5, seed=9).fit(small_data)
+        assert np.array_equal(a.encode(small_data), b.encode(small_data))
+
+    def test_rejects_bad_iterations(self):
+        with pytest.raises(ValueError):
+            ITQ(code_length=4, n_iterations=0)
+
+    def test_code_length_exceeding_dims_rejected(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            ITQ(code_length=10).fit(rng.standard_normal((50, 4)))
+
+    def test_codes_balanced_on_clustered_data(self, small_data):
+        hasher = ITQ(code_length=8, seed=0).fit(small_data)
+        means = hasher.encode(small_data).mean(axis=0)
+        assert (means > 0.1).all() and (means < 0.9).all()

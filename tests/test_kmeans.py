@@ -1,0 +1,85 @@
+"""Tests for the k-means substrate."""
+
+import numpy as np
+import pytest
+
+from repro.quantization.kmeans import KMeans, kmeans_plus_plus
+
+
+class TestKMeansPlusPlus:
+    def test_centers_are_data_points(self):
+        rng = np.random.default_rng(0)
+        data = rng.standard_normal((100, 4))
+        centers = kmeans_plus_plus(data, 5, np.random.default_rng(1))
+        for center in centers:
+            assert (np.linalg.norm(data - center, axis=1) < 1e-12).any()
+
+    def test_handles_duplicate_points(self):
+        data = np.zeros((20, 3))
+        centers = kmeans_plus_plus(data, 4, np.random.default_rng(0))
+        assert centers.shape == (4, 3)
+
+
+class TestKMeans:
+    def test_recovers_separated_clusters(self):
+        rng = np.random.default_rng(0)
+        truth = np.array([[0.0, 0.0], [10.0, 0.0], [0.0, 10.0]])
+        data = np.concatenate(
+            [truth[i] + 0.1 * rng.standard_normal((50, 2)) for i in range(3)]
+        )
+        km = KMeans(3, seed=0).fit(data)
+        found = km.centers[np.argsort(km.centers[:, 0] + 100 * km.centers[:, 1])]
+        expected = truth[np.argsort(truth[:, 0] + 100 * truth[:, 1])]
+        assert np.allclose(found, expected, atol=0.2)
+
+    def test_labels_match_nearest_center(self):
+        rng = np.random.default_rng(1)
+        data = rng.standard_normal((200, 3))
+        km = KMeans(6, seed=0).fit(data)
+        labels = km.predict(data)
+        d2 = km.transform(data)
+        assert np.array_equal(labels, d2.argmin(axis=1))
+
+    def test_inertia_decreases_vs_single_iteration(self):
+        rng = np.random.default_rng(2)
+        data = rng.standard_normal((300, 4))
+        short = KMeans(8, n_iterations=1, seed=3).fit(data)
+        long = KMeans(8, n_iterations=30, seed=3).fit(data)
+        assert long.inertia <= short.inertia + 1e-9
+
+    def test_k_equals_n(self):
+        rng = np.random.default_rng(3)
+        data = rng.standard_normal((10, 2))
+        km = KMeans(10, seed=0).fit(data)
+        # Every point its own cluster: inertia ~ 0.
+        assert km.inertia == pytest.approx(0.0, abs=1e-18)
+
+    def test_rejects_more_clusters_than_points(self):
+        with pytest.raises(ValueError):
+            KMeans(5).fit(np.zeros((3, 2)))
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            KMeans(0)
+        with pytest.raises(ValueError):
+            KMeans(2).fit(np.zeros(10))
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            KMeans(2).predict(np.zeros((2, 2)))
+
+    def test_deterministic_under_seed(self):
+        rng = np.random.default_rng(4)
+        data = rng.standard_normal((150, 3))
+        a = KMeans(5, seed=11).fit(data)
+        b = KMeans(5, seed=11).fit(data)
+        assert np.allclose(a.centers, b.centers)
+
+    def test_no_empty_clusters_on_degenerate_data(self):
+        """Empty-cluster repair: k=4 on 2 distinct locations still yields
+        4 assigned clusters."""
+        data = np.concatenate([np.zeros((30, 2)), np.ones((30, 2))])
+        data += 1e-6 * np.random.default_rng(5).standard_normal(data.shape)
+        km = KMeans(4, seed=0).fit(data)
+        labels = km.predict(data)
+        assert len(np.unique(labels)) >= 2  # repair keeps clusters usable

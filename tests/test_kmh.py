@@ -1,0 +1,151 @@
+"""Tests for K-means hashing and its GQR flip-cost adapter."""
+
+import numpy as np
+import pytest
+
+from repro.hashing.kmh import KMeansHashing, assign_indices
+from repro.index.codes import unpack_bits
+
+
+@pytest.fixture(scope="module")
+def kmh(small_data_module):
+    return KMeansHashing(
+        code_length=8, bits_per_subspace=4, kmeans_iterations=15, seed=0
+    ).fit(small_data_module)
+
+
+@pytest.fixture(scope="module")
+def small_data_module():
+    from repro.data import gaussian_mixture
+
+    return gaussian_mixture(1200, 24, n_clusters=10, seed=42)
+
+
+class TestConstruction:
+    def test_divisibility_enforced(self):
+        with pytest.raises(ValueError):
+            KMeansHashing(code_length=10, bits_per_subspace=4)
+
+    def test_bits_per_subspace_bounds(self):
+        with pytest.raises(ValueError):
+            KMeansHashing(code_length=8, bits_per_subspace=0)
+        with pytest.raises(ValueError):
+            KMeansHashing(code_length=18, bits_per_subspace=9)
+
+    def test_subspace_count(self, kmh):
+        assert kmh.n_subspaces == 2
+        assert kmh.bits_per_subspace == 4
+
+
+class TestAssignIndices:
+    def test_permutation_returned(self):
+        rng = np.random.default_rng(0)
+        centers = rng.standard_normal((8, 4))
+        counts = np.ones(8)
+        perm, scale = assign_indices(centers, counts, rng=rng)
+        assert sorted(perm.tolist()) == list(range(8))
+        assert scale > 0
+
+    def test_improves_affinity_on_line(self):
+        """Collinear centroids: a good assignment orders indices like a
+        Gray-ish code along the line; error must beat identity often."""
+        centers = np.arange(4, dtype=np.float64)[:, np.newaxis]
+        counts = np.ones(4)
+        perm, _ = assign_indices(centers, counts)
+        # Neighbouring centroids (distance 1 apart) should mostly get
+        # indices at Hamming distance 1.
+        h = [bin(int(perm[i]) ^ int(perm[i + 1])).count("1") for i in range(3)]
+        assert np.mean(h) <= 1.5
+
+
+class TestEncoding:
+    def test_code_shape(self, kmh, small_data_module):
+        codes = kmh.encode(small_data_module[:20])
+        assert codes.shape == (20, 8)
+        assert set(np.unique(codes)) <= {0, 1}
+
+    def test_items_in_same_cell_share_code(self, kmh, small_data_module):
+        """Items quantized to the same codewords get identical codes."""
+        codes = kmh.encode(small_data_module)
+        indices = kmh._block_indices(small_data_module)
+        same = np.flatnonzero(
+            (indices == indices[0]).all(axis=1)
+        )
+        assert (codes[same] == codes[0]).all()
+
+    def test_probe_info_costs_nonnegative(self, kmh, small_data_module):
+        for query in small_data_module[:10]:
+            _, costs = kmh.probe_info(query)
+            assert (costs >= -1e-12).all()
+
+    def test_probe_info_signature_matches_encode(self, kmh, small_data_module):
+        query = small_data_module[7]
+        signature, _ = kmh.probe_info(query)
+        assert np.array_equal(
+            unpack_bits(signature, 8), kmh.encode(query[np.newaxis, :])[0]
+        )
+
+    def test_flip_cost_is_codeword_distance_gap(self, kmh, small_data_module):
+        """Appendix definition: cost_i = d(q, c_q') − d(q, c_q)."""
+        query = small_data_module[3]
+        signature, costs = kmh.probe_info(query)
+        indices = kmh._block_indices(query[np.newaxis, :])[0]
+        blocks = np.split(query[np.newaxis, :], kmh._splits, axis=1)
+        for u in range(kmh.n_subspaces):
+            codebook = kmh._codebooks[u]
+            block = blocks[u][0]
+            dists = np.linalg.norm(codebook - block, axis=1)
+            for v in range(kmh.bits_per_subspace):
+                expected = dists[int(indices[u]) ^ (1 << v)] - dists[int(indices[u])]
+                assert costs[u * kmh.bits_per_subspace + v] == pytest.approx(
+                    expected
+                )
+
+    def test_project_sign_recovers_code(self, kmh, small_data_module):
+        query = small_data_module[2]
+        projection = kmh.project(query[np.newaxis, :])[0]
+        code = kmh.encode(query[np.newaxis, :])[0]
+        nonzero = np.abs(projection) > 1e-12
+        assert np.array_equal((projection[nonzero] > 0), code[nonzero] == 1)
+
+    def test_similarity_preserving(self, kmh, small_data_module):
+        codes = kmh.encode(small_data_module)
+        dists = np.linalg.norm(small_data_module - small_data_module[9], axis=1)
+        order = np.argsort(dists)
+        near = np.mean([(codes[9] == codes[i]).mean() for i in order[1:15]])
+        far = np.mean([(codes[9] == codes[i]).mean() for i in order[-15:]])
+        assert near > far
+
+
+class TestAssignmentRestarts:
+    def test_restarts_never_worse(self):
+        """Best-of-restarts affinity error <= single-run error."""
+        from repro.hashing.kmh import (
+            _affinity_error,
+            _hamming_matrix,
+            _pairwise_distances,
+        )
+
+        rng = np.random.default_rng(3)
+        centers = rng.standard_normal((16, 6))
+        counts = rng.integers(1, 20, size=16)
+
+        def error_of(n_restarts):
+            perm, scale = assign_indices(
+                centers, counts,
+                rng=np.random.default_rng(5),
+                n_restarts=n_restarts,
+            )
+            distances = _pairwise_distances(centers)
+            weights = np.outer(counts, counts).astype(np.float64)
+            scaled = scale * np.sqrt(_hamming_matrix(16))
+            return _affinity_error(distances, weights, perm, scaled)
+
+        assert error_of(4) <= error_of(1) + 1e-9
+
+    def test_restart_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            assign_indices(
+                rng.standard_normal((4, 2)), np.ones(4), n_restarts=0
+            )

@@ -1,0 +1,91 @@
+"""Tests for exact linear-scan kNN."""
+
+import numpy as np
+import pytest
+
+from repro.index.linear_scan import (
+    LinearScan,
+    euclidean_distances,
+    knn_linear_scan,
+)
+
+
+class TestEuclideanDistances:
+    def test_matches_norm(self):
+        rng = np.random.default_rng(0)
+        q = rng.standard_normal((5, 8))
+        x = rng.standard_normal((11, 8))
+        expected = np.linalg.norm(q[:, None, :] - x[None, :, :], axis=2)
+        assert np.allclose(euclidean_distances(q, x), expected)
+
+    def test_zero_on_identical_points(self):
+        x = np.ones((3, 4))
+        d = euclidean_distances(x, x)
+        assert np.allclose(np.diag(d), 0.0)
+
+    def test_single_vector_inputs(self):
+        d = euclidean_distances(np.array([0.0, 0.0]), np.array([3.0, 4.0]))
+        assert d.shape == (1, 1)
+        assert d[0, 0] == pytest.approx(5.0)
+
+    def test_never_negative_under_cancellation(self):
+        # Nearly identical large-magnitude points trigger cancellation.
+        x = np.full((2, 4), 1e8)
+        x[1] += 1e-4
+        assert (euclidean_distances(x, x) >= 0).all()
+
+
+class TestKnnLinearScan:
+    def test_exactness_vs_bruteforce(self):
+        rng = np.random.default_rng(1)
+        data = rng.standard_normal((200, 6))
+        queries = rng.standard_normal((7, 6))
+        ids, dists = knn_linear_scan(queries, data, k=5)
+        full = np.linalg.norm(queries[:, None, :] - data[None, :, :], axis=2)
+        for row in range(7):
+            expected = np.sort(full[row])[:5]
+            assert np.allclose(np.sort(dists[row]), expected)
+
+    def test_sorted_ascending(self):
+        rng = np.random.default_rng(2)
+        data = rng.standard_normal((100, 4))
+        _, dists = knn_linear_scan(data[:3], data, k=10)
+        assert (np.diff(dists, axis=1) >= 0).all()
+
+    def test_self_is_first_neighbor(self):
+        rng = np.random.default_rng(3)
+        data = rng.standard_normal((50, 4))
+        ids, dists = knn_linear_scan(data[:5], data, k=1)
+        assert ids.ravel().tolist() == [0, 1, 2, 3, 4]
+        assert np.allclose(dists, 0.0)
+
+    def test_ties_broken_by_id(self):
+        data = np.zeros((4, 2))  # all identical -> all distances tie
+        ids, _ = knn_linear_scan(np.zeros((1, 2)), data, k=3)
+        assert ids[0].tolist() == [0, 1, 2]
+
+    def test_k_bounds(self):
+        data = np.zeros((4, 2))
+        with pytest.raises(ValueError):
+            knn_linear_scan(data[:1], data, k=0)
+        with pytest.raises(ValueError):
+            knn_linear_scan(data[:1], data, k=5)
+
+    def test_blocking_invariant_to_block_size(self):
+        rng = np.random.default_rng(4)
+        data = rng.standard_normal((60, 5))
+        queries = rng.standard_normal((10, 5))
+        ids_a, _ = knn_linear_scan(queries, data, k=4, block_size=3)
+        ids_b, _ = knn_linear_scan(queries, data, k=4, block_size=1000)
+        assert np.array_equal(ids_a, ids_b)
+
+
+class TestLinearScanWrapper:
+    def test_search_delegates(self):
+        rng = np.random.default_rng(5)
+        data = rng.standard_normal((80, 3))
+        scan = LinearScan(data)
+        assert scan.num_items == 80
+        ids, dists = scan.search(data[:2], k=3)
+        assert ids.shape == (2, 3)
+        assert ids[0, 0] == 0

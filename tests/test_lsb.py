@@ -1,0 +1,111 @@
+"""Tests for the LSB-forest (Z-order) index."""
+
+import numpy as np
+import pytest
+
+from repro.data import gaussian_mixture
+from repro.index.lsb import LSBForest, interleave_bits
+from repro.index.linear_scan import knn_linear_scan
+from repro.search.stream_index import StreamSearchIndex
+
+
+class TestInterleaveBits:
+    def test_known_pattern(self):
+        # Two dims, 2 bits, coords (x=0b11, y=0b01).  Positions:
+        # x bit0 -> 1, x bit1 -> 3; y bit0 -> 0, y bit1 -> 2.
+        # x contributes 0b1010, y contributes 0b0001 -> 0b1011.
+        z = interleave_bits(np.array([[0b11, 0b01]]), bits_per_dim=2)
+        assert z[0] == 0b1011
+
+    def test_zero(self):
+        assert interleave_bits(np.zeros((3, 4), dtype=int), 4).tolist() == [
+            0, 0, 0,
+        ]
+
+    def test_order_preserved_on_shared_prefix(self):
+        """Points equal in high bits but differing in low bits have
+        closer Z-values than points differing in high bits."""
+        near = interleave_bits(np.array([[0b1000, 0b1000],
+                                         [0b1001, 0b1000]]), 4)
+        far = interleave_bits(np.array([[0b1000, 0b1000],
+                                        [0b0000, 0b1000]]), 4)
+        assert abs(near[1] - near[0]) < abs(far[1] - far[0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            interleave_bits(np.zeros(4, dtype=int), 2)
+        with pytest.raises(ValueError):
+            interleave_bits(np.array([[4]]), 2)  # out of range
+        with pytest.raises(ValueError):
+            interleave_bits(np.zeros((1, 32), dtype=int), 2)  # > 62 bits
+
+
+@pytest.fixture(scope="module")
+def data():
+    return gaussian_mixture(1200, 16, n_clusters=10, seed=121)
+
+
+@pytest.fixture(scope="module")
+def forest(data):
+    return LSBForest(data, n_trees=4, n_components=6, bits_per_dim=6, seed=0)
+
+
+class TestLSBForest:
+    def test_validation(self, data):
+        with pytest.raises(ValueError):
+            LSBForest(data, n_trees=0)
+        with pytest.raises(ValueError):
+            LSBForest(data, n_components=16, bits_per_dim=8)  # 128 > 62
+        with pytest.raises(ValueError):
+            LSBForest(np.zeros(5))
+
+    def test_stream_covers_all_items_once(self, forest, data):
+        found = np.concatenate(list(forest.candidate_stream(data[0])))
+        assert sorted(found.tolist()) == list(range(len(data)))
+        assert len(found) == len(data)
+
+    def test_early_candidates_are_near(self, forest, data):
+        query = data[5]
+        first = []
+        for ids in forest.candidate_stream(query):
+            first.extend(ids.tolist())
+            if len(first) >= 40:
+                break
+        near = np.linalg.norm(data[first] - query, axis=1).mean()
+        overall = np.linalg.norm(data - query, axis=1).mean()
+        assert near < overall
+
+    def test_full_budget_exact(self, forest, data):
+        index = StreamSearchIndex(forest, data)
+        query = data[9]
+        result = index.search(query, k=10, n_candidates=len(data))
+        truth, _ = knn_linear_scan(query[None, :], data, 10)
+        assert np.array_equal(np.sort(result.ids), np.sort(truth[0]))
+
+    def test_reasonable_recall_at_budget(self, data):
+        forest = LSBForest(
+            data, n_trees=6, n_components=6, bits_per_dim=6, seed=0
+        )
+        index = StreamSearchIndex(forest, data)
+        truth, _ = knn_linear_scan(data[:15], data, 10)
+        hits = 0
+        for qi in range(15):
+            result = index.search(data[qi], k=10, n_candidates=200)
+            hits += len(np.intersect1d(result.ids, truth[qi]))
+        assert hits / 150 > 0.4
+
+    def test_more_trees_help(self, data):
+        truth, _ = knn_linear_scan(data[:15], data, 10)
+
+        def recall(n_trees):
+            forest = LSBForest(
+                data, n_trees=n_trees, n_components=6, bits_per_dim=6, seed=0
+            )
+            index = StreamSearchIndex(forest, data)
+            hits = 0
+            for qi in range(15):
+                result = index.search(data[qi], k=10, n_candidates=150)
+                hits += len(np.intersect1d(result.ids, truth[qi]))
+            return hits / 150
+
+        assert recall(6) >= recall(1) - 0.05

@@ -1,0 +1,141 @@
+"""Tests for the related-work LSH baselines: QALSH and C2LSH."""
+
+import numpy as np
+import pytest
+
+from repro.data import gaussian_mixture
+from repro.index.c2lsh import C2LSH
+from repro.index.linear_scan import knn_linear_scan
+from repro.index.qalsh import QALSH
+from repro.search.stream_index import StreamSearchIndex
+
+
+@pytest.fixture(scope="module")
+def data():
+    return gaussian_mixture(1200, 16, n_clusters=10, seed=23)
+
+
+@pytest.fixture(scope="module")
+def truth(data):
+    ids, _ = knn_linear_scan(data[:15], data, 10)
+    return ids
+
+
+class TestQALSH:
+    def test_parameter_validation(self, data):
+        with pytest.raises(ValueError):
+            QALSH(data, n_projections=0)
+        with pytest.raises(ValueError):
+            QALSH(data, n_projections=4, collision_threshold=5)
+        with pytest.raises(ValueError):
+            QALSH(np.zeros(8))
+
+    def test_stream_covers_all_items_once(self, data):
+        index = QALSH(data, n_projections=8, collision_threshold=3, seed=0)
+        found = np.concatenate(list(index.candidate_stream(data[0])))
+        assert sorted(found.tolist()) == list(range(len(data)))
+        assert len(found) == len(data)
+
+    def test_early_candidates_are_projection_neighbors(self, data):
+        """The first emitted items collide in many projections, so they
+        should be closer than random items on average."""
+        index = QALSH(data, n_projections=12, collision_threshold=6, seed=0)
+        query = data[7]
+        first_batchs = []
+        for ids in index.candidate_stream(query):
+            first_batchs.extend(ids.tolist())
+            if len(first_batchs) >= 30:
+                break
+        near = np.linalg.norm(data[first_batchs] - query, axis=1).mean()
+        overall = np.linalg.norm(data - query, axis=1).mean()
+        assert near < overall
+
+    def test_search_full_budget_exact(self, data):
+        index = StreamSearchIndex(
+            QALSH(data, n_projections=8, collision_threshold=3, seed=0), data
+        )
+        query = data[3]
+        result = index.search(query, k=10, n_candidates=len(data))
+        expected, _ = knn_linear_scan(query[None, :], data, 10)
+        assert np.array_equal(np.sort(result.ids), np.sort(expected[0]))
+
+    def test_reasonable_recall_at_budget(self, data, truth):
+        index = StreamSearchIndex(
+            QALSH(data, n_projections=16, collision_threshold=6, seed=0), data
+        )
+        hits = 0
+        for qi in range(15):
+            result = index.search(data[qi], k=10, n_candidates=150)
+            hits += len(np.intersect1d(result.ids, truth[qi]))
+        assert hits / 150 > 0.5
+
+    def test_threshold_one_emits_fast(self, data):
+        index = QALSH(data, n_projections=4, collision_threshold=1, seed=0)
+        first = next(iter(index.candidate_stream(data[0])))
+        assert len(first) >= 1
+
+
+class TestC2LSH:
+    def test_parameter_validation(self, data):
+        with pytest.raises(ValueError):
+            C2LSH(data, n_projections=0)
+        with pytest.raises(ValueError):
+            C2LSH(data, bucket_width=0)
+        with pytest.raises(ValueError):
+            C2LSH(data, n_projections=4, collision_threshold=9)
+
+    def test_stream_covers_all_items_once(self, data):
+        index = C2LSH(data, n_projections=8, collision_threshold=3, seed=0)
+        found = np.concatenate(list(index.candidate_stream(data[0])))
+        assert sorted(found.tolist()) == list(range(len(data)))
+        assert len(found) == len(data)
+
+    def test_search_full_budget_exact(self, data):
+        index = StreamSearchIndex(
+            C2LSH(data, n_projections=8, collision_threshold=3, seed=0), data
+        )
+        query = data[5]
+        result = index.search(query, k=10, n_candidates=len(data))
+        expected, _ = knn_linear_scan(query[None, :], data, 10)
+        assert np.array_equal(np.sort(result.ids), np.sort(expected[0]))
+
+    def test_reasonable_recall_at_budget(self, data, truth):
+        index = StreamSearchIndex(
+            C2LSH(
+                data,
+                n_projections=16,
+                bucket_width=0.5,
+                collision_threshold=6,
+                seed=0,
+            ),
+            data,
+        )
+        hits = 0
+        for qi in range(15):
+            result = index.search(data[qi], k=10, n_candidates=150)
+            hits += len(np.intersect1d(result.ids, truth[qi]))
+        assert hits / 150 > 0.4
+
+    def test_query_far_outside_data_range(self, data):
+        """Anchors far outside the key range must still terminate and
+        cover everything."""
+        index = C2LSH(data, n_projections=6, collision_threshold=2, seed=0)
+        far_query = np.full(data.shape[1], 50.0)
+        found = np.concatenate(list(index.candidate_stream(far_query)))
+        assert sorted(found.tolist()) == list(range(len(data)))
+
+
+class TestStreamSearchIndex:
+    def test_metric_validated(self, data):
+        with pytest.raises(KeyError):
+            StreamSearchIndex(
+                QALSH(data, n_projections=4, collision_threshold=2, seed=0),
+                data,
+                metric="nope",
+            )
+
+    def test_num_items_passthrough(self, data):
+        index = StreamSearchIndex(
+            QALSH(data, n_projections=4, collision_threshold=2, seed=0), data
+        )
+        assert index.num_items == len(data)

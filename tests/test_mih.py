@@ -1,0 +1,88 @@
+"""Tests for Multi-Index Hashing exact Hamming-range search."""
+
+import numpy as np
+import pytest
+
+from repro.index.codes import hamming_distance, pack_bits
+from repro.index.mih import MultiIndexHashing
+
+
+@pytest.fixture(scope="module")
+def codes():
+    rng = np.random.default_rng(0)
+    return rng.integers(0, 2, size=(300, 12)).astype(np.uint8)
+
+
+@pytest.fixture(scope="module")
+def signatures(codes):
+    return pack_bits(codes)
+
+
+class TestConstruction:
+    def test_block_count_bounds(self, codes):
+        with pytest.raises(ValueError):
+            MultiIndexHashing(codes, num_blocks=0)
+        with pytest.raises(ValueError):
+            MultiIndexHashing(codes, num_blocks=13)
+
+    def test_rejects_1d_codes(self):
+        with pytest.raises(ValueError):
+            MultiIndexHashing(np.array([0, 1], dtype=np.uint8))
+
+    def test_properties(self, codes):
+        mih = MultiIndexHashing(codes, num_blocks=3)
+        assert mih.code_length == 12
+        assert mih.num_blocks == 3
+        assert mih.num_items == 300
+
+
+class TestRangeSearch:
+    @pytest.mark.parametrize("num_blocks", [1, 2, 3, 4])
+    @pytest.mark.parametrize("radius", [0, 1, 2, 4])
+    def test_exact_r_ball(self, codes, signatures, num_blocks, radius):
+        mih = MultiIndexHashing(codes, num_blocks=num_blocks)
+        query = int(signatures[17])
+        found = mih.neighbors_within(query, radius)
+        expected = np.flatnonzero(
+            hamming_distance(signatures, np.int64(query)) <= radius
+        )
+        assert np.array_equal(np.sort(found), expected)
+
+    def test_candidates_superset_of_neighbors(self, codes, signatures):
+        mih = MultiIndexHashing(codes, num_blocks=2)
+        query = int(signatures[3])
+        cand = set(mih.candidates_within(query, 3).tolist())
+        exact = set(mih.neighbors_within(query, 3).tolist())
+        assert exact <= cand
+
+    def test_unseen_query_code(self, codes):
+        mih = MultiIndexHashing(codes, num_blocks=2)
+        # Radius m returns everything regardless of the query code.
+        found = mih.neighbors_within(0, 12)
+        assert len(found) == 300
+
+
+class TestProbeIncreasing:
+    def test_rings_partition_items(self, codes, signatures):
+        mih = MultiIndexHashing(codes, num_blocks=2)
+        query = int(signatures[0])
+        collected = []
+        for r, ids in mih.probe_increasing(query):
+            collected.extend(ids.tolist())
+        assert sorted(collected) == list(range(300))
+
+    def test_ring_distances_correct(self, codes, signatures):
+        mih = MultiIndexHashing(codes, num_blocks=3)
+        query = int(signatures[1])
+        for r, ids in mih.probe_increasing(query, max_radius=5):
+            if len(ids):
+                dists = hamming_distance(signatures[ids], np.int64(query))
+                assert (dists == r).all()
+
+    def test_no_duplicates_across_rings(self, codes, signatures):
+        mih = MultiIndexHashing(codes, num_blocks=2)
+        seen = set()
+        for _, ids in mih.probe_increasing(int(signatures[2])):
+            batch = set(ids.tolist())
+            assert not batch & seen
+            seen |= batch

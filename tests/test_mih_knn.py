@@ -1,0 +1,51 @@
+"""Tests for MIH's exact Hamming kNN mode."""
+
+import numpy as np
+import pytest
+
+from repro.index.codes import hamming_distance, pack_bits
+from repro.index.mih import MultiIndexHashing
+
+
+@pytest.fixture(scope="module")
+def codes():
+    rng = np.random.default_rng(5)
+    return rng.integers(0, 2, size=(250, 10)).astype(np.uint8)
+
+
+@pytest.fixture(scope="module")
+def mih(codes):
+    return MultiIndexHashing(codes, num_blocks=2)
+
+
+class TestKnnHamming:
+    def test_exact_against_bruteforce(self, mih, codes):
+        signatures = pack_bits(codes)
+        rng = np.random.default_rng(6)
+        for _ in range(5):
+            query = int(rng.integers(0, 1 << 10))
+            ids, dists = mih.knn_hamming(query, k=7)
+            brute = hamming_distance(signatures, np.int64(query))
+            expected_order = np.lexsort((np.arange(len(brute)), brute))[:7]
+            assert np.array_equal(ids, expected_order)
+            assert np.array_equal(dists, brute[expected_order])
+
+    def test_distances_non_decreasing(self, mih, codes):
+        query = int(pack_bits(codes[0]))
+        _, dists = mih.knn_hamming(query, k=20)
+        assert (np.diff(dists) >= 0).all()
+
+    def test_k_equals_n(self, mih, codes):
+        ids, _ = mih.knn_hamming(0, k=len(codes))
+        assert sorted(ids.tolist()) == list(range(len(codes)))
+
+    def test_k_validation(self, mih):
+        with pytest.raises(ValueError):
+            mih.knn_hamming(0, k=0)
+        with pytest.raises(ValueError):
+            mih.knn_hamming(0, k=10_000)
+
+    def test_self_code_first(self, mih, codes):
+        query = int(pack_bits(codes[3]))
+        ids, dists = mih.knn_hamming(query, k=1)
+        assert dists[0] == 0

@@ -1,0 +1,68 @@
+"""Tests for optimized product quantization."""
+
+import numpy as np
+import pytest
+
+from repro.quantization.opq import OptimizedProductQuantizer
+from repro.quantization.pq import ProductQuantizer
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(0)
+    # Correlated data where a rotation genuinely helps PQ.
+    base = rng.standard_normal((400, 8))
+    mix = rng.standard_normal((8, 8))
+    return base @ mix
+
+
+@pytest.fixture(scope="module")
+def opq(data):
+    return OptimizedProductQuantizer(
+        n_subspaces=2, n_centroids=8, n_iterations=5, seed=0
+    ).fit(data)
+
+
+class TestRotation:
+    def test_rotation_is_orthogonal(self, opq):
+        r = opq.rotation
+        assert np.allclose(r @ r.T, np.eye(len(r)), atol=1e-8)
+
+    def test_rotate_preserves_norms(self, opq, data):
+        rotated = opq.rotate(data[:20])
+        assert np.allclose(
+            np.linalg.norm(rotated, axis=1), np.linalg.norm(data[:20], axis=1)
+        )
+
+
+class TestTraining:
+    def test_error_improves_over_plain_pq(self, data):
+        pq = ProductQuantizer(2, n_centroids=8, seed=0).fit(data)
+        opq = OptimizedProductQuantizer(
+            2, n_centroids=8, n_iterations=8, seed=0
+        ).fit(data)
+        assert opq.quantization_error(data) <= pq.quantization_error(data) * 1.05
+
+    def test_errors_recorded(self, opq):
+        assert len(opq.errors) == 5
+        assert all(e >= 0 for e in opq.errors)
+
+    def test_rejects_1d_data(self):
+        with pytest.raises(ValueError):
+            OptimizedProductQuantizer(2).fit(np.zeros(10))
+
+    def test_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            OptimizedProductQuantizer(2).encode(np.zeros((1, 4)))
+
+
+class TestEncodeDecode:
+    def test_roundtrip_shapes(self, opq, data):
+        codes = opq.encode(data[:15])
+        assert codes.shape == (15, 2)
+        assert opq.decode(codes).shape == (15, data.shape[1])
+
+    def test_reconstruction_close_in_original_space(self, opq, data):
+        reconstructed = opq.decode(opq.encode(data))
+        error = np.square(data - reconstructed).sum(axis=1).mean()
+        assert error == pytest.approx(opq.quantization_error(data))

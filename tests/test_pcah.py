@@ -1,0 +1,66 @@
+"""Tests for PCA hashing."""
+
+import numpy as np
+import pytest
+
+from repro.hashing.pcah import PCAHashing, pca_directions
+
+
+class TestPcaDirections:
+    def test_orthonormal(self):
+        rng = np.random.default_rng(0)
+        data = rng.standard_normal((200, 10))
+        data -= data.mean(axis=0)
+        w = pca_directions(data, 4)
+        assert np.allclose(w.T @ w, np.eye(4), atol=1e-8)
+
+    def test_ordered_by_variance(self):
+        rng = np.random.default_rng(1)
+        data = rng.standard_normal((500, 6)) * np.array([5, 4, 3, 2, 1, 0.5])
+        data -= data.mean(axis=0)
+        w = pca_directions(data, 6)
+        variances = ((data @ w) ** 2).mean(axis=0)
+        assert (np.diff(variances) <= 1e-6).all()
+
+    def test_finds_dominant_axis(self):
+        rng = np.random.default_rng(2)
+        data = np.zeros((300, 5))
+        data[:, 2] = rng.standard_normal(300) * 10
+        data[:, 0] = rng.standard_normal(300) * 0.1
+        w = pca_directions(data - data.mean(axis=0), 1)
+        assert abs(w[2, 0]) > 0.99
+
+    def test_rejects_m_larger_than_d(self):
+        with pytest.raises(ValueError):
+            pca_directions(np.zeros((10, 3)), 4)
+
+    def test_sign_deterministic(self):
+        rng = np.random.default_rng(3)
+        data = rng.standard_normal((100, 8))
+        data -= data.mean(axis=0)
+        assert np.array_equal(pca_directions(data, 3), pca_directions(data, 3))
+
+
+class TestPCAHashing:
+    def test_projection_variance_decreasing(self, small_data):
+        hasher = PCAHashing(code_length=6).fit(small_data)
+        variances = hasher.project(small_data).var(axis=0)
+        assert (np.diff(variances) <= 1e-6).all()
+
+    def test_similar_items_share_codes_more(self, small_data):
+        """Similarity preservation: near pairs agree on more bits."""
+        hasher = PCAHashing(code_length=8).fit(small_data)
+        codes = hasher.encode(small_data)
+        rng = np.random.default_rng(4)
+        near_agree, far_agree = [], []
+        dists = np.linalg.norm(small_data - small_data[0], axis=1)
+        order = np.argsort(dists)
+        for i in order[1:20]:
+            near_agree.append((codes[0] == codes[i]).mean())
+        for i in order[-20:]:
+            far_agree.append((codes[0] == codes[i]).mean())
+        assert np.mean(near_agree) > np.mean(far_agree)
+
+    def test_spectral_bound_is_one_for_orthonormal(self, small_data):
+        hasher = PCAHashing(code_length=5).fit(small_data)
+        assert hasher.spectral_bound() == pytest.approx(1.0, abs=1e-8)

@@ -1,0 +1,150 @@
+"""Tests for index save/load."""
+
+import numpy as np
+import pytest
+
+from repro.core.gqr import GQR
+from repro.core.qd_ranking import QDRanking
+from repro.data import gaussian_mixture
+from repro.hashing import (
+    ITQ,
+    KMeansHashing,
+    PCAHashing,
+    RandomProjectionLSH,
+    SpectralHashing,
+)
+from repro.io.persistence import load_index, save_index
+from repro.probing import HammingRanking, MultiProbeLSH
+from repro.search.searcher import HashIndex
+
+
+@pytest.fixture(scope="module")
+def data():
+    return gaussian_mixture(800, 16, n_clusters=8, seed=4)
+
+
+def roundtrip(index, tmp_path):
+    path = save_index(index, tmp_path / "index")
+    return load_index(path)
+
+
+@pytest.mark.parametrize(
+    "hasher_factory",
+    [
+        lambda: ITQ(code_length=6, seed=0),
+        lambda: PCAHashing(code_length=6),
+        lambda: RandomProjectionLSH(code_length=6, seed=1),
+        lambda: SpectralHashing(code_length=6),
+        lambda: KMeansHashing(code_length=8, bits_per_subspace=4, seed=0),
+    ],
+    ids=["itq", "pcah", "lsh", "sh", "kmh"],
+)
+def test_roundtrip_preserves_results(tmp_path, data, hasher_factory):
+    index = HashIndex(hasher_factory(), data, prober=GQR())
+    restored = roundtrip(index, tmp_path)
+    query = data[7]
+    original = index.search(query, k=10, n_candidates=200)
+    rebuilt = restored.search(query, k=10, n_candidates=200)
+    assert np.array_equal(original.ids, rebuilt.ids)
+    assert np.allclose(original.distances, rebuilt.distances)
+
+
+class TestManifest:
+    def test_metric_preserved(self, tmp_path, data):
+        index = HashIndex(ITQ(code_length=6, seed=0), data, metric="angular")
+        restored = roundtrip(index, tmp_path)
+        assert restored.metric == "angular"
+
+    def test_prober_type_preserved(self, tmp_path, data):
+        for prober, cls in [
+            (HammingRanking(), HammingRanking),
+            (QDRanking(), QDRanking),
+            (MultiProbeLSH(), MultiProbeLSH),
+        ]:
+            index = HashIndex(ITQ(code_length=6, seed=0), data, prober=prober)
+            restored = roundtrip(index, tmp_path)
+            assert type(restored.prober) is cls
+
+    def test_multi_table_roundtrip(self, tmp_path, data):
+        hashers = [ITQ(code_length=6, seed=s) for s in (0, 1)]
+        index = HashIndex(hashers, data, prober=GQR())
+        restored = roundtrip(index, tmp_path)
+        assert restored.num_tables == 2
+        query = data[3]
+        a = index.search(query, 5, 100)
+        b = restored.search(query, 5, 100)
+        assert np.array_equal(a.ids, b.ids)
+
+    def test_npz_suffix_added(self, tmp_path, data):
+        index = HashIndex(ITQ(code_length=6, seed=0), data)
+        path = save_index(index, tmp_path / "myindex")
+        assert path.suffix == ".npz"
+        assert path.exists()
+
+    def test_early_stop_works_after_restore(self, tmp_path, data):
+        """Restored ITQ must still count as a ProjectionHasher."""
+        index = HashIndex(ITQ(code_length=6, seed=0), data, prober=GQR())
+        restored = roundtrip(index, tmp_path)
+        result = restored.search_early_stop(data[0], k=5)
+        assert len(result.ids) == 5
+
+    def test_bad_format_version_rejected(self, tmp_path, data):
+        import json
+
+        index = HashIndex(ITQ(code_length=6, seed=0), data)
+        path = save_index(index, tmp_path / "index")
+        with np.load(path) as archive:
+            arrays = {k: archive[k] for k in archive.files}
+        manifest = json.loads(bytes(arrays["manifest"]).decode())
+        manifest["format_version"] = 999
+        arrays["manifest"] = np.frombuffer(
+            json.dumps(manifest).encode(), dtype=np.uint8
+        )
+        np.savez(path, **arrays)
+        with pytest.raises(ValueError):
+            load_index(path)
+
+
+class TestUnsupportedComponents:
+    def test_unsupported_prober_rejected(self, tmp_path, data):
+        from repro.core.prober import BucketProber
+
+        class CustomProber(BucketProber):
+            def probe(self, table, signature, flip_costs):
+                return iter([])
+
+        index = HashIndex(ITQ(code_length=6, seed=0), data,
+                          prober=CustomProber())
+        with pytest.raises(TypeError):
+            save_index(index, tmp_path / "index")
+
+    def test_unfitted_index_components_roundtrip_queries(self, tmp_path, data):
+        """Loading must not require refitting: a restored hasher that is
+        asked to refit raises instead of silently retraining."""
+        index = HashIndex(ITQ(code_length=6, seed=0), data, prober=GQR())
+        restored = roundtrip(index, tmp_path)
+        hasher = restored._hashers[0]
+        assert hasher.is_fitted
+        # encode still works without any training data around
+        codes = hasher.encode(data[:3])
+        assert codes.shape == (3, 6)
+
+
+class TestSSHPersistence:
+    def test_ssh_roundtrips_as_projection_hasher(self, tmp_path, data):
+        """SSH has no dedicated manifest kind; it restores as a generic
+        projection hasher with identical search behaviour."""
+        from repro.hashing.ssh import SemiSupervisedHashing, pairs_from_neighbors
+
+        similar, dissimilar = pairs_from_neighbors(data, n_anchors=20, seed=0)
+        ssh = SemiSupervisedHashing(
+            code_length=6, similar_pairs=similar, dissimilar_pairs=dissimilar
+        )
+        index = HashIndex(ssh, data, prober=GQR())
+        restored = roundtrip(index, tmp_path)
+        query = data[4]
+        a = index.search(query, 5, 100)
+        b = restored.search(query, 5, 100)
+        assert np.array_equal(a.ids, b.ids)
+        # Theorem 2 machinery still available on the restored hasher.
+        assert restored._hashers[0].spectral_bound() > 0

@@ -1,0 +1,39 @@
+"""Tests for the ASCII curve plotter."""
+
+from repro.eval.harness import CurvePoint
+from repro.eval.plotting import ascii_plot, plot_recall_time
+
+
+class TestAsciiPlot:
+    def test_empty_series(self):
+        assert ascii_plot({}) == "(no data)"
+
+    def test_markers_and_legend(self):
+        out = ascii_plot({"a": [(0, 0), (1, 1)], "b": [(0, 1), (1, 0)]})
+        assert "* a" in out and "o b" in out
+        assert "*" in out.splitlines()[0] + out.splitlines()[-3]
+
+    def test_constant_series_no_crash(self):
+        out = ascii_plot({"flat": [(1, 0.5), (2, 0.5)]})
+        assert "flat" in out
+
+    def test_dimensions(self):
+        out = ascii_plot({"a": [(0, 0), (1, 1)]}, width=30, height=8)
+        grid_lines = [
+            line for line in out.splitlines() if "│" in line or "┤" in line
+        ]
+        assert len(grid_lines) == 8
+
+    def test_log_x_notes_scale(self):
+        out = ascii_plot({"a": [(0.01, 0), (10, 1)]}, logx=True)
+        assert "(log x)" in out
+
+
+class TestPlotRecallTime:
+    def test_renders_curves(self):
+        curves = {
+            "GQR": [CurvePoint(10, 0.01, 0.5, 0, 0),
+                    CurvePoint(100, 0.1, 1.0, 0, 0)],
+        }
+        out = plot_recall_time(curves)
+        assert "recall" in out and "seconds" in out and "GQR" in out

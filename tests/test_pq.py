@@ -1,0 +1,90 @@
+"""Tests for product quantization."""
+
+import numpy as np
+import pytest
+
+from repro.quantization.pq import ProductQuantizer
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(0)
+    return rng.standard_normal((400, 12))
+
+
+@pytest.fixture(scope="module")
+def pq(data):
+    return ProductQuantizer(n_subspaces=3, n_centroids=8, seed=0).fit(data)
+
+
+class TestConstruction:
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            ProductQuantizer(0)
+        with pytest.raises(ValueError):
+            ProductQuantizer(2, n_centroids=0)
+
+    def test_rejects_more_subspaces_than_dims(self):
+        with pytest.raises(ValueError):
+            ProductQuantizer(13).fit(np.zeros((50, 12)))
+
+    def test_uneven_split_allowed(self):
+        rng = np.random.default_rng(1)
+        pq = ProductQuantizer(n_subspaces=5, n_centroids=4, seed=0)
+        pq.fit(rng.standard_normal((100, 13)))
+        widths = [cb.shape[1] for cb in pq.codebooks]
+        assert sum(widths) == 13
+        assert max(widths) - min(widths) <= 1
+
+
+class TestEncodeDecode:
+    def test_code_shape_and_range(self, pq, data):
+        codes = pq.encode(data)
+        assert codes.shape == (400, 3)
+        assert codes.min() >= 0 and codes.max() < 8
+
+    def test_decode_shape(self, pq, data):
+        assert pq.decode(pq.encode(data[:10])).shape == (10, 12)
+
+    def test_codes_minimize_block_distance(self, pq, data):
+        codes = pq.encode(data[:20])
+        blocks = np.split(data[:20], pq._splits, axis=1)
+        for i, codebook in enumerate(pq.codebooks):
+            for row in range(20):
+                dists = np.linalg.norm(codebook - blocks[i][row], axis=1)
+                assert dists[codes[row, i]] == pytest.approx(dists.min())
+
+    def test_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            ProductQuantizer(2).encode(np.zeros((2, 4)))
+
+
+class TestDistances:
+    def test_adc_matches_decoded_distance(self, pq, data):
+        """Σ table lookups == squared distance to the reconstruction."""
+        query = data[0]
+        tables = pq.distance_tables(query)
+        codes = pq.encode(data[:30])
+        adc = sum(tables[i][codes[:, i]] for i in range(3))
+        decoded = pq.decode(codes)
+        expected = np.square(decoded - query).sum(axis=1)
+        assert np.allclose(adc, expected)
+
+    def test_distance_tables_shape(self, pq, data):
+        tables = pq.distance_tables(data[0])
+        assert len(tables) == 3
+        assert all(t.shape == (8,) for t in tables)
+
+    def test_distance_tables_rejects_batch(self, pq, data):
+        with pytest.raises(ValueError):
+            pq.distance_tables(data[:2])
+
+
+class TestQuantizationError:
+    def test_error_decreases_with_centroids(self, data):
+        coarse = ProductQuantizer(2, n_centroids=2, seed=0).fit(data)
+        fine = ProductQuantizer(2, n_centroids=32, seed=0).fit(data)
+        assert fine.quantization_error(data) < coarse.quantization_error(data)
+
+    def test_error_nonnegative(self, pq, data):
+        assert pq.quantization_error(data) >= 0

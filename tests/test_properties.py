@@ -1,0 +1,147 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+These cover the paper's formal claims on arbitrary inputs:
+Properties 1-2 of the generation tree, Definition 1 identities,
+pack/unpack bijection, and prober coverage.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.generation_tree import FlippingVectorGenerator, mask_cost
+from repro.core.gqr import GQR
+from repro.core.quantization_distance import (
+    quantization_distance,
+    quantization_distances,
+)
+from repro.index.codes import hamming_distance, pack_bits, unpack_bits
+from repro.index.hash_table import HashTable
+
+
+bit_arrays = st.integers(2, 12).flatmap(
+    lambda m: st.lists(
+        st.lists(st.integers(0, 1), min_size=m, max_size=m),
+        min_size=1,
+        max_size=30,
+    )
+)
+
+cost_vectors = st.integers(2, 10).flatmap(
+    lambda m: st.lists(
+        st.floats(0.0, 10.0, allow_nan=False), min_size=m, max_size=m
+    )
+)
+
+
+class TestPackUnpackProperties:
+    @given(bit_arrays)
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip(self, rows):
+        bits = np.asarray(rows, dtype=np.uint8)
+        sigs = pack_bits(bits)
+        assert np.array_equal(unpack_bits(sigs, bits.shape[1]), bits)
+
+    @given(st.integers(0, (1 << 20) - 1), st.integers(0, (1 << 20) - 1))
+    @settings(max_examples=100, deadline=None)
+    def test_hamming_equals_xor_popcount(self, a, b):
+        assert hamming_distance(a, b) == bin(a ^ b).count("1")
+
+
+class TestQuantizationDistanceProperties:
+    @given(cost_vectors, st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_identity_and_nonnegativity(self, costs, data):
+        costs = np.asarray(costs)
+        m = len(costs)
+        sig = data.draw(st.integers(0, (1 << m) - 1))
+        other = data.draw(st.integers(0, (1 << m) - 1))
+        assert quantization_distance(sig, sig, costs) == 0.0
+        assert quantization_distance(sig, other, costs) >= 0.0
+
+    @given(cost_vectors, st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_hamming_sandwich(self, costs, data):
+        """HD·min ≤ QD ≤ HD·max for any cost vector."""
+        costs = np.asarray(costs)
+        m = len(costs)
+        a = data.draw(st.integers(0, (1 << m) - 1))
+        b = data.draw(st.integers(0, (1 << m) - 1))
+        qd = quantization_distance(a, b, costs)
+        hd = hamming_distance(a, b)
+        assert qd >= hd * costs.min() - 1e-9
+        assert qd <= hd * costs.max() + 1e-9
+
+    @given(cost_vectors, st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_additive_decomposition(self, costs, data):
+        """QD(a, b) = Σ over differing bits of cost — so flipping one more
+        bit adds exactly that bit's cost."""
+        costs = np.asarray(costs)
+        m = len(costs)
+        a = data.draw(st.integers(0, (1 << m) - 1))
+        b = data.draw(st.integers(0, (1 << m) - 1))
+        bit = data.draw(st.integers(0, m - 1))
+        if (a ^ b) & (1 << bit):
+            return  # bit already differs
+        flipped = b ^ (1 << bit)
+        # Approximate: summation order differs between the two sides.
+        assert quantization_distance(a, flipped, costs) == pytest.approx(
+            quantization_distance(a, b, costs) + costs[bit], abs=1e-9
+        )
+
+
+class TestGenerationTreeProperties:
+    @given(cost_vectors)
+    @settings(max_examples=40, deadline=None)
+    def test_property1_exactly_once(self, costs):
+        sorted_costs = np.sort(np.asarray(costs))
+        m = len(sorted_costs)
+        masks = [mask for mask, _ in FlippingVectorGenerator(sorted_costs)]
+        assert sorted(masks) == list(range(1 << m))
+
+    @given(cost_vectors)
+    @settings(max_examples=40, deadline=None)
+    def test_property2_non_decreasing(self, costs):
+        sorted_costs = np.sort(np.asarray(costs))
+        emitted = [cost for _, cost in FlippingVectorGenerator(sorted_costs)]
+        assert all(b >= a - 1e-9 for a, b in zip(emitted, emitted[1:]))
+
+    @given(cost_vectors)
+    @settings(max_examples=40, deadline=None)
+    def test_costs_match_definition(self, costs):
+        sorted_costs = np.sort(np.asarray(costs))
+        for mask, cost in FlippingVectorGenerator(sorted_costs):
+            assert abs(cost - mask_cost(mask, sorted_costs)) < 1e-6
+
+
+class TestGQRProperties:
+    @given(
+        st.integers(2, 8).flatmap(
+            lambda m: st.tuples(
+                st.just(m),
+                st.integers(0, (1 << m) - 1),
+                st.lists(
+                    st.floats(0.0, 5.0, allow_nan=False),
+                    min_size=m,
+                    max_size=m,
+                ),
+                st.lists(st.integers(0, (1 << m) - 1), min_size=1, max_size=40),
+            )
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_gqr_stream_covers_space_in_qd_order(self, params):
+        m, query_sig, costs, item_sigs = params
+        costs = np.asarray(costs)
+        table = HashTable(np.asarray(item_sigs, dtype=np.int64), code_length=m)
+        pairs = list(GQR().probe_scored(table, query_sig, costs))
+        buckets = [b for b, _ in pairs]
+        assert sorted(buckets) == list(range(1 << m))
+        qds = quantization_distances(query_sig, np.asarray(buckets), costs)
+        assert np.allclose(qds, [qd for _, qd in pairs], atol=1e-9)
+        assert all(
+            b >= a - 1e-9
+            for a, b in zip([q for _, q in pairs], [q for _, q in pairs][1:])
+        )

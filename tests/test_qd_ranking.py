@@ -1,0 +1,56 @@
+"""Tests for QD ranking (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.qd_ranking import QDRanking
+from repro.core.quantization_distance import quantization_distances
+from repro.index.hash_table import HashTable
+
+
+@pytest.fixture()
+def probe_inputs(fitted_itq, small_data):
+    query = small_data[11]
+    signature, costs = fitted_itq.probe_info(query)
+    return signature, costs
+
+
+class TestQDRanking:
+    def test_probes_every_occupied_bucket_once(self, small_table, probe_inputs):
+        signature, costs = probe_inputs
+        order = list(QDRanking().probe(small_table, signature, costs))
+        assert sorted(order) == sorted(small_table.signatures())
+
+    def test_order_is_ascending_qd(self, small_table, probe_inputs):
+        signature, costs = probe_inputs
+        order = list(QDRanking().probe(small_table, signature, costs))
+        qds = quantization_distances(signature, np.asarray(order), costs)
+        assert (np.diff(qds) >= -1e-12).all()
+
+    def test_query_bucket_first_when_occupied(self, small_table, probe_inputs):
+        signature, costs = probe_inputs
+        if signature in small_table:
+            first = next(QDRanking().probe(small_table, signature, costs))
+            assert first == signature
+
+    def test_empty_table(self, probe_inputs):
+        signature, costs = probe_inputs
+        table = HashTable(np.empty((0, 8), dtype=np.uint8))
+        assert list(QDRanking().probe(table, signature, costs)) == []
+
+    def test_collect_reaches_budget(self, small_table, probe_inputs):
+        signature, costs = probe_inputs
+        ids = QDRanking().collect(small_table, signature, costs, 100)
+        assert len(ids) >= 100
+
+    def test_collect_all_items(self, small_table, probe_inputs):
+        signature, costs = probe_inputs
+        ids = QDRanking().collect(
+            small_table, signature, costs, small_table.num_items
+        )
+        assert sorted(ids.tolist()) == list(range(small_table.num_items))
+
+    def test_collect_rejects_zero_budget(self, small_table, probe_inputs):
+        signature, costs = probe_inputs
+        with pytest.raises(ValueError):
+            QDRanking().collect(small_table, signature, costs, 0)

@@ -1,0 +1,98 @@
+"""Tests for quantization distance (Definition 1, Theorems 1-2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.quantization_distance import (
+    distance_lower_bound,
+    quantization_distance,
+    quantization_distances,
+    theorem2_mu,
+)
+from repro.index.codes import hamming_distance, pack_bits
+from repro.hashing.base import sign_quantize
+
+
+class TestDefinition:
+    def test_paper_figure3_example(self):
+        """Figure 3: p(q1) = (-0.2, -0.8) gives the table's QD values."""
+        projections = np.array([-0.2, -0.8])
+        query_sig = pack_bits(sign_quantize(projections))  # (0, 0) -> 0
+        costs = np.abs(projections)
+        assert quantization_distance(query_sig, 0b00, costs) == pytest.approx(0.0)
+        assert quantization_distance(query_sig, 0b01, costs) == pytest.approx(0.2)
+        assert quantization_distance(query_sig, 0b10, costs) == pytest.approx(0.8)
+        assert quantization_distance(query_sig, 0b11, costs) == pytest.approx(1.0)
+
+    def test_own_bucket_distance_zero(self):
+        rng = np.random.default_rng(0)
+        p = rng.standard_normal(10)
+        sig = pack_bits(sign_quantize(p))
+        assert quantization_distance(sig, sig, np.abs(p)) == 0.0
+
+    def test_symmetric_in_xor(self):
+        """QD depends on signatures only through their XOR."""
+        rng = np.random.default_rng(1)
+        p = np.abs(rng.standard_normal(8))
+        a, b = 0b10110100, 0b01100110
+        assert quantization_distance(a, b, p) == pytest.approx(
+            quantization_distance(b, a, p)
+        )
+
+    def test_vectorized_matches_scalar(self):
+        rng = np.random.default_rng(2)
+        p = np.abs(rng.standard_normal(12))
+        query = 0b101010101010
+        buckets = rng.integers(0, 1 << 12, size=50)
+        batch = quantization_distances(query, buckets, p)
+        for sig, qd in zip(buckets, batch):
+            assert qd == pytest.approx(quantization_distance(query, int(sig), p))
+
+    def test_bounded_by_hamming_times_extremes(self):
+        """HD·min|p| ≤ QD ≤ HD·max|p|."""
+        rng = np.random.default_rng(3)
+        p = np.abs(rng.standard_normal(10))
+        query = int(rng.integers(0, 1 << 10))
+        buckets = rng.integers(0, 1 << 10, size=100)
+        qds = quantization_distances(query, buckets, p)
+        hds = hamming_distance(buckets, np.int64(query))
+        assert (qds >= hds * p.min() - 1e-12).all()
+        assert (qds <= hds * p.max() + 1e-12).all()
+
+    def test_distinguishes_same_hamming_ring(self):
+        p = np.array([0.1, 0.9])
+        qd1 = quantization_distance(0b00, 0b01, p)
+        qd2 = quantization_distance(0b00, 0b10, p)
+        assert hamming_distance(0b00, 0b01) == hamming_distance(0b00, 0b10)
+        assert qd1 != qd2
+
+
+class TestTheorem2:
+    def test_mu_formula(self):
+        rng = np.random.default_rng(4)
+        h = rng.standard_normal((6, 9))
+        sigma = np.linalg.svd(h, compute_uv=False)[0]
+        assert theorem2_mu(h) == pytest.approx(1.0 / (sigma * np.sqrt(6)))
+
+    def test_mu_rejects_bad_matrix(self):
+        with pytest.raises(ValueError):
+            theorem2_mu(np.zeros(5))
+        with pytest.raises(ValueError):
+            theorem2_mu(np.zeros((3, 4)))
+
+    def test_lower_bound_holds_exhaustively(self, small_data, fitted_itq):
+        """For every item o in bucket b: ‖o − q‖ ≥ µ·dist(q, b)."""
+        mu = theorem2_mu(fitted_itq.hashing_matrix)
+        signatures = np.asarray(fitted_itq.signatures(small_data))
+        rng = np.random.default_rng(5)
+        for qi in rng.choice(len(small_data), 5, replace=False):
+            query = small_data[qi]
+            qsig, costs = fitted_itq.probe_info(query)
+            qds = quantization_distances(qsig, signatures, costs)
+            true = np.linalg.norm(small_data - query, axis=1)
+            assert (true >= mu * qds - 1e-9).all()
+
+    def test_distance_lower_bound_scales(self):
+        assert distance_lower_bound(2.0, 0.5) == 1.0
+        out = distance_lower_bound(np.array([1.0, 4.0]), 0.25)
+        assert np.allclose(out, [0.25, 1.0])

@@ -1,0 +1,35 @@
+"""Tests for plain-text reporting helpers."""
+
+from repro.eval.harness import CurvePoint
+from repro.eval.reporting import format_curve_points, format_curves, format_table
+
+
+class TestFormatTable:
+    def test_headers_and_rows_present(self):
+        text = format_table(["name", "n"], [["a", 1], ["b", 22]])
+        lines = text.splitlines()
+        assert "name" in lines[0]
+        assert set(lines[1]) <= {"-", " "}
+        assert "22" in lines[-1]
+
+    def test_empty_rows(self):
+        text = format_table(["x"], [])
+        assert "x" in text
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[0.123456789]])
+        assert "0.1235" in text
+
+
+class TestFormatCurves:
+    def _point(self):
+        return CurvePoint(budget=100, seconds=0.5, recall=0.85, items=120.0,
+                          buckets=3.0)
+
+    def test_curve_points_table(self):
+        text = format_curve_points([self._point()])
+        assert "budget" in text and "100" in text and "0.85" in text
+
+    def test_named_sections(self):
+        text = format_curves({"GQR": [self._point()], "HR": [self._point()]})
+        assert "[GQR]" in text and "[HR]" in text

@@ -1,0 +1,70 @@
+"""Tests for SK-LSH-style prefix ranking."""
+
+import numpy as np
+import pytest
+
+from repro.index.hash_table import HashTable
+from repro.probing.sklsh import PrefixRanking, common_prefix_length
+
+
+class TestCommonPrefixLength:
+    def test_identical(self):
+        assert common_prefix_length(0b1011, 0b1011, 4) == 4
+
+    def test_first_bit_differs(self):
+        # MSB differs -> no shared prefix.
+        assert common_prefix_length(0b1000, 0b0000, 4) == 0
+
+    def test_last_bit_differs(self):
+        assert common_prefix_length(0b1001, 0b1000, 4) == 3
+
+    def test_only_masked_bits_count(self):
+        # Same low 3 bits, garbage above m: mask keeps it correct.
+        assert common_prefix_length(0b0101, 0b1101, 3) == 3
+
+
+class TestPrefixRanking:
+    @pytest.fixture()
+    def table(self):
+        rng = np.random.default_rng(0)
+        codes = rng.integers(0, 2, size=(200, 6)).astype(np.uint8)
+        return HashTable(codes)
+
+    def test_covers_occupied_buckets_once(self, table):
+        order = list(PrefixRanking().probe(table, 0b101010, np.zeros(6)))
+        assert sorted(order) == sorted(table.signatures())
+
+    def test_prefix_lengths_non_increasing(self, table):
+        signature = 0b110011
+        order = PrefixRanking().probe(table, signature, np.zeros(6))
+        lengths = [common_prefix_length(b, signature, 6) for b in order]
+        assert lengths == sorted(lengths, reverse=True)
+
+    def test_query_bucket_first_when_present(self, table):
+        signature = next(iter(table.signatures()))
+        first = next(PrefixRanking().probe(table, signature, np.zeros(6)))
+        assert first == signature
+
+    def test_underperforms_gqr_on_boundary_queries(self):
+        """The prefix order ignores margins: a query projected just past
+        the MSB threshold loses the whole shared prefix for GQR's
+        cheapest single-bit flip."""
+        from repro.core.gqr import GQR
+
+        # All buckets occupied for a 4-bit table.
+        table = HashTable(
+            np.asarray(
+                [[b >> i & 1 for i in range(4)] for b in range(16)],
+                dtype=np.uint8,
+            )
+        )
+        signature = 0b0000
+        # MSB (bit 3) is the cheapest flip: |p| tiny there.
+        costs = np.array([1.0, 1.0, 1.0, 0.01])
+        gqr_order = list(GQR().probe(table, signature, costs))
+        prefix_order = list(PrefixRanking().probe(table, signature, costs))
+        flip_msb = 0b1000
+        # GQR probes the across-the-boundary bucket second; prefix
+        # ranking relegates it to the last half.
+        assert gqr_order.index(flip_msb) == 1
+        assert prefix_order.index(flip_msb) >= 8

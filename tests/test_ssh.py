@@ -1,0 +1,97 @@
+"""Tests for semi-supervised hashing."""
+
+import numpy as np
+import pytest
+
+from repro.data import gaussian_mixture
+from repro.hashing.pcah import PCAHashing
+from repro.hashing.ssh import SemiSupervisedHashing, pairs_from_neighbors
+
+
+@pytest.fixture(scope="module")
+def data():
+    return gaussian_mixture(1000, 16, n_clusters=8, seed=6)
+
+
+class TestPairsFromNeighbors:
+    def test_shapes(self, data):
+        similar, dissimilar = pairs_from_neighbors(
+            data, n_anchors=20, n_neighbors=3, seed=0
+        )
+        assert similar.shape == (60, 2)
+        assert dissimilar.shape == (60, 2)
+
+    def test_similar_pairs_closer_than_dissimilar(self, data):
+        similar, dissimilar = pairs_from_neighbors(
+            data, n_anchors=20, n_neighbors=3, seed=0
+        )
+        sim_d = np.linalg.norm(
+            data[similar[:, 0]] - data[similar[:, 1]], axis=1
+        ).mean()
+        dis_d = np.linalg.norm(
+            data[dissimilar[:, 0]] - data[dissimilar[:, 1]], axis=1
+        ).mean()
+        assert sim_d < dis_d
+
+
+class TestSemiSupervisedHashing:
+    def test_no_pairs_degenerates_to_pcah(self, data):
+        """With η·covariance only, SSH's directions span PCA's."""
+        ssh = SemiSupervisedHashing(code_length=4).fit(data)
+        pcah = PCAHashing(code_length=4).fit(data)
+        # Same eigenvectors up to sign conventions (both anchored).
+        assert np.allclose(
+            np.abs(ssh.hashing_matrix), np.abs(pcah.hashing_matrix), atol=1e-6
+        )
+
+    def test_pairs_change_directions(self, data):
+        similar, dissimilar = pairs_from_neighbors(
+            data, n_anchors=50, n_neighbors=5, seed=0
+        )
+        ssh = SemiSupervisedHashing(
+            code_length=4, similar_pairs=similar, dissimilar_pairs=dissimilar
+        ).fit(data)
+        pcah = PCAHashing(code_length=4).fit(data)
+        assert not np.allclose(
+            np.abs(ssh.hashing_matrix), np.abs(pcah.hashing_matrix), atol=1e-6
+        )
+
+    def test_supervision_helps_pair_agreement(self, data):
+        """Codes should agree on labelled-similar pairs more often than
+        on labelled-dissimilar pairs."""
+        similar, dissimilar = pairs_from_neighbors(
+            data, n_anchors=60, n_neighbors=5, seed=1
+        )
+        ssh = SemiSupervisedHashing(
+            code_length=8,
+            similar_pairs=similar,
+            dissimilar_pairs=dissimilar,
+            eta=0.5,
+        ).fit(data)
+        codes = ssh.encode(data)
+        sim_agree = (codes[similar[:, 0]] == codes[similar[:, 1]]).mean()
+        dis_agree = (codes[dissimilar[:, 0]] == codes[dissimilar[:, 1]]).mean()
+        assert sim_agree > dis_agree
+
+    def test_pair_validation(self, data):
+        with pytest.raises(ValueError):
+            SemiSupervisedHashing(code_length=4, similar_pairs=np.zeros((2, 3)))
+        with pytest.raises(ValueError):
+            SemiSupervisedHashing(code_length=4, eta=-1.0)
+        ssh = SemiSupervisedHashing(
+            code_length=4, similar_pairs=np.array([[0, 10_000]])
+        )
+        with pytest.raises(ValueError):
+            ssh.fit(data)
+
+    def test_works_with_gqr(self, data):
+        from repro.core.gqr import GQR
+        from repro.search.searcher import HashIndex
+
+        similar, dissimilar = pairs_from_neighbors(data, seed=2)
+        ssh = SemiSupervisedHashing(
+            code_length=7, similar_pairs=similar, dissimilar_pairs=dissimilar
+        )
+        index = HashIndex(ssh, data, prober=GQR())
+        result = index.search(data[0], k=5, n_candidates=200)
+        assert len(result.ids) == 5

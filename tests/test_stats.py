@@ -1,0 +1,64 @@
+"""Tests for bootstrap statistics."""
+
+import numpy as np
+import pytest
+
+from repro.eval.stats import bootstrap_ci, paired_bootstrap_test
+
+
+class TestBootstrapCI:
+    def test_contains_true_mean_for_tight_data(self):
+        rng = np.random.default_rng(0)
+        samples = rng.normal(0.8, 0.01, size=200)
+        lo, hi = bootstrap_ci(samples, seed=1)
+        assert lo <= samples.mean() <= hi
+        assert hi - lo < 0.02
+
+    def test_wider_for_noisier_data(self):
+        rng = np.random.default_rng(1)
+        tight = bootstrap_ci(rng.normal(0.5, 0.01, 100), seed=2)
+        wide = bootstrap_ci(rng.normal(0.5, 0.3, 100), seed=2)
+        assert (wide[1] - wide[0]) > (tight[1] - tight[0])
+
+    def test_deterministic_under_seed(self):
+        samples = np.linspace(0, 1, 50)
+        assert bootstrap_ci(samples, seed=3) == bootstrap_ci(samples, seed=3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci(np.array([]))
+        with pytest.raises(ValueError):
+            bootstrap_ci(np.array([1.0]), confidence=1.5)
+
+
+class TestPairedBootstrap:
+    def test_detects_clear_difference(self):
+        rng = np.random.default_rng(4)
+        base = rng.uniform(0.5, 0.9, size=100)
+        better = base + 0.1 + rng.normal(0, 0.01, size=100)
+        result = paired_bootstrap_test(better, base, seed=5)
+        assert result.mean_difference == pytest.approx(0.1, abs=0.02)
+        assert result.significant
+        assert result.p_value < 0.05
+
+    def test_no_false_positive_on_identical(self):
+        rng = np.random.default_rng(6)
+        noise = rng.normal(0, 0.05, size=100)
+        a = 0.7 + noise
+        b = 0.7 + noise  # exactly paired: zero difference
+        result = paired_bootstrap_test(a, b, seed=7)
+        assert result.mean_difference == 0.0
+        assert not result.significant
+
+    def test_pairing_beats_unpaired_variance(self):
+        """Shared query difficulty cancels in the paired differences."""
+        rng = np.random.default_rng(8)
+        difficulty = rng.uniform(0.2, 0.9, size=100)
+        a = difficulty + 0.05 + rng.normal(0, 0.01, 100)
+        b = difficulty + rng.normal(0, 0.01, 100)
+        result = paired_bootstrap_test(a, b, seed=9)
+        assert result.significant  # despite sd(difficulty) >> 0.05
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            paired_bootstrap_test(np.array([1.0]), np.array([1.0, 2.0]))

@@ -1,0 +1,55 @@
+"""Tests for the alternative stopping criteria of HashIndex.search."""
+
+import numpy as np
+import pytest
+
+from repro.core.gqr import GQR
+from repro.data import gaussian_mixture
+from repro.hashing import ITQ
+from repro.search.searcher import HashIndex
+
+
+@pytest.fixture(scope="module")
+def index():
+    data = gaussian_mixture(1500, 16, n_clusters=10,
+                            cluster_spread=1.0, seed=111)
+    return HashIndex(ITQ(code_length=8, seed=0), data, prober=GQR())
+
+
+@pytest.fixture(scope="module")
+def query(index):
+    return index.data[0]
+
+
+class TestStoppingCriteria:
+    def test_requires_some_criterion(self, index, query):
+        with pytest.raises(ValueError):
+            index.search(query, k=5)
+
+    def test_candidate_budget(self, index, query):
+        result = index.search(query, k=5, n_candidates=100)
+        assert result.n_candidates >= 100
+
+    def test_max_buckets(self, index, query):
+        result = index.search(query, k=5, max_buckets=3)
+        assert result.n_buckets_probed <= 3
+
+    def test_time_budget_stops(self, index, query):
+        """A zero time budget allows only the first bucket."""
+        result = index.search(query, k=5, time_budget=0.0)
+        assert result.n_buckets_probed == 1
+
+    def test_first_criterion_hit_wins(self, index, query):
+        by_items = index.search(query, k=5, n_candidates=50, max_buckets=1000)
+        by_buckets = index.search(query, k=5, n_candidates=10**9, max_buckets=2)
+        assert by_items.n_candidates >= 50
+        assert by_buckets.n_buckets_probed <= 2
+
+    def test_keyword_only_usage_matches_positional(self, index, query):
+        a = index.search(query, 5, 200)
+        b = index.search(query, k=5, n_candidates=200)
+        assert np.array_equal(a.ids, b.ids)
+
+    def test_max_buckets_results_still_sorted(self, index, query):
+        result = index.search(query, k=10, max_buckets=5)
+        assert (np.diff(result.distances) >= 0).all()

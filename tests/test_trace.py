@@ -1,0 +1,88 @@
+"""Tests for per-query probe tracing."""
+
+import numpy as np
+import pytest
+
+from repro.core.gqr import GQR
+from repro.data import gaussian_mixture, ground_truth_knn
+from repro.eval.trace import trace_query
+from repro.hashing import ITQ
+from repro.probing import HammingRanking
+from repro.search.searcher import HashIndex
+
+
+@pytest.fixture(scope="module")
+def setup():
+    data = gaussian_mixture(1000, 16, n_clusters=8,
+                            cluster_spread=1.0, seed=71)
+    queries = data[:5]
+    truth = ground_truth_knn(queries, data, 10)
+    index = HashIndex(ITQ(code_length=7, seed=0), data, prober=GQR())
+    return data, queries, truth, index
+
+
+class TestTraceQuery:
+    def test_scores_non_decreasing_for_gqr(self, setup):
+        _, queries, truth, index = setup
+        trace = trace_query(index, queries[0], truth[0])
+        scores = [step.score for step in trace.steps]
+        assert all(s is not None for s in scores)
+        assert all(b >= a - 1e-12 for a, b in zip(scores, scores[1:]))
+
+    def test_cumulative_recall_monotone_to_one(self, setup):
+        _, queries, truth, index = setup
+        trace = trace_query(index, queries[1], truth[1])
+        recalls = [step.cumulative_recall for step in trace.steps]
+        assert recalls == sorted(recalls)
+        assert recalls[-1] == pytest.approx(1.0)
+
+    def test_stops_at_full_recall(self, setup):
+        """The trace ends as soon as every true neighbour is found."""
+        _, queries, truth, index = setup
+        trace = trace_query(index, queries[2], truth[2])
+        assert trace.steps[-1].cumulative_recall == pytest.approx(1.0)
+        if len(trace.steps) > 1:
+            assert trace.steps[-2].cumulative_recall < 1.0
+
+    def test_hits_sum_to_truth_size(self, setup):
+        _, queries, truth, index = setup
+        trace = trace_query(index, queries[3], truth[3])
+        assert sum(step.n_hits for step in trace.steps) == trace.truth_size
+
+    def test_max_buckets_cap(self, setup):
+        _, queries, truth, index = setup
+        trace = trace_query(index, queries[0], truth[0], max_buckets=2)
+        assert trace.n_buckets <= 2
+
+    def test_recall_at_items(self, setup):
+        _, queries, truth, index = setup
+        trace = trace_query(index, queries[0], truth[0])
+        assert trace.recall_at_items(10**9) == pytest.approx(1.0)
+        assert 0 <= trace.recall_at_items(1) <= 1
+
+    def test_unscored_prober_gives_none_scores(self, setup):
+        data, queries, truth, _ = setup
+        index = HashIndex(
+            ITQ(code_length=7, seed=0), data, prober=HammingRanking()
+        )
+        trace = trace_query(index, queries[0], truth[0], max_buckets=3)
+        assert all(step.score is None for step in trace.steps)
+
+    def test_to_table_renders(self, setup):
+        _, queries, truth, index = setup
+        trace = trace_query(index, queries[0], truth[0])
+        table = trace.to_table(max_rows=5)
+        assert "bucket" in table and "recall" in table
+
+    def test_empty_truth_rejected(self, setup):
+        _, queries, _, index = setup
+        with pytest.raises(ValueError):
+            trace_query(index, queries[0], np.array([]))
+
+    def test_multi_table_rejected(self, setup):
+        data, queries, truth, _ = setup
+        index = HashIndex(
+            [ITQ(code_length=7, seed=s) for s in (0, 1)], data
+        )
+        with pytest.raises(ValueError):
+            trace_query(index, queries[0], truth[0])

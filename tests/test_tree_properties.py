@@ -1,0 +1,75 @@
+"""Property-based tests for the tree family."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index.linear_scan import knn_linear_scan
+from repro.trees.kdtree import KDTree
+from repro.trees.kmeans_tree import KMeansTree
+from repro.trees.randomized_forest import RandomizedKDForest
+
+
+datasets = st.tuples(
+    st.integers(20, 120),  # n
+    st.integers(2, 6),  # d
+    st.integers(0, 10_000),  # seed
+)
+
+
+class TestKDTreeProperties:
+    @given(datasets, st.integers(1, 8))
+    @settings(max_examples=25, deadline=None)
+    def test_always_exact(self, params, k):
+        n, d, seed = params
+        rng = np.random.default_rng(seed)
+        data = rng.standard_normal((n, d))
+        k = min(k, n)
+        tree = KDTree(data, leaf_size=4)
+        query = rng.standard_normal(d)
+        ids, dists = tree.query(query, k)
+        expected_ids, expected_dists = knn_linear_scan(
+            query[np.newaxis, :], data, k
+        )
+        assert np.array_equal(ids, expected_ids[0])
+        assert np.allclose(dists, expected_dists[0], atol=1e-9)
+
+    @given(datasets)
+    @settings(max_examples=15, deadline=None)
+    def test_distances_sorted(self, params):
+        n, d, seed = params
+        rng = np.random.default_rng(seed)
+        data = rng.standard_normal((n, d))
+        tree = KDTree(data)
+        _, dists = tree.query(rng.standard_normal(d), min(5, n))
+        assert (np.diff(dists) >= -1e-12).all()
+
+
+class TestApproximateTreeProperties:
+    @given(datasets)
+    @settings(max_examples=15, deadline=None)
+    def test_forest_full_leaves_is_exhaustive(self, params):
+        """With an unbounded leaf budget the forest sees every point, so
+        its answer equals exact search."""
+        n, d, seed = params
+        rng = np.random.default_rng(seed)
+        data = rng.standard_normal((n, d))
+        forest = RandomizedKDForest(data, n_trees=2, leaf_size=4, seed=seed)
+        query = rng.standard_normal(d)
+        k = min(5, n)
+        ids, _ = forest.query(query, k, max_leaves=10_000)
+        expected, _ = knn_linear_scan(query[np.newaxis, :], data, k)
+        assert np.array_equal(ids, expected[0])
+
+    @given(datasets)
+    @settings(max_examples=10, deadline=None)
+    def test_kmeans_tree_full_leaves_is_exhaustive(self, params):
+        n, d, seed = params
+        rng = np.random.default_rng(seed)
+        data = rng.standard_normal((n, d))
+        tree = KMeansTree(data, branching=3, leaf_size=4, seed=seed)
+        query = rng.standard_normal(d)
+        k = min(5, n)
+        ids, _ = tree.query(query, k, max_leaves=10_000)
+        expected, _ = knn_linear_scan(query[np.newaxis, :], data, k)
+        assert np.array_equal(ids, expected[0])

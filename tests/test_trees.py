@@ -1,0 +1,151 @@
+"""Tests for the tree-based search family (k-d, randomized forest,
+k-means tree)."""
+
+import numpy as np
+import pytest
+
+from repro.data import gaussian_mixture
+from repro.index.linear_scan import knn_linear_scan
+from repro.trees.kdtree import KDTree
+from repro.trees.kmeans_tree import KMeansTree
+from repro.trees.randomized_forest import RandomizedKDForest
+
+
+@pytest.fixture(scope="module")
+def low_dim_data():
+    return gaussian_mixture(1000, 6, n_clusters=8, seed=41)
+
+
+@pytest.fixture(scope="module")
+def high_dim_data():
+    return gaussian_mixture(1000, 48, n_clusters=8, seed=42)
+
+
+class TestKDTree:
+    def test_exactness(self, low_dim_data):
+        tree = KDTree(low_dim_data, leaf_size=8)
+        truth, tdists = knn_linear_scan(low_dim_data[:10], low_dim_data, 5)
+        for qi in range(10):
+            ids, dists = tree.query(low_dim_data[qi], 5)
+            assert np.array_equal(ids, truth[qi])
+            assert np.allclose(dists, tdists[qi], atol=1e-6)
+
+    def test_exact_on_random_queries(self, low_dim_data):
+        tree = KDTree(low_dim_data)
+        rng = np.random.default_rng(0)
+        queries = rng.standard_normal((5, 6)) * 2
+        truth, _ = knn_linear_scan(queries, low_dim_data, 8)
+        for query, truth_row in zip(queries, truth):
+            ids, _ = tree.query(query, 8)
+            assert np.array_equal(ids, truth_row)
+
+    def test_prunes_in_low_dimensions(self, low_dim_data):
+        tree = KDTree(low_dim_data, leaf_size=8)
+        tree.query(low_dim_data[0], 5)
+        total_leaves = int(np.ceil(len(low_dim_data) / 8))
+        assert tree.last_nodes_visited < total_leaves / 2
+
+    def test_curse_of_dimensionality(self):
+        """The paper's related-work claim: pruning collapses as d grows.
+
+        Measured on unclustered Gaussian data (clusters would rescue
+        pruning even in high dimensions)."""
+        rng = np.random.default_rng(7)
+        low = KDTree(rng.standard_normal((1000, 4)), leaf_size=8)
+        high = KDTree(rng.standard_normal((1000, 32)), leaf_size=8)
+        low.query(rng.standard_normal(4), 10)
+        low_visited = low.last_nodes_visited
+        high.query(rng.standard_normal(32), 10)
+        high_visited = high.last_nodes_visited
+        assert high_visited > 2 * low_visited
+
+    def test_duplicate_points(self):
+        data = np.zeros((100, 4))
+        tree = KDTree(data)
+        ids, dists = tree.query(np.zeros(4), 3)
+        assert ids.tolist() == [0, 1, 2]
+        assert np.allclose(dists, 0)
+
+    def test_validation(self, low_dim_data):
+        with pytest.raises(ValueError):
+            KDTree(np.zeros(5))
+        with pytest.raises(ValueError):
+            KDTree(low_dim_data, leaf_size=0)
+        tree = KDTree(low_dim_data)
+        with pytest.raises(ValueError):
+            tree.query(low_dim_data[0], 0)
+        with pytest.raises(ValueError):
+            tree.query(low_dim_data[:2], 3)
+
+
+class TestRandomizedKDForest:
+    def test_full_leaf_budget_high_recall(self, low_dim_data):
+        forest = RandomizedKDForest(low_dim_data, n_trees=4, seed=0)
+        truth, _ = knn_linear_scan(low_dim_data[:10], low_dim_data, 10)
+        hits = 0
+        for qi in range(10):
+            ids, _ = forest.query(low_dim_data[qi], 10, max_leaves=64)
+            hits += len(np.intersect1d(ids, truth[qi]))
+        assert hits / 100 > 0.9
+
+    def test_more_leaves_monotone_recall(self, high_dim_data):
+        forest = RandomizedKDForest(high_dim_data, n_trees=4, seed=0)
+        truth, _ = knn_linear_scan(high_dim_data[:10], high_dim_data, 10)
+
+        def recall(max_leaves):
+            hits = 0
+            for qi in range(10):
+                ids, _ = forest.query(high_dim_data[qi], 10, max_leaves)
+                hits += len(np.intersect1d(ids, truth[qi]))
+            return hits / 100
+
+        assert recall(64) >= recall(4) - 0.05
+
+    def test_distances_ascending(self, low_dim_data):
+        forest = RandomizedKDForest(low_dim_data, n_trees=2, seed=0)
+        _, dists = forest.query(low_dim_data[0], 10, max_leaves=8)
+        assert (np.diff(dists) >= 0).all()
+
+    def test_deterministic_under_seed(self, low_dim_data):
+        a = RandomizedKDForest(low_dim_data, n_trees=3, seed=7)
+        b = RandomizedKDForest(low_dim_data, n_trees=3, seed=7)
+        ids_a, _ = a.query(low_dim_data[1], 5, max_leaves=8)
+        ids_b, _ = b.query(low_dim_data[1], 5, max_leaves=8)
+        assert np.array_equal(ids_a, ids_b)
+
+    def test_validation(self, low_dim_data):
+        with pytest.raises(ValueError):
+            RandomizedKDForest(low_dim_data, n_trees=0)
+        forest = RandomizedKDForest(low_dim_data, n_trees=2, seed=0)
+        with pytest.raises(ValueError):
+            forest.query(low_dim_data[0], 0)
+
+
+class TestKMeansTree:
+    def test_full_leaf_budget_high_recall(self, low_dim_data):
+        tree = KMeansTree(low_dim_data, branching=4, leaf_size=16, seed=0)
+        truth, _ = knn_linear_scan(low_dim_data[:10], low_dim_data, 10)
+        hits = 0
+        for qi in range(10):
+            ids, _ = tree.query(low_dim_data[qi], 10, max_leaves=64)
+            hits += len(np.intersect1d(ids, truth[qi]))
+        assert hits / 100 > 0.85
+
+    def test_first_leaf_contains_query_region(self, low_dim_data):
+        tree = KMeansTree(low_dim_data, branching=4, seed=0)
+        ids, _ = tree.query(low_dim_data[3], 1, max_leaves=1)
+        # With one leaf, the query's own point should usually be found
+        # (it lies in the closest cluster at every level).
+        assert ids[0] == 3
+
+    def test_branching_validation(self, low_dim_data):
+        with pytest.raises(ValueError):
+            KMeansTree(low_dim_data, branching=1)
+        with pytest.raises(ValueError):
+            KMeansTree(low_dim_data, leaf_size=0)
+
+    def test_identical_points_leaf(self):
+        data = np.zeros((50, 3))
+        tree = KMeansTree(data, branching=4, seed=0)
+        ids, _ = tree.query(np.zeros(3), 5)
+        assert len(ids) == 5

@@ -1,0 +1,49 @@
+"""Tests for the code-length tuner."""
+
+import pytest
+
+from repro.data import gaussian_mixture, ground_truth_knn
+from repro.eval.tuning import tune_code_length
+from repro.hashing import ITQ
+
+
+@pytest.fixture(scope="module")
+def workload():
+    data = gaussian_mixture(1500, 16, n_clusters=10,
+                            cluster_spread=1.0, seed=91)
+    queries = data[:10]
+    truth = ground_truth_knn(queries, data, 10)
+    return data, queries, truth
+
+
+class TestTuneCodeLength:
+    def test_returns_a_candidate(self, workload):
+        data, queries, truth = workload
+        result = tune_code_length(
+            lambda m: ITQ(code_length=m, seed=0),
+            data, queries, truth,
+            candidates=[5, 7, 9],
+            target_recall=0.8,
+        )
+        assert result.code_length in (5, 7, 9)
+        assert set(result.per_length) == {5, 7, 9}
+
+    def test_best_is_minimum_time(self, workload):
+        data, queries, truth = workload
+        result = tune_code_length(
+            lambda m: ITQ(code_length=m, seed=0),
+            data, queries, truth,
+            candidates=[5, 9],
+            target_recall=0.8,
+        )
+        assert result.seconds == min(result.per_length.values())
+
+    def test_default_candidates_around_paper_rule(self, workload):
+        data, queries, truth = workload
+        result = tune_code_length(
+            lambda m: ITQ(code_length=m, seed=0),
+            data, queries, truth,
+            target_recall=0.5,
+        )
+        # N = 1500 -> base m = round(log2(150)) = 7; candidates 4/7/10.
+        assert set(result.per_length) == {4, 7, 10}

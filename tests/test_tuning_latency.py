@@ -1,0 +1,86 @@
+"""Tests for budget auto-tuning and latency statistics."""
+
+import numpy as np
+import pytest
+
+from repro.core.gqr import GQR
+from repro.data import gaussian_mixture, ground_truth_knn
+from repro.eval.latency import latency_summary, measure_latencies
+from repro.eval.harness import recall_at_budgets
+from repro.eval.tuning import tune_candidate_budget
+from repro.hashing import ITQ
+from repro.search.searcher import HashIndex
+
+
+@pytest.fixture(scope="module")
+def setup():
+    data = gaussian_mixture(1200, 16, n_clusters=10,
+                            cluster_spread=1.0, seed=61)
+    queries = data[:15]
+    truth = ground_truth_knn(queries, data, 10)
+    index = HashIndex(ITQ(code_length=7, seed=0), data, prober=GQR())
+    return data, queries, truth, index
+
+
+class TestTuneCandidateBudget:
+    def test_meets_target(self, setup):
+        _, queries, truth, index = setup
+        result = tune_candidate_budget(index, queries, truth, 0.9)
+        assert result.recall >= 0.9
+        achieved = recall_at_budgets(index, queries, truth, [result.budget])[0]
+        assert achieved >= 0.9
+
+    def test_budget_is_tightish(self, setup):
+        """A budget far below the tuned one must miss the target."""
+        _, queries, truth, index = setup
+        result = tune_candidate_budget(
+            index, queries, truth, 0.95, tolerance=8
+        )
+        if result.budget > 64:
+            below = recall_at_budgets(
+                index, queries, truth, [result.budget // 4]
+            )[0]
+            assert below < 0.95
+
+    def test_easy_target_small_budget(self, setup):
+        data, queries, truth, index = setup
+        easy = tune_candidate_budget(index, queries, truth, 0.3)
+        hard = tune_candidate_budget(index, queries, truth, 0.99)
+        assert easy.budget <= hard.budget
+
+    def test_unreachable_target_reports_full_scan(self, setup):
+        data, queries, truth, index = setup
+        # Truth from a different dataset: unreachable recall.
+        wrong_truth = np.full_like(truth, len(data) + 5)
+        result = tune_candidate_budget(index, queries, wrong_truth, 0.9)
+        assert result.budget == index.num_items
+        assert result.recall == 0.0
+
+    def test_validation(self, setup):
+        _, queries, truth, index = setup
+        with pytest.raises(ValueError):
+            tune_candidate_budget(index, queries, truth, 0.0)
+        with pytest.raises(ValueError):
+            tune_candidate_budget(index, queries, truth, 0.9, tolerance=0)
+
+
+class TestLatency:
+    def test_measure_shape(self, setup):
+        _, queries, _, index = setup
+        latencies = measure_latencies(index, queries, k=5, n_candidates=100)
+        assert latencies.shape == (len(queries),)
+        assert (latencies > 0).all()
+
+    def test_summary_ordering(self):
+        summary = latency_summary(np.array([1.0, 2.0, 3.0, 10.0]))
+        assert summary.p50 <= summary.p95 <= summary.p99 <= summary.worst
+        assert summary.worst == 10.0
+
+    def test_summary_row_scale(self):
+        summary = latency_summary(np.array([0.001, 0.002]))
+        row = summary.row()
+        assert row[0] == pytest.approx(1.5)  # mean in ms
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            latency_summary(np.array([]))

@@ -1,0 +1,73 @@
+"""Tests for query workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.data import gaussian_mixture
+from repro.data.workloads import (
+    boundary_margin,
+    boundary_queries,
+    in_distribution_queries,
+    out_of_distribution_queries,
+)
+from repro.hashing import ITQ
+from repro.index.linear_scan import knn_linear_scan
+
+
+@pytest.fixture(scope="module")
+def data():
+    return gaussian_mixture(1500, 16, n_clusters=10, seed=51)
+
+
+@pytest.fixture(scope="module")
+def hasher(data):
+    return ITQ(code_length=8, seed=0).fit(data)
+
+
+class TestInDistribution:
+    def test_near_data(self, data):
+        queries = in_distribution_queries(data, 20, perturbation=0.02, seed=0)
+        _, dists = knn_linear_scan(queries, data, 1)
+        assert dists.max() < data.std()
+
+
+class TestOutOfDistribution:
+    def test_farther_than_in_distribution(self, data):
+        near = in_distribution_queries(data, 20, seed=0)
+        far = out_of_distribution_queries(data, 20, shift=3.0, seed=0)
+        _, near_d = knn_linear_scan(near, data, 1)
+        _, far_d = knn_linear_scan(far, data, 1)
+        assert far_d.mean() > 2 * near_d.mean()
+
+    def test_shift_scales_distance(self, data):
+        small = out_of_distribution_queries(data, 20, shift=1.0, seed=0)
+        large = out_of_distribution_queries(data, 20, shift=4.0, seed=0)
+        _, small_d = knn_linear_scan(small, data, 1)
+        _, large_d = knn_linear_scan(large, data, 1)
+        assert large_d.mean() > small_d.mean()
+
+
+class TestBoundaryQueries:
+    def test_margin_definition(self, data, hasher):
+        queries = data[:10]
+        margins = boundary_margin(hasher, queries)
+        projections = hasher.project(queries)
+        assert np.allclose(margins, np.abs(projections).min(axis=1))
+
+    def test_selected_margins_smaller_than_pool(self, data, hasher):
+        boundary = boundary_queries(data, hasher, 20, seed=0)
+        random_queries = in_distribution_queries(data, 20, seed=1)
+        assert (
+            boundary_margin(hasher, boundary).mean()
+            < boundary_margin(hasher, random_queries).mean()
+        )
+
+    def test_count(self, data, hasher):
+        assert boundary_queries(data, hasher, 7, seed=0).shape == (
+            7,
+            data.shape[1],
+        )
+
+    def test_validation(self, data, hasher):
+        with pytest.raises(ValueError):
+            boundary_queries(data, hasher, 0)
