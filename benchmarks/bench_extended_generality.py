@@ -15,11 +15,7 @@ QD's advantage is proportional to how much *margin signal* the
 projection exposes, exactly as the theory predicts.
 """
 
-import numpy as np
-
 from repro.core.gqr import GQR
-from repro.data.workloads import in_distribution_queries
-from repro.data.ground_truth import ground_truth_knn
 from repro.eval.harness import recall_at_budgets
 from repro.eval.reporting import format_table
 from repro.hashing import (

@@ -6,8 +6,6 @@ evaluation to better buckets.  This is a wall-clock-free claim, so it is
 the most robust of the paper's comparisons.
 """
 
-import numpy as np
-
 from repro.core.gqr import GQR
 from repro.eval.harness import recall_at_budgets
 from repro.eval.reporting import format_table

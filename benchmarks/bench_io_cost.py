@@ -14,7 +14,7 @@ from repro.core.gqr import GQR
 from repro.eval.reporting import format_table
 from repro.probing import GenerateHammingRanking, PrefixRanking
 from repro.search.searcher import HashIndex
-from repro_bench import K, fitted_hasher, save_report, workload
+from repro_bench import fitted_hasher, save_report, workload
 
 DATASET = "SIFT10M"
 TARGETS = [0.5, 0.8, 0.9, 0.95]

@@ -10,7 +10,6 @@ import time
 import tracemalloc
 
 from repro.hashing import PCAHashing
-from repro.quantization.opq import OptimizedProductQuantizer
 from repro.eval.reporting import format_table
 from repro_bench import save_report, workload
 from bench_fig17_opq_imi import DATASETS, build_opq_imi

@@ -121,6 +121,11 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         print(f"query {i}: top ids {result.ids[:5].tolist()} "
               f"(evaluated {result.n_candidates} items in "
               f"{result.n_buckets_probed} buckets)")
+        stats = result.stats
+        print(f"  engine: retrieval {stats.retrieval_seconds * 1e3:.3f}ms, "
+              f"evaluation {stats.evaluation_seconds * 1e3:.3f}ms, "
+              f"total {stats.total_seconds * 1e3:.3f}ms"
+              + (", early stop" if stats.early_stop_triggered else ""))
     return 0
 
 

@@ -26,6 +26,7 @@ from collections.abc import Iterator
 import numpy as np
 
 from repro.core.generation_tree import FlippingVectorGenerator, SharedGenerationTree
+from repro.core.quantization_distance import batch_quantization_distances
 from repro.index.hash_table import HashTable
 from repro.core.prober import BucketProber
 
@@ -106,3 +107,33 @@ class GQR(BucketProber):
                 flip ^= bit_map[low.bit_length() - 1]
                 remaining ^= low
             yield signature ^ flip, cost
+
+    def batch_scores(
+        self,
+        bucket_signatures: np.ndarray,
+        bucket_bits: np.ndarray,
+        query_signatures: np.ndarray,
+        query_bits: np.ndarray,
+        cost_matrix: np.ndarray,
+    ) -> np.ndarray:
+        """Vectorised QD over occupied buckets for a whole query batch.
+
+        Restricted to occupied buckets, GQR's ascending-QD generation
+        order coincides with QD ranking's sorted order, so the batched
+        fast path scores occupied buckets directly instead of walking
+        the generation tree per query.
+        """
+        del bucket_signatures, query_signatures
+        costs = np.asarray(cost_matrix, dtype=np.float64)
+        if self._cost_transform is not None:
+            costs = np.stack(
+                [
+                    np.asarray(self._cost_transform(row), dtype=np.float64)
+                    for row in costs
+                ]
+            )
+            if costs.shape != cost_matrix.shape or np.any(costs < 0):
+                raise ValueError(
+                    "cost_transform must keep (m,) non-negative costs"
+                )
+        return batch_quantization_distances(query_bits, costs, bucket_bits)

@@ -39,6 +39,27 @@ class BucketProber(ABC):
     ) -> Iterator[int]:
         """Yield bucket signatures in probe order, each at most once."""
 
+    def batch_scores(
+        self,
+        bucket_signatures: np.ndarray,
+        bucket_bits: np.ndarray,
+        query_signatures: np.ndarray,
+        query_bits: np.ndarray,
+        cost_matrix: np.ndarray,
+    ) -> np.ndarray | None:
+        """Score every occupied bucket for every query at once, or ``None``.
+
+        Probers whose probe order is "sort occupied buckets by a score,
+        ties by signature" can vectorise that score across a query batch
+        — one ``(B, nb)`` matrix instead of B generator walks.  The
+        query-execution engine uses this as the batched retrieval fast
+        path; returning ``None`` (the default) keeps the per-query
+        stream path.
+        """
+        del bucket_signatures, bucket_bits, query_signatures
+        del query_bits, cost_matrix
+        return None
+
     def collect(
         self,
         table: HashTable,

@@ -13,7 +13,10 @@ from collections.abc import Iterator
 
 import numpy as np
 
-from repro.core.quantization_distance import quantization_distances
+from repro.core.quantization_distance import (
+    batch_quantization_distances,
+    quantization_distances,
+)
 from repro.index.hash_table import HashTable
 from repro.core.prober import BucketProber
 
@@ -36,3 +39,17 @@ class QDRanking(BucketProber):
         # comparable with GQR's stable generation order.
         order = np.lexsort((buckets, distances))
         yield from (int(sig) for sig in buckets[order])
+
+    def batch_scores(
+        self,
+        bucket_signatures: np.ndarray,
+        bucket_bits: np.ndarray,
+        query_signatures: np.ndarray,
+        query_bits: np.ndarray,
+        cost_matrix: np.ndarray,
+    ) -> np.ndarray:
+        """Vectorised QD of every (query, bucket) pair — Algorithm 1 batched."""
+        del bucket_signatures, query_signatures
+        return batch_quantization_distances(
+            query_bits, cost_matrix, bucket_bits
+        )

@@ -21,6 +21,7 @@ from repro.index.codes import unpack_bits, validate_code_length
 __all__ = [
     "quantization_distance",
     "quantization_distances",
+    "batch_quantization_distances",
     "theorem2_mu",
     "distance_lower_bound",
 ]
@@ -53,6 +54,25 @@ def quantization_distances(
     sigs = np.asarray(bucket_signatures, dtype=np.int64)
     differing = unpack_bits(sigs ^ np.int64(query_signature), m)
     return differing.astype(np.float64) @ costs
+
+
+def batch_quantization_distances(
+    query_bits: np.ndarray,
+    cost_matrix: np.ndarray,
+    bucket_bits: np.ndarray,
+) -> np.ndarray:
+    """QD from every query in a batch to every bucket, two matmuls total.
+
+    For query ``q`` and bucket ``b``, ``qd = Σ_i (c_i(q) ⊕ b_i)·cost_i(q)``
+    splits by the query's bit value: bits where the query has 0 cost when
+    the bucket has 1, and vice versa.  Each half is a ``(B, m) @ (m, nb)``
+    product, so the whole batch is scored in one shot — the vectorised
+    counterpart of calling :func:`quantization_distances` per query.
+    """
+    qb = np.asarray(query_bits, dtype=np.float64)
+    costs = np.asarray(cost_matrix, dtype=np.float64)
+    bits = np.asarray(bucket_bits, dtype=np.float64)
+    return (costs * (1.0 - qb)) @ bits.T + (costs * qb) @ (1.0 - bits).T
 
 
 def theorem2_mu(hashing_matrix: np.ndarray) -> float:

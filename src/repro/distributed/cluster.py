@@ -25,7 +25,6 @@ from repro.core.gqr import GQR
 from repro.distributed.partitioner import cluster_partition, random_partition
 from repro.distributed.worker import ShardWorker
 from repro.hashing.base import BinaryHasher
-from repro.probing.base import BucketProber
 from repro.search.results import SearchResult
 
 __all__ = ["NetworkModel", "DistributedHashIndex"]

@@ -17,9 +17,14 @@ import time
 import numpy as np
 
 from repro.hashing.base import BinaryHasher
-from repro.index.distance import pairwise_distances
 from repro.index.hash_table import HashTable
 from repro.probing.base import BucketProber
+from repro.search.engine import (
+    ExactEvaluator,
+    QueryEngine,
+    QueryPlan,
+    validate_query,
+)
 from repro.search.results import SearchResult
 
 __all__ = ["ShardWorker"]
@@ -64,6 +69,7 @@ class ShardWorker:
         self._prober = prober
         self._metric = metric
         self._table = HashTable(hasher.encode(self._shard))
+        self._engine = QueryEngine(ExactEvaluator(self._shard, metric))
 
     @property
     def num_items(self) -> int:
@@ -86,49 +92,33 @@ class ShardWorker:
         flip costs once and broadcast them, saving one projection per
         worker.  The result's ``extras['worker_seconds']`` records the
         measured local compute time, which the coordinator's cost model
-        turns into a makespan.
+        turns into a makespan; ``extras['stats']`` carries the engine's
+        per-stage :class:`~repro.search.engine.ExecutionContext`.
         """
         start = time.perf_counter()
-        query = np.asarray(query, dtype=np.float64)
+        query = validate_query(query, self._shard.shape[1])
         if probe_info is None:
             probe_info = self._hasher.probe_info(query)
         signature, costs = probe_info
+        plan = QueryPlan(k=k, n_candidates=n_candidates, metric=self._metric)
+        local = self._engine.execute(
+            query, plan, self._bucket_stream(signature, costs)
+        )
+        elapsed = time.perf_counter() - start
+        extras = dict(local.extras)
+        extras.update(
+            {"worker_seconds": elapsed, "worker_id": self.worker_id}
+        )
+        return SearchResult(
+            self._global_ids[local.ids],
+            local.distances,
+            local.n_candidates,
+            local.n_buckets_probed,
+            extras,
+        )
 
-        found: list[np.ndarray] = []
-        total = 0
-        buckets = 0
+    def _bucket_stream(self, signature: int, costs: np.ndarray):
         for bucket in self._prober.probe(self._table, signature, costs):
             ids = self._table.get(bucket)
-            if not len(ids):
-                continue
-            buckets += 1
-            found.append(ids)
-            total += len(ids)
-            if total >= n_candidates:
-                break
-        if found:
-            local = np.concatenate(found)
-            dists = pairwise_distances(
-                query[np.newaxis, :], self._shard[local], self._metric
-            )[0]
-            keep = min(k, len(local))
-            part = (
-                np.argpartition(dists, keep - 1)[:keep]
-                if keep < len(local)
-                else np.arange(len(local))
-            )
-            order = np.lexsort((local[part], dists[part]))
-            chosen = part[order]
-            ids_global = self._global_ids[local[chosen]]
-            top_dists = dists[chosen]
-        else:
-            ids_global = np.empty(0, dtype=np.int64)
-            top_dists = np.empty(0, dtype=np.float64)
-        elapsed = time.perf_counter() - start
-        return SearchResult(
-            ids_global,
-            top_dists,
-            total,
-            buckets,
-            extras={"worker_seconds": elapsed, "worker_id": self.worker_id},
-        )
+            if len(ids):
+                yield ids

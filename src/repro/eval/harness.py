@@ -44,6 +44,13 @@ class CurvePoint:
         Mean number of candidate items actually retrieved per query.
     buckets:
         Mean number of buckets probed per query.
+    retrieval_seconds:
+        Total engine-measured retrieval time across the batch, summed
+        from each result's :class:`~repro.search.engine.ExecutionContext`
+        (0.0 when the index does not attach stats).
+    evaluation_seconds:
+        Total engine-measured evaluation (re-rank) time across the
+        batch; same source and convention as ``retrieval_seconds``.
     """
 
     budget: int
@@ -51,6 +58,8 @@ class CurvePoint:
     recall: float
     items: float
     buckets: float
+    retrieval_seconds: float = 0.0
+    evaluation_seconds: float = 0.0
 
 
 def default_budgets(n_items: int, n_points: int = 8) -> list[int]:
@@ -92,6 +101,7 @@ def sweep_budgets(
             recall_from_candidates(res.ids, truth_row)
             for res, truth_row in zip(results, truth)
         ]
+        stats = [res.stats for res in results if res.stats is not None]
         curve.append(
             CurvePoint(
                 budget=int(budget),
@@ -99,6 +109,12 @@ def sweep_budgets(
                 recall=float(np.mean(recalls)),
                 items=float(np.mean([res.n_candidates for res in results])),
                 buckets=float(np.mean([res.n_buckets_probed for res in results])),
+                retrieval_seconds=float(
+                    sum(s.retrieval_seconds for s in stats)
+                ),
+                evaluation_seconds=float(
+                    sum(s.evaluation_seconds for s in stats)
+                ),
             )
         )
     return curve

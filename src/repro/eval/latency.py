@@ -16,7 +16,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["measure_latencies", "latency_summary", "LatencySummary"]
+__all__ = [
+    "measure_latencies",
+    "measure_stage_latencies",
+    "latency_summary",
+    "LatencySummary",
+]
 
 
 @dataclass(frozen=True)
@@ -51,6 +56,37 @@ def measure_latencies(
         index.search(query, k, n_candidates)
         latencies[i] = time.perf_counter() - start
     return latencies
+
+
+def measure_stage_latencies(
+    index, queries: np.ndarray, k: int, n_candidates: int
+) -> dict[str, np.ndarray]:
+    """Per-query retrieval/evaluation split from the engine's stats.
+
+    Every engine-backed search attaches an
+    :class:`~repro.search.engine.ExecutionContext` under
+    ``result.stats``; this reads the per-stage wall times off it, so the
+    tail of retrieval (probe-order generation) can be separated from the
+    tail of evaluation (exact re-rank).  Raises when the index does not
+    attach stats.
+    """
+    queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+    stages = {
+        "total": np.empty(len(queries)),
+        "retrieval": np.empty(len(queries)),
+        "evaluation": np.empty(len(queries)),
+    }
+    for i, query in enumerate(queries):
+        stats = index.search(query, k, n_candidates).stats
+        if stats is None:
+            raise ValueError(
+                "index did not attach ExecutionContext stats; use "
+                "measure_latencies for plain wall times"
+            )
+        stages["total"][i] = stats.total_seconds
+        stages["retrieval"][i] = stats.retrieval_seconds
+        stages["evaluation"][i] = stats.evaluation_seconds
+    return stages
 
 
 def latency_summary(latencies: np.ndarray) -> LatencySummary:

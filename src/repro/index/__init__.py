@@ -44,6 +44,7 @@ __all__ = [
     "interleave_bits",
     "knn_linear_scan",
     "pack_bits",
+    "pairwise_distances",
     "unpack_bits",
     "validate_code_length",
 ]

@@ -77,6 +77,7 @@ class HashTable:
         self._buckets: dict[int, np.ndarray] = {
             int(sig): group for sig, group in zip(uniques, groups)
         }
+        self._layout: tuple[np.ndarray, ...] | None = None
 
     @property
     def code_length(self) -> int:
@@ -103,6 +104,35 @@ class HashTable:
     def signatures(self) -> Iterator[int]:
         """Iterate over the occupied bucket signatures."""
         return iter(self._buckets)
+
+    def dense_layout(
+        self,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """CSR-style view: ``(signatures, sizes, offsets, ids_flat)``.
+
+        Occupied signatures in ascending order, each bucket's size, its
+        start offset into the flat id array, and all ids concatenated in
+        that order.  Built lazily and cached — the table is immutable —
+        so batched execution pays the flattening cost once per table.
+        """
+        if self._layout is None:
+            count = len(self._buckets)
+            signatures = np.fromiter(
+                self._buckets, dtype=np.int64, count=count
+            )
+            sizes = np.fromiter(
+                (len(ids) for ids in self._buckets.values()),
+                dtype=np.int64,
+                count=count,
+            )
+            ids_flat = (
+                np.concatenate(list(self._buckets.values()))
+                if count
+                else _EMPTY_IDS
+            )
+            offsets = np.concatenate(([0], np.cumsum(sizes)[:-1]))
+            self._layout = (signatures, sizes, offsets, ids_flat)
+        return self._layout
 
     def bucket_sizes(self) -> dict[int, int]:
         """Mapping of signature to bucket population."""

@@ -42,3 +42,23 @@ class HammingRanking(BucketProber):
         ring_order = np.argsort(distances[bucket_order], kind="stable")
         for index in bucket_order[ring_order]:
             yield int(buckets[index])
+
+    def batch_scores(
+        self,
+        bucket_signatures: np.ndarray,
+        bucket_bits: np.ndarray,
+        query_signatures: np.ndarray,
+        query_bits: np.ndarray,
+        cost_matrix: np.ndarray,
+    ) -> np.ndarray:
+        """Hamming distance of every (query, bucket) pair in one XOR.
+
+        Integer scores, so the batched order (score, then signature) is
+        bit-for-bit the per-query probe order — and the engine can sort
+        on a collision-free composite integer key.
+        """
+        del bucket_bits, query_bits, cost_matrix
+        return np.asarray(hamming_distance(
+            np.asarray(query_signatures, dtype=np.int64)[:, np.newaxis],
+            np.asarray(bucket_signatures, dtype=np.int64)[np.newaxis, :],
+        ), dtype=np.int64)

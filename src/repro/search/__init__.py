@@ -2,6 +2,17 @@
 
 from repro.search.compact_index import CompactHashIndex
 from repro.search.dynamic_index import DynamicHashIndex
+from repro.search.engine import (
+    ADCEvaluator,
+    CandidatePipeline,
+    CodeEvaluator,
+    ExactEvaluator,
+    ExecutionContext,
+    QueryEngine,
+    QueryPlan,
+    validate_query,
+    validate_query_batch,
+)
 from repro.search.results import SearchResult
 from repro.search.stream_index import StreamSearchIndex
 from repro.search.searcher import (
@@ -12,12 +23,21 @@ from repro.search.searcher import (
 )
 
 __all__ = [
+    "ADCEvaluator",
+    "CandidatePipeline",
+    "CodeEvaluator",
     "CompactHashIndex",
     "DynamicHashIndex",
+    "ExactEvaluator",
+    "ExecutionContext",
     "HashIndex",
     "IMISearchIndex",
     "MIHSearchIndex",
+    "QueryEngine",
+    "QueryPlan",
     "SearchResult",
     "StreamSearchIndex",
     "evaluate_candidates",
+    "validate_query",
+    "validate_query_batch",
 ]

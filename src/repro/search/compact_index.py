@@ -42,11 +42,16 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.gqr import GQR
-from repro.core.quantization_distance import quantization_distances
 from repro.hashing.base import BinaryHasher
-from repro.index.codes import hamming_distance, pack_bits
+from repro.index.codes import pack_bits
 from repro.index.hash_table import HashTable
 from repro.probing.base import BucketProber
+from repro.search.engine import (
+    CodeEvaluator,
+    QueryEngine,
+    QueryPlan,
+    validate_query,
+)
 from repro.search.results import SearchResult
 
 __all__ = ["CompactHashIndex"]
@@ -98,6 +103,10 @@ class CompactHashIndex:
         self._rerank_hasher = rerank_hasher
         self._prober = prober if prober is not None else GQR()
         self._rerank = rerank
+        self._dim = data.shape[1] if data.ndim == 2 else None
+        self._engine = QueryEngine(
+            CodeEvaluator(rerank_hasher, self._long_signatures, rerank)
+        )
 
     @property
     def num_items(self) -> int:
@@ -107,12 +116,16 @@ class CompactHashIndex:
     def rerank(self) -> str:
         return self._rerank
 
+    @property
+    def engine(self) -> QueryEngine:
+        return self._engine
+
     def memory_bytes(self) -> int:
         """Long signatures + bucket table — the full index footprint."""
         return int(self._long_signatures.nbytes) + self._table.memory_bytes()
 
     def candidate_stream(self, query: np.ndarray):
-        query = np.asarray(query, dtype=np.float64)
+        query = validate_query(query, self._dim)
         signature, costs = self._probe_hasher.probe_info(query)
         for bucket in self._prober.probe(self._table, signature, costs):
             ids = self._table.get(bucket)
@@ -127,39 +140,6 @@ class CompactHashIndex:
         Returned ``distances`` are the estimator's values (QD or
         Hamming over the long codes), *not* Euclidean distances.
         """
-        query = np.asarray(query, dtype=np.float64)
-        found: list[np.ndarray] = []
-        total = 0
-        buckets = 0
-        for ids in self.candidate_stream(query):
-            buckets += 1
-            found.append(ids)
-            total += len(ids)
-            if total >= n_candidates:
-                break
-        if not found:
-            return SearchResult(
-                np.empty(0, dtype=np.int64), np.empty(0), 0, buckets
-            )
-        candidates = np.concatenate(found)
-        long_sig, long_costs = self._rerank_hasher.probe_info(query)
-        candidate_codes = self._long_signatures[candidates]
-        if self._rerank == "asymmetric":
-            estimates = quantization_distances(
-                long_sig, candidate_codes, long_costs
-            )
-        else:
-            estimates = hamming_distance(
-                candidate_codes, np.int64(long_sig)
-            ).astype(np.float64)
-        keep = min(k, len(candidates))
-        part = (
-            np.argpartition(estimates, keep - 1)[:keep]
-            if keep < len(candidates)
-            else np.arange(len(candidates))
-        )
-        order = np.lexsort((candidates[part], estimates[part]))
-        chosen = part[order]
-        return SearchResult(
-            candidates[chosen], estimates[chosen], total, buckets
-        )
+        query = validate_query(query, self._dim)
+        plan = QueryPlan(k=k, n_candidates=n_candidates)
+        return self._engine.execute(query, plan, self.candidate_stream(query))

@@ -4,6 +4,8 @@ Wraps a fitted hasher and a :class:`~repro.index.dynamic.DynamicHashTable`
 into the same search interface as :class:`~repro.search.searcher.HashIndex`.
 The hash functions stay fixed (trained once on a representative sample,
 as L2H deployments do); items stream in and out of the bucket table.
+Search delegates to the shared query-execution engine, with the exact
+evaluator wired to the index's live (growable) vector storage.
 """
 
 from __future__ import annotations
@@ -14,9 +16,15 @@ import numpy as np
 
 from repro.core.gqr import GQR
 from repro.hashing.base import BinaryHasher
-from repro.index.distance import METRICS, pairwise_distances
+from repro.index.distance import METRICS
 from repro.index.dynamic import DynamicHashTable
 from repro.probing.base import BucketProber
+from repro.search.engine import (
+    ExactEvaluator,
+    QueryEngine,
+    QueryPlan,
+    validate_query,
+)
 from repro.search.results import SearchResult
 
 __all__ = ["DynamicHashIndex"]
@@ -64,6 +72,11 @@ class DynamicHashIndex:
         self._vectors = np.empty((0, dim), dtype=np.float64)
         self._size = 0
         self._free_ids: list[int] = []
+        # The storage array is reallocated as it grows, so the evaluator
+        # is wired to a live view rather than one (stale) array object.
+        self._engine = QueryEngine(
+            ExactEvaluator(lambda: self._vectors, metric)
+        )
 
     @property
     def num_items(self) -> int:
@@ -76,6 +89,10 @@ class DynamicHashIndex:
     @property
     def table(self) -> DynamicHashTable:
         return self._table
+
+    @property
+    def engine(self) -> QueryEngine:
+        return self._engine
 
     def _grow_to(self, capacity: int) -> None:
         if capacity <= len(self._vectors):
@@ -113,7 +130,7 @@ class DynamicHashIndex:
             self._free_ids.append(int(item_id))
 
     def candidate_stream(self, query: np.ndarray) -> Iterator[np.ndarray]:
-        query = np.asarray(query, dtype=np.float64)
+        query = validate_query(query, self._dim)
         signature, costs = self._hasher.probe_info(query)
         for bucket in self._prober.probe(self._table, signature, costs):
             ids = self._table.get(bucket)
@@ -124,32 +141,6 @@ class DynamicHashIndex:
         self, query: np.ndarray, k: int, n_candidates: int
     ) -> SearchResult:
         """Approximate kNN over the current live items."""
-        query = np.asarray(query, dtype=np.float64)
-        found: list[np.ndarray] = []
-        total = 0
-        buckets = 0
-        for ids in self.candidate_stream(query):
-            buckets += 1
-            found.append(ids)
-            total += len(ids)
-            if total >= n_candidates:
-                break
-        if not found:
-            return SearchResult(
-                np.empty(0, dtype=np.int64), np.empty(0), 0, buckets
-            )
-        candidates = np.concatenate(found)
-        dists = pairwise_distances(
-            query[np.newaxis, :], self._vectors[candidates], self._metric
-        )[0]
-        keep = min(k, len(candidates))
-        part = (
-            np.argpartition(dists, keep - 1)[:keep]
-            if keep < len(candidates)
-            else np.arange(len(candidates))
-        )
-        order = np.lexsort((candidates[part], dists[part]))
-        chosen = part[order]
-        return SearchResult(
-            candidates[chosen], dists[chosen], total, buckets
-        )
+        query = validate_query(query, self._dim)
+        plan = QueryPlan(k=k, n_candidates=n_candidates, metric=self._metric)
+        return self._engine.execute(query, plan, self.candidate_stream(query))

@@ -1,0 +1,874 @@
+"""Unified query-execution engine: plan → retrieve → evaluate.
+
+Section 2.2 of the paper frames *every* querying method — HR, GHR, QR,
+GQR, MIH, IMI — as one two-step loop: retrieval picks buckets and
+gathers candidate ids, evaluation re-ranks the candidates exactly.
+This module is that loop, extracted once so each index class is a thin
+adapter instead of a private re-implementation:
+
+* :class:`QueryPlan` — what to do: ``k``, stopping criteria
+  (candidate / bucket / time budgets), metric, multi-table strategy.
+* :class:`ExecutionContext` — what happened: buckets probed, candidates
+  gathered, early-stop trigger, per-stage wall time.  Attached to every
+  :class:`~repro.search.results.SearchResult` as ``extras["stats"]``.
+* :class:`CandidatePipeline` — budget-aware stream draining and the
+  shared exact top-``k`` selection (ties broken by id everywhere).
+* :class:`QueryEngine` — runs a plan over a candidate stream and an
+  evaluator, producing an instrumented ``SearchResult``.
+
+Evaluators encapsulate the evaluation step's scoring rule: exact
+distances over raw vectors (:class:`ExactEvaluator`), asymmetric
+distance over PQ codes (:class:`ADCEvaluator`), or code-based
+estimates for vector-free deployments (:class:`CodeEvaluator`).
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.quantization_distance import quantization_distances
+from repro.index.codes import hamming_distance
+from repro.index.distance import METRICS, pairwise_distances
+
+__all__ = [
+    "ADCEvaluator",
+    "CandidatePipeline",
+    "CodeEvaluator",
+    "ExactEvaluator",
+    "ExecutionContext",
+    "QueryEngine",
+    "QueryPlan",
+    "qd_merged_scored_stream",
+    "round_robin_stream",
+    "validate_query",
+    "validate_query_batch",
+]
+
+_EMPTY_IDS = np.empty(0, dtype=np.int64)
+_EMPTY_DISTS = np.empty(0, dtype=np.float64)
+
+
+# -- query validation -------------------------------------------------
+
+def validate_query(query: np.ndarray, dim: int | None = None) -> np.ndarray:
+    """Coerce one query to a 1-D float64 vector, or raise uniformly.
+
+    Every index validates through this function, so a malformed query
+    produces the same ``ValueError`` everywhere instead of (depending on
+    the index) a broadcasting error deep inside numpy.
+    """
+    try:
+        arr = np.asarray(query, dtype=np.float64)
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"query must be a numeric vector; got {type(query).__name__} "
+            "that cannot be cast to float64"
+        ) from None
+    if arr.ndim != 1:
+        raise ValueError(
+            "query must be a 1-D vector"
+            + (f" of dimension {dim}" if dim is not None else "")
+            + f"; got shape {arr.shape}"
+        )
+    if dim is not None and arr.shape[0] != dim:
+        raise ValueError(
+            f"query must be a 1-D vector of dimension {dim}; "
+            f"got shape {arr.shape}"
+        )
+    if not np.isfinite(arr).all():
+        raise ValueError("query contains non-finite values (nan or inf)")
+    return arr
+
+
+def validate_query_batch(
+    queries: np.ndarray, dim: int | None = None
+) -> np.ndarray:
+    """Coerce a query batch to ``(B, dim)`` float64, or raise uniformly."""
+    try:
+        arr = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+    except (TypeError, ValueError):
+        raise ValueError(
+            "queries must be a numeric array; got "
+            f"{type(queries).__name__} that cannot be cast to float64"
+        ) from None
+    if arr.ndim != 2:
+        raise ValueError(
+            f"queries must be a (batch, dim) array; got shape {arr.shape}"
+        )
+    if dim is not None and arr.shape[1] != dim:
+        raise ValueError(
+            f"queries must be a (batch, {dim}) array; got shape {arr.shape}"
+        )
+    if not np.isfinite(arr).all():
+        raise ValueError("queries contain non-finite values (nan or inf)")
+    return arr
+
+
+# -- plan and context -------------------------------------------------
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """Everything the engine needs to know before touching a query.
+
+    At least one stopping criterion (``n_candidates``, ``max_buckets``,
+    ``time_budget``) must be set — Algorithm 1's remark that "other
+    stopping criteria can also be used"; retrieval stops at whichever
+    bound is hit first.
+    """
+
+    k: int
+    n_candidates: int | None = None
+    max_buckets: int | None = None
+    time_budget: float | None = None
+    metric: str = "euclidean"
+    multi_table_strategy: str = "round_robin"
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError(f"k must be positive, got {self.k}")
+        if (
+            self.n_candidates is None
+            and self.max_buckets is None
+            and self.time_budget is None
+        ):
+            raise ValueError(
+                "give at least one stopping criterion: n_candidates, "
+                "max_buckets or time_budget"
+            )
+        if self.metric not in METRICS:
+            raise KeyError(
+                f"unknown metric {self.metric!r}; options: {sorted(METRICS)}"
+            )
+        if self.multi_table_strategy not in ("round_robin", "qd_merge"):
+            raise ValueError(
+                "multi_table_strategy must be 'round_robin' or 'qd_merge'"
+            )
+
+
+@dataclass
+class ExecutionContext:
+    """Per-query instrumentation filled in by the engine.
+
+    Attributes
+    ----------
+    n_buckets_probed:
+        Non-empty buckets (or cells / rings) fetched during retrieval.
+    n_candidates:
+        Candidate ids gathered before evaluation.
+    early_stop_triggered:
+        Whether a Theorem 2 bound terminated retrieval early.
+    retrieval_seconds / evaluation_seconds / total_seconds:
+        Wall time of each stage as measured by the engine.
+    """
+
+    n_buckets_probed: int = 0
+    n_candidates: int = 0
+    early_stop_triggered: bool = False
+    retrieval_seconds: float = 0.0
+    evaluation_seconds: float = 0.0
+    total_seconds: float = 0.0
+
+    def as_dict(self) -> dict:
+        """The stats as a plain dict (JSON-friendly)."""
+        return {
+            "n_buckets_probed": int(self.n_buckets_probed),
+            "n_candidates": int(self.n_candidates),
+            "early_stop_triggered": bool(self.early_stop_triggered),
+            "retrieval_seconds": float(self.retrieval_seconds),
+            "evaluation_seconds": float(self.evaluation_seconds),
+            "total_seconds": float(self.total_seconds),
+        }
+
+
+# -- candidate pipeline -----------------------------------------------
+
+class CandidatePipeline:
+    """Budget-aware stream draining and the shared top-``k`` selection."""
+
+    @staticmethod
+    def drain(
+        stream: Iterable[np.ndarray],
+        plan: QueryPlan,
+        ctx: ExecutionContext,
+    ) -> np.ndarray:
+        """Collect candidate ids until a stopping criterion fires.
+
+        Mirrors the retrieval loop of Algorithms 1 and 2: each yielded
+        array is one probed non-empty bucket; the final bucket is taken
+        whole, so slightly more than ``n_candidates`` ids may return.
+        """
+        deadline = (
+            None
+            if plan.time_budget is None
+            else time.perf_counter() + plan.time_budget
+        )
+        found: list[np.ndarray] = []
+        total = 0
+        buckets = 0
+        for ids in stream:
+            buckets += 1
+            found.append(ids)
+            total += len(ids)
+            if plan.n_candidates is not None and total >= plan.n_candidates:
+                break
+            if plan.max_buckets is not None and buckets >= plan.max_buckets:
+                break
+            if deadline is not None and time.perf_counter() >= deadline:
+                break
+        ctx.n_buckets_probed = buckets
+        ctx.n_candidates = total
+        if not found:
+            return _EMPTY_IDS
+        return np.concatenate(found)
+
+    @staticmethod
+    def top_k(
+        candidate_ids: np.ndarray, scores: np.ndarray, k: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Keep the ``k`` best-scored candidates, ties broken by id.
+
+        The selection rule shared by every evaluator: ``argpartition``
+        to the cut, then a ``(score, id)`` lexsort of the survivors.
+        """
+        if not len(candidate_ids):
+            return _EMPTY_IDS, _EMPTY_DISTS
+        keep = min(k, len(candidate_ids))
+        if keep < len(candidate_ids):
+            part = np.argpartition(scores, keep - 1)[:keep]
+        else:
+            part = np.arange(len(candidate_ids))
+        order = np.lexsort((candidate_ids[part], scores[part]))
+        chosen = part[order]
+        return candidate_ids[chosen], scores[chosen]
+
+
+# -- evaluators -------------------------------------------------------
+
+class ExactEvaluator:
+    """Exact re-rank against raw vectors under a registered metric.
+
+    ``data`` may be the ``(n, d)`` array itself or a zero-argument
+    callable returning it — the latter lets mutable indexes (whose item
+    storage is reallocated as it grows) stay wired to live storage.
+    """
+
+    def __init__(self, data, metric: str = "euclidean") -> None:
+        if metric not in METRICS:
+            raise KeyError(
+                f"unknown metric {metric!r}; options: {sorted(METRICS)}"
+            )
+        self._data = data
+        self.metric = metric
+
+    def _vectors(self) -> np.ndarray:
+        return self._data() if callable(self._data) else self._data
+
+    def evaluate(
+        self, query: np.ndarray, candidates: np.ndarray, k: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        if not len(candidates):
+            return _EMPTY_IDS, _EMPTY_DISTS
+        if self.metric in _RAGGED_METRICS:
+            # Same arithmetic as the batched block path, so per-query
+            # and batched searches return bit-identical distances.
+            dists = _ragged_distances(
+                query[np.newaxis, :],
+                self._vectors(),
+                candidates,
+                np.array([len(candidates)], dtype=np.int64),
+                self.metric,
+            )
+        else:
+            dists = pairwise_distances(
+                query[np.newaxis, :], self._vectors()[candidates], self.metric
+            )[0]
+        return CandidatePipeline.top_k(candidates, dists, k)
+
+
+class ADCEvaluator:
+    """Asymmetric distance computation over fine PQ codes.
+
+    Scores candidates from their compressed codes via the query's
+    per-subspace distance tables — the memory-saving mode real VQ
+    systems run in; returned distances are approximate.
+    """
+
+    def __init__(self, fine_quantizer, fine_codes: np.ndarray) -> None:
+        self._fine = fine_quantizer
+        self._codes = fine_codes
+
+    def evaluate(
+        self, query: np.ndarray, candidates: np.ndarray, k: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        if not len(candidates):
+            return _EMPTY_IDS, _EMPTY_DISTS
+        tables = self._fine.distance_tables(query)
+        codes = self._codes[candidates]
+        approx = np.zeros(len(candidates), dtype=np.float64)
+        for subspace, table in enumerate(tables):
+            approx += table[codes[:, subspace]]
+        ids, scores = CandidatePipeline.top_k(candidates, approx, k)
+        return ids, np.sqrt(np.maximum(scores, 0.0))
+
+
+class CodeEvaluator:
+    """Code-only re-ranking for deployments without raw vectors.
+
+    ``asymmetric`` scores a candidate by the paper's quantization
+    distance evaluated at its long code (a scaled lower bound on true
+    distance, Theorem 2); ``symmetric`` uses Hamming distance between
+    long codes.  The returned "distances" are estimator values.
+    """
+
+    def __init__(
+        self, rerank_hasher, long_signatures: np.ndarray, mode: str
+    ) -> None:
+        if mode not in ("asymmetric", "symmetric"):
+            raise ValueError("rerank must be 'asymmetric' or 'symmetric'")
+        self._hasher = rerank_hasher
+        self._signatures = long_signatures
+        self.mode = mode
+
+    def evaluate(
+        self, query: np.ndarray, candidates: np.ndarray, k: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        if not len(candidates):
+            return _EMPTY_IDS, _EMPTY_DISTS
+        long_sig, long_costs = self._hasher.probe_info(query)
+        candidate_codes = self._signatures[candidates]
+        if self.mode == "asymmetric":
+            estimates = quantization_distances(
+                long_sig, candidate_codes, long_costs
+            )
+        else:
+            estimates = hamming_distance(
+                candidate_codes, np.int64(long_sig)
+            ).astype(np.float64)
+        return CandidatePipeline.top_k(candidates, estimates, k)
+
+
+_RAGGED_METRICS = ("euclidean", "cosine", "angular")
+
+
+def _ragged_distances(
+    queries: np.ndarray,
+    data: np.ndarray,
+    stacked_ids: np.ndarray,
+    counts: np.ndarray,
+    metric: str,
+    row_block: int = 4096,
+) -> np.ndarray:
+    """Each query's distances to its own candidate segment, in one pass.
+
+    ``stacked_ids`` is the row-stacked concatenation of every query's
+    candidate ids into ``data`` and ``counts[i]`` the length of query
+    ``i``'s segment.  A few einsum calls score the whole ragged block —
+    no ``B × |union|`` distance matrix (which degenerates into a full
+    linear scan when candidate sets barely overlap) and no per-query
+    BLAS calls.  The euclidean path computes ``‖q − x‖`` from the
+    difference vector directly, avoiding the catastrophic cancellation
+    of the ``‖q‖² − 2q·x + ‖x‖²`` expansion, so self-distances come out
+    exactly zero.
+
+    The block is processed in cache-sized chunks of whole segments
+    (~``row_block`` rows): one giant pass materialises several
+    ``(total, d)`` temporaries, which on a memory-bound machine costs
+    more than the arithmetic itself.  Chunking never splits a segment
+    and every op is row-wise, so results are bit-identical whatever the
+    chunk size — the per-query path reuses this function with a single
+    segment and gets the exact same numbers.
+    """
+    if metric not in _RAGGED_METRICS:
+        raise KeyError(f"unknown metric {metric!r}")
+    bounds = np.concatenate(([0], np.cumsum(counts, dtype=np.int64)))
+    out = np.empty(int(bounds[-1]), dtype=np.float64)
+    euclidean = metric == "euclidean"
+    n_segments = len(counts)
+    lo = 0
+    while lo < n_segments:
+        hi = lo + 1
+        while hi < n_segments and bounds[hi + 1] - bounds[lo] <= row_block:
+            hi += 1
+        seg = slice(int(bounds[lo]), int(bounds[hi]))
+        vectors = data[stacked_ids[seg]]
+        if euclidean:
+            # Broadcast-subtract each query over its own rows instead of
+            # materialising a repeated-queries block: per row the
+            # arithmetic is identical, but the big temporary (and its
+            # memory traffic) disappears.
+            for q in range(lo, hi):
+                vectors[
+                    int(bounds[q] - bounds[lo]):int(bounds[q + 1] - bounds[lo])
+                ] -= queries[q]
+            out[seg] = np.einsum("ij,ij->i", vectors, vectors)
+        else:
+            expanded = np.repeat(queries[lo:hi], counts[lo:hi], axis=0)
+            query_norms = np.linalg.norm(expanded, axis=1)
+            vector_norms = np.linalg.norm(vectors, axis=1)
+            query_norms[query_norms == 0] = 1.0
+            vector_norms[vector_norms == 0] = 1.0
+            sims = np.einsum("ij,ij->i", expanded, vectors)
+            sims /= query_norms * vector_norms
+            out[seg] = sims
+        lo = hi
+    if euclidean:
+        return np.sqrt(out, out=out)
+    np.clip(out, -1.0, 1.0, out=out)
+    if metric == "cosine":
+        return np.subtract(1.0, out, out=out)
+    return np.arccos(out, out=out)
+
+
+def _probe_prefix(
+    scores: np.ndarray,
+    signatures: np.ndarray,
+    sizes: np.ndarray,
+    budget: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Probe orders, cumulative candidate counts and stop columns.
+
+    Returns only the shortest column prefix that satisfies every
+    query's candidate budget: sorting and cumulating all ``nb`` bucket
+    columns is wasted work when the budget is met after a few dozen
+    buckets, so this orders a prefix of ``W`` columns (growing ``W``
+    until every row reaches the budget or runs out of buckets).
+    """
+    n_queries, n_buckets = scores.shape
+    mean_size = max(float(sizes.mean()), 1.0) if len(sizes) else 1.0
+    width = int(min(n_buckets, max(16, 4 * budget / mean_size + 1)))
+    while True:
+        if width >= n_buckets:
+            order = _probe_order(scores, signatures)
+        else:
+            order = _probe_order_prefix(scores, signatures, width)
+        cumulative = np.cumsum(sizes[order], axis=1)
+        if width >= n_buckets or cumulative[:, -1].min() >= budget:
+            stops = np.minimum(
+                (cumulative < budget).sum(axis=1), order.shape[1] - 1
+            )
+            return order, cumulative, stops
+        width = min(n_buckets, width * 4)
+
+
+def _probe_order_prefix(
+    scores: np.ndarray, signatures: np.ndarray, width: int
+) -> np.ndarray:
+    """First ``width`` columns of each row's ``(score, signature)`` order.
+
+    An argpartition narrows each row to its ``width`` best buckets
+    before the (much smaller) sort.  Integer scores use the same
+    collision-free composite key as :func:`_probe_order`; float rows
+    whose partition cut lands inside a run of tied scores — where
+    argpartition admits an arbitrary subset of the tie — are re-derived
+    from a full stable sort.
+    """
+    if scores.dtype.kind in "iu":
+        span = int(signatures[-1]) + 1 if len(signatures) else 1
+        magnitude = max(
+            abs(int(scores.max(initial=0))), abs(int(scores.min(initial=0)))
+        )
+        if magnitude <= (np.iinfo(np.int64).max - span) // max(span, 1):
+            keys = scores.astype(np.int64) * span + signatures
+            part = np.argpartition(keys, width - 1, axis=-1)[:, :width]
+            inner = np.argsort(
+                np.take_along_axis(keys, part, axis=-1), axis=-1
+            )
+            return np.take_along_axis(part, inner, axis=-1)
+        return np.argsort(scores, axis=-1, kind="stable")[:, :width]
+    part = np.argpartition(scores, width - 1, axis=-1)[:, :width]
+    part_scores = np.take_along_axis(scores, part, axis=-1)
+    # Column index doubles as the signature rank, signatures ascending.
+    inner = np.lexsort((part, part_scores), axis=-1)
+    order = np.take_along_axis(part, inner, axis=-1)
+    ranked = np.take_along_axis(part_scores, inner, axis=-1)
+    boundary = ranked[:, -1][:, np.newaxis]
+    tied_at_cut = np.nonzero(
+        (scores == boundary).sum(axis=-1) != (ranked == boundary).sum(axis=-1)
+    )[0]
+    for row in tied_at_cut:
+        order[row] = np.argsort(scores[row], kind="stable")[:width]
+    return order
+
+
+def _probe_order(scores: np.ndarray, signatures: np.ndarray) -> np.ndarray:
+    """Per-row probe order: ascending ``(score, signature)``, vectorised.
+
+    ``signatures`` arrive ascending, so a stable sort on score alone
+    yields the probers' lexicographic tie-break.  Stable sorts are
+    several times slower than quicksort here, so: integer scores get a
+    collision-free composite ``score·span + signature`` key (unique →
+    any sort kind agrees with the stable order); float scores get a
+    quicksort plus a stable re-sort of only the rows that contain
+    duplicate scores — rare for continuous quantization distances.
+    """
+    if scores.dtype.kind in "iu":
+        span = int(signatures[-1]) + 1 if len(signatures) else 1
+        magnitude = max(
+            abs(int(scores.max(initial=0))), abs(int(scores.min(initial=0)))
+        )
+        if magnitude <= (np.iinfo(np.int64).max - span) // max(span, 1):
+            keys = scores.astype(np.int64) * span + signatures
+            return np.argsort(keys, axis=-1)
+        return np.argsort(scores, axis=-1, kind="stable")
+    order = np.argsort(scores, axis=-1)
+    ranked = np.take_along_axis(scores, order, axis=-1)
+    tied_rows = np.nonzero((np.diff(ranked, axis=-1) == 0.0).any(axis=-1))[0]
+    for row in tied_rows:
+        order[row] = np.argsort(scores[row], kind="stable")
+    return order
+
+
+def _block_top_k(
+    all_candidates: np.ndarray,
+    all_distances: np.ndarray,
+    counts: np.ndarray,
+    k: int,
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """:meth:`CandidatePipeline.top_k` over every segment at once.
+
+    Pads the ragged block to a dense ``(B, max_count)`` matrix (∞
+    distance / maximal id sentinels sort last) so one argpartition and
+    one two-key lexsort rank the whole batch.
+    """
+    n_queries = len(counts)
+    width = int(counts.max()) if n_queries else 0
+    if width == 0:
+        return [(_EMPTY_IDS, _EMPTY_DISTS)] * n_queries
+    row_mask = np.arange(width)[np.newaxis, :] < counts[:, np.newaxis]
+    dist_pad = np.full((n_queries, width), np.inf)
+    dist_pad[row_mask] = all_distances
+    ids_pad = np.full((n_queries, width), np.iinfo(np.int64).max, dtype=np.int64)
+    ids_pad[row_mask] = all_candidates
+    kth = min(k, width)
+    if kth < width:
+        part = np.argpartition(dist_pad, kth - 1, axis=1)[:, :kth]
+        part_dists = np.take_along_axis(dist_pad, part, axis=1)
+        part_ids = np.take_along_axis(ids_pad, part, axis=1)
+    else:
+        part_dists, part_ids = dist_pad, ids_pad
+    suborder = np.lexsort((part_ids, part_dists), axis=1)
+    part_dists = np.take_along_axis(part_dists, suborder, axis=1)
+    part_ids = np.take_along_axis(part_ids, suborder, axis=1)
+    return [
+        (row_ids[:min(k, int(count))].copy(),
+         row_dists[:min(k, int(count))].copy())
+        for row_ids, row_dists, count in zip(part_ids, part_dists, counts)
+    ]
+
+
+# -- multi-table stream composition -----------------------------------
+
+
+# -- multi-table stream composition -----------------------------------
+
+def round_robin_stream(
+    streams: list[Iterator[int]],
+    tables: list,
+    num_items: int,
+) -> Iterator[np.ndarray]:
+    """One bucket from each table's probe order in turn, deduplicated.
+
+    The paper's multi-hash-table strategy (Section 6.3.5): strict
+    alternation across tables; an item seen in an earlier table is
+    suppressed when later tables yield it again.
+    """
+    seen = np.zeros(num_items, dtype=bool)
+    active = list(zip(streams, tables))
+    while active:
+        still_active = []
+        for stream, table in active:
+            bucket = next(stream, None)
+            if bucket is None:
+                continue
+            still_active.append((stream, table))
+            ids = table.get(bucket)
+            if len(ids):
+                fresh = ids[~seen[ids]]
+                if len(fresh):
+                    seen[fresh] = True
+                    yield fresh
+        active = still_active
+
+
+def qd_merged_scored_stream(
+    scored_streams: list[Iterator[tuple[int, float]]],
+    tables: list,
+    num_items: int,
+) -> Iterator[tuple[float, np.ndarray]]:
+    """Heap-merge scored probe streams into one ascending-QD sequence.
+
+    Yields ``(qd, fresh_ids)`` pairs globally sorted by quantization
+    distance: each input stream is non-decreasing (Properties 1–2 /
+    Theorem 2's ordering guarantee), so a k-way heap merge preserves the
+    invariant across tables.  A bucket with small QD is a good bucket in
+    *any* table, so the globally best bucket is probed next instead of
+    strictly alternating tables.  Duplicates across tables are
+    suppressed; empty buckets still advance the merge but yield nothing.
+    """
+    streams = [iter(s) for s in scored_streams]
+    heap: list[tuple[float, int, int]] = []  # (qd, table_idx, bucket)
+    for idx, stream in enumerate(streams):
+        first = next(stream, None)
+        if first is not None:
+            bucket, qd = first
+            heap.append((qd, idx, bucket))
+    heapq.heapify(heap)
+    seen = np.zeros(num_items, dtype=bool)
+    while heap:
+        qd, idx, bucket = heapq.heappop(heap)
+        ids = tables[idx].get(bucket)
+        if len(ids):
+            fresh = ids[~seen[ids]]
+            if len(fresh):
+                seen[fresh] = True
+                yield qd, fresh
+        upcoming = next(streams[idx], None)
+        if upcoming is not None:
+            next_bucket, next_qd = upcoming
+            heapq.heappush(heap, (next_qd, idx, next_bucket))
+
+
+# -- the engine -------------------------------------------------------
+
+class QueryEngine:
+    """Execute :class:`QueryPlan` instances over candidate streams.
+
+    One engine per index: it owns the evaluator (the evaluation stage's
+    scoring rule) while each call supplies the plan and the retrieval
+    stream, so all indexes share a single instrumented control flow.
+    """
+
+    def __init__(self, evaluator) -> None:
+        self.evaluator = evaluator
+
+    def execute(
+        self,
+        query: np.ndarray,
+        plan: QueryPlan,
+        stream: Iterable[np.ndarray],
+        extras: dict | None = None,
+    ):
+        """Drain ``stream`` under ``plan`` and exactly re-rank — one query.
+
+        Returns a :class:`~repro.search.results.SearchResult` whose
+        ``extras["stats"]`` carries the :class:`ExecutionContext`.
+        """
+        from repro.search.results import SearchResult
+
+        ctx = ExecutionContext()
+        start = time.perf_counter()
+        candidates = CandidatePipeline.drain(stream, plan, ctx)
+        after_retrieval = time.perf_counter()
+        ids, dists = self.evaluator.evaluate(query, candidates, plan.k)
+        end = time.perf_counter()
+        ctx.retrieval_seconds = after_retrieval - start
+        ctx.evaluation_seconds = end - after_retrieval
+        ctx.total_seconds = end - start
+        all_extras = {"stats": ctx}
+        if extras:
+            all_extras.update(extras)
+        return SearchResult(
+            ids, dists, ctx.n_candidates, ctx.n_buckets_probed, all_extras
+        )
+
+    def execute_batch_streams(
+        self,
+        queries: np.ndarray,
+        plan: QueryPlan,
+        streams: list[Iterable[np.ndarray]],
+    ) -> list:
+        """Batched execution over per-query candidate streams.
+
+        Retrieval stays per-query (each stream's probe order is exactly
+        the per-query path's), but evaluation is amortised across the
+        whole block via :meth:`evaluate_block`.
+        """
+        from repro.search.results import SearchResult
+
+        contexts = [ExecutionContext() for _ in streams]
+        per_query: list[np.ndarray] = []
+        start = time.perf_counter()
+        for stream, ctx in zip(streams, contexts):
+            per_query.append(CandidatePipeline.drain(stream, plan, ctx))
+        retrieval = time.perf_counter() - start
+        for ctx in contexts:
+            ctx.retrieval_seconds = retrieval / max(len(contexts), 1)
+        ranked = self.evaluate_block(queries, per_query, plan.k, contexts)
+        results = []
+        for ctx, (ids, dists) in zip(contexts, ranked):
+            ctx.total_seconds = ctx.retrieval_seconds + ctx.evaluation_seconds
+            results.append(
+                SearchResult(
+                    ids,
+                    dists,
+                    ctx.n_candidates,
+                    ctx.n_buckets_probed,
+                    {"stats": ctx},
+                )
+            )
+        return results
+
+    def execute_batch_ordered(
+        self,
+        queries: np.ndarray,
+        plan: QueryPlan,
+        table,
+        scores: np.ndarray,
+        bucket_signatures: np.ndarray,
+    ) -> list:
+        """Batched execution from a precomputed ``(B, nb)`` score matrix.
+
+        The fast path behind ``search_batch``: every query's probe order
+        is ascending ``(score, bucket signature)`` — the order the
+        sorting probers (and, over occupied buckets, GQR) produce — so
+        the whole batch's bucket orders come from one vectorised stable
+        argsort and the candidate gather from one cumulative-sum drain,
+        instead of B generator walks.
+        """
+        from repro.search.results import SearchResult
+
+        budget = plan.n_candidates
+        if budget is None:
+            raise ValueError("batched execution needs a candidate budget")
+        start = time.perf_counter()
+        n_queries, n_buckets = scores.shape
+        if n_buckets == 0:
+            return [self.execute(query, plan, iter(())) for query in queries]
+        bucket_signatures = np.asarray(bucket_signatures, dtype=np.int64)
+        if np.any(np.diff(bucket_signatures) < 0):
+            resort = np.argsort(bucket_signatures, kind="stable")
+            bucket_signatures = bucket_signatures[resort]
+            scores = scores[:, resort]
+        layout = (
+            table.dense_layout() if hasattr(table, "dense_layout") else None
+        )
+        if layout is not None and np.array_equal(layout[0], bucket_signatures):
+            _, sizes, bucket_offsets, ids_flat = layout
+        else:
+            bucket_ids = [table.get(int(sig)) for sig in bucket_signatures]
+            sizes = np.fromiter(
+                (len(ids) for ids in bucket_ids),
+                dtype=np.int64,
+                count=n_buckets,
+            )
+            ids_flat = np.concatenate(bucket_ids)
+            bucket_offsets = np.concatenate(([0], np.cumsum(sizes)[:-1]))
+        order, cumulative, stops = _probe_prefix(
+            scores, bucket_signatures, sizes, budget
+        )
+        # Ragged gather of every query's probed buckets in one shot.
+        width = order.shape[1]
+        col_mask = np.arange(width)[np.newaxis, :] <= stops[:, np.newaxis]
+        flat_buckets = order[col_mask]
+        lengths = sizes[flat_buckets]
+        ends = np.cumsum(lengths)
+        within = np.arange(int(ends[-1])) - np.repeat(ends - lengths, lengths)
+        all_candidates = ids_flat[
+            np.repeat(bucket_offsets[flat_buckets], lengths) + within
+        ]
+        counts = cumulative[np.arange(n_queries), stops]
+        contexts = [
+            ExecutionContext(
+                n_buckets_probed=int(stop) + 1, n_candidates=int(count)
+            )
+            for stop, count in zip(stops, counts)
+        ]
+        retrieval = time.perf_counter() - start
+        for ctx in contexts:
+            ctx.retrieval_seconds = retrieval / max(n_queries, 1)
+        if (
+            isinstance(self.evaluator, ExactEvaluator)
+            and self.evaluator.metric in _RAGGED_METRICS
+        ):
+            eval_start = time.perf_counter()
+            dists = _ragged_distances(
+                queries,
+                self.evaluator._vectors(),
+                all_candidates,
+                counts,
+                self.evaluator.metric,
+            )
+            ranked = _block_top_k(all_candidates, dists, counts, plan.k)
+            elapsed = time.perf_counter() - eval_start
+            for ctx in contexts:
+                ctx.evaluation_seconds = elapsed / max(n_queries, 1)
+        else:
+            per_query = np.split(all_candidates, np.cumsum(counts)[:-1])
+            ranked = self.evaluate_block(queries, per_query, plan.k, contexts)
+        results = []
+        for ctx, (ids, dists) in zip(contexts, ranked):
+            ctx.total_seconds = ctx.retrieval_seconds + ctx.evaluation_seconds
+            results.append(
+                SearchResult(
+                    ids,
+                    dists,
+                    ctx.n_candidates,
+                    ctx.n_buckets_probed,
+                    {"stats": ctx},
+                )
+            )
+        return results
+
+    def evaluate_block(
+        self,
+        queries: np.ndarray,
+        per_query_candidates: list[np.ndarray],
+        k: int,
+        contexts: list[ExecutionContext],
+    ) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Amortised evaluation of a whole candidate block.
+
+        Stacks every query's candidate vectors into one ragged block and
+        scores it with a single einsum (see :func:`_ragged_distances`)
+        instead of one BLAS call per query, then applies the shared
+        top-``k`` rule per segment.  Only defined for
+        :class:`ExactEvaluator` over the built-in metrics; other
+        evaluators fall back to per-query evaluation.
+        """
+        start = time.perf_counter()
+        if not (
+            isinstance(self.evaluator, ExactEvaluator)
+            and self.evaluator.metric in _RAGGED_METRICS
+        ):
+            out = [
+                self.evaluator.evaluate(query, candidates, k)
+                for query, candidates in zip(queries, per_query_candidates)
+            ]
+            elapsed = time.perf_counter() - start
+            for ctx in contexts:
+                ctx.evaluation_seconds = elapsed / max(len(contexts), 1)
+            return out
+        counts = np.fromiter(
+            (len(c) for c in per_query_candidates),
+            dtype=np.int64,
+            count=len(per_query_candidates),
+        )
+        results: list[tuple[np.ndarray, np.ndarray]] = []
+        if counts.sum():
+            stacked = np.concatenate(per_query_candidates)
+            dists = _ragged_distances(
+                np.asarray(queries, dtype=np.float64),
+                self.evaluator._vectors(),
+                stacked,
+                counts,
+                self.evaluator.metric,
+            )
+            per_dists = np.split(dists, np.cumsum(counts)[:-1])
+            for candidates, row in zip(per_query_candidates, per_dists):
+                if len(candidates):
+                    results.append(
+                        CandidatePipeline.top_k(candidates, row, k)
+                    )
+                else:
+                    results.append((_EMPTY_IDS, _EMPTY_DISTS))
+        else:
+            results = [(_EMPTY_IDS, _EMPTY_DISTS)] * len(per_query_candidates)
+        elapsed = time.perf_counter() - start
+        for ctx in contexts:
+            ctx.evaluation_seconds = elapsed / max(len(contexts), 1)
+        return results

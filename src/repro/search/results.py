@@ -34,3 +34,14 @@ class SearchResult:
 
     def __len__(self) -> int:
         return len(self.ids)
+
+    @property
+    def stats(self):
+        """The engine's per-query ``ExecutionContext``, if one was attached.
+
+        Engine-backed searches always attach one under
+        ``extras["stats"]``: per-stage wall times, buckets probed,
+        candidates gathered, early-stop trigger.  ``None`` for results
+        built outside the query-execution engine.
+        """
+        return self.extras.get("stats")

@@ -2,25 +2,27 @@
 
 The querying pipeline of Section 2.2 — *retrieval* picks buckets and
 gathers candidate ids, *evaluation* re-ranks candidates by exact
-distance — is factored so every method in the paper plugs into the same
-two-step loop:
+distance — lives once in :mod:`repro.search.engine`; the classes here
+are thin adapters that build :class:`~repro.search.engine.QueryPlan`
+instances and delegate:
 
 * :class:`HashIndex` — L2H hash table(s) + a pluggable
   :class:`~repro.core.prober.BucketProber` (HR, GHR, QR, GQR, …), with
   multi-table probing (round-robin or global QD merge), Theorem 2 early
-  stop, exact range search, and batch queries.
+  stop, exact range search, and genuinely batched queries.
 * :class:`MIHSearchIndex` — Multi-Index Hashing over the same codes.
 * :class:`IMISearchIndex` — OPQ/PQ + inverted multi-index.
 
 All expose ``candidate_stream(query)`` (arrays of item ids, best bucket
 first) and ``search(query, k, n_candidates)``.  Evaluation supports the
 metrics in :mod:`repro.index.distance` (the paper's Section 4 notes the
-angular adaptation); the Theorem 2 bound is Euclidean-only.
+angular adaptation); the Theorem 2 bound is Euclidean-only.  Every
+result carries the engine's :class:`~repro.search.engine.ExecutionContext`
+under ``extras["stats"]``.
 """
 
 from __future__ import annotations
 
-import heapq
 import time
 from collections.abc import Iterator
 
@@ -29,11 +31,24 @@ import numpy as np
 from repro.core.gqr import GQR
 from repro.core.quantization_distance import theorem2_mu
 from repro.hashing.base import BinaryHasher, ProjectionHasher
+from repro.index.codes import unpack_bits
 from repro.index.distance import METRICS, pairwise_distances
 from repro.index.hash_table import HashTable
 from repro.index.mih import MultiIndexHashing
 from repro.probing.base import BucketProber
 from repro.quantization.imi import InvertedMultiIndex
+from repro.search.engine import (
+    ADCEvaluator,
+    CandidatePipeline,
+    ExactEvaluator,
+    ExecutionContext,
+    QueryEngine,
+    QueryPlan,
+    qd_merged_scored_stream,
+    round_robin_stream,
+    validate_query,
+    validate_query_batch,
+)
 from repro.search.results import SearchResult
 
 __all__ = [
@@ -55,7 +70,8 @@ def evaluate_candidates(
 
     The evaluation step shared by every querying method: compute true
     distances to the retrieved items under ``metric`` and keep the k
-    best (ties broken by id).
+    best (ties broken by id).  Kept as a function for callers outside
+    the engine; internally it is the engine's exact evaluation rule.
     """
     if not len(candidate_ids):
         empty = np.empty(0, dtype=np.int64)
@@ -63,29 +79,7 @@ def evaluate_candidates(
     dists = pairwise_distances(
         query[np.newaxis, :], data[candidate_ids], metric
     )[0]
-    keep = min(k, len(candidate_ids))
-    if keep < len(candidate_ids):
-        part = np.argpartition(dists, keep - 1)[:keep]
-    else:
-        part = np.arange(len(candidate_ids))
-    order = np.lexsort((candidate_ids[part], dists[part]))
-    chosen = part[order]
-    return candidate_ids[chosen], dists[chosen]
-
-
-def _collect(stream: Iterator[np.ndarray], n_candidates: int):
-    """Drain a candidate stream to at least ``n_candidates`` ids."""
-    found: list[np.ndarray] = []
-    total = 0
-    batches = 0
-    for ids in stream:
-        batches += 1
-        found.append(ids)
-        total += len(ids)
-        if total >= n_candidates:
-            break
-    candidates = np.concatenate(found) if found else np.empty(0, dtype=np.int64)
-    return candidates, total, batches
+    return CandidatePipeline.top_k(candidate_ids, dists, k)
 
 
 class HashIndex:
@@ -144,6 +138,11 @@ class HashIndex:
         self._prober = prober if prober is not None else GQR()
         self._metric = metric
         self._multi_table_strategy = multi_table_strategy
+        self._dim = self._data.shape[1]
+        self._engine = QueryEngine(ExactEvaluator(self._data, metric))
+        # Per-table (signatures, unpacked bits), lazily built for
+        # batched scoring; safe to cache because the tables are static.
+        self._bucket_bits: dict[int, tuple[np.ndarray, np.ndarray]] = {}
 
     @property
     def data(self) -> np.ndarray:
@@ -177,6 +176,11 @@ class HashIndex:
     def prober(self, prober: BucketProber) -> None:
         self._prober = prober
 
+    @property
+    def engine(self) -> QueryEngine:
+        """The query-execution engine this index delegates to."""
+        return self._engine
+
     def memory_footprint(self) -> dict[str, int]:
         """Approximate bytes held by each component.
 
@@ -190,20 +194,61 @@ class HashIndex:
             "num_tables": len(self._tables),
         }
 
+    def plan(
+        self,
+        k: int,
+        n_candidates: int | None = None,
+        max_buckets: int | None = None,
+        time_budget: float | None = None,
+    ) -> QueryPlan:
+        """Build the :class:`QueryPlan` a ``search`` call would execute."""
+        return QueryPlan(
+            k=k,
+            n_candidates=n_candidates,
+            max_buckets=max_buckets,
+            time_budget=time_budget,
+            metric=self._metric,
+            multi_table_strategy=self._multi_table_strategy,
+        )
+
     # -- retrieval ----------------------------------------------------
 
-    def candidate_stream(self, query: np.ndarray) -> Iterator[np.ndarray]:
+    def _probe_infos(self, query: np.ndarray) -> list[tuple[int, np.ndarray]]:
+        """Per-table ``(signature, flip_costs)`` for one query."""
+        return [hasher.probe_info(query) for hasher in self._hashers]
+
+    def _bucket_batch_info(
+        self, table_index: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Cached (ascending signatures, unpacked bits) of one table."""
+        cached = self._bucket_bits.get(table_index)
+        if cached is None:
+            table = self._tables[table_index]
+            signatures = table.dense_layout()[0]
+            cached = (signatures, unpack_bits(signatures, table.code_length))
+            self._bucket_bits[table_index] = cached
+        return cached
+
+    def candidate_stream(
+        self,
+        query: np.ndarray,
+        probe_infos: list[tuple[int, np.ndarray]] | None = None,
+    ) -> Iterator[np.ndarray]:
         """Arrays of item ids, one per probed non-empty bucket.
 
         With multiple tables, probing either round-robins across the
         tables' probe orders (the paper's multi-hash-table strategy,
         Section 6.3.5) or heap-merges the scored streams into one
         globally ascending-QD order; duplicates across tables are
-        suppressed either way.
+        suppressed either way.  ``probe_infos`` lets batched callers
+        supply precomputed signatures/costs so hashing happens once per
+        table for a whole batch.
         """
-        query = np.asarray(query, dtype=np.float64)
+        query = validate_query(query, self._dim)
+        if probe_infos is None:
+            probe_infos = self._probe_infos(query)
         if len(self._tables) == 1:
-            signature, costs = self._hashers[0].probe_info(query)
+            signature, costs = probe_infos[0]
             table = self._tables[0]
             for bucket in self._prober.probe(table, signature, costs):
                 ids = table.get(bucket)
@@ -211,69 +256,41 @@ class HashIndex:
                     yield ids
             return
         if self._multi_table_strategy == "qd_merge":
-            yield from self._qd_merged_stream(query)
+            for _, ids in self.scored_stream(query, probe_infos):
+                yield ids
         else:
-            yield from self._round_robin_stream(query)
+            streams = [
+                self._prober.probe(table, signature, costs)
+                for table, (signature, costs) in zip(self._tables, probe_infos)
+            ]
+            yield from round_robin_stream(
+                streams, self._tables, self.num_items
+            )
 
-    def _round_robin_stream(self, query: np.ndarray) -> Iterator[np.ndarray]:
-        streams = []
-        for hasher, table in zip(self._hashers, self._tables):
-            signature, costs = hasher.probe_info(query)
-            streams.append(self._prober.probe(table, signature, costs))
-        seen = np.zeros(self.num_items, dtype=bool)
-        active = list(zip(streams, self._tables))
-        while active:
-            still_active = []
-            for stream, table in active:
-                bucket = next(stream, None)
-                if bucket is None:
-                    continue
-                still_active.append((stream, table))
-                ids = table.get(bucket)
-                if len(ids):
-                    fresh = ids[~seen[ids]]
-                    if len(fresh):
-                        seen[fresh] = True
-                        yield fresh
-            active = still_active
+    def scored_stream(
+        self,
+        query: np.ndarray,
+        probe_infos: list[tuple[int, np.ndarray]] | None = None,
+    ) -> Iterator[tuple[float, np.ndarray]]:
+        """The globally merged ``(qd, fresh_ids)`` stream across tables.
 
-    def _qd_merged_stream(self, query: np.ndarray) -> Iterator[np.ndarray]:
-        """Global ascending-QD merge of all tables' scored probe streams.
-
-        A bucket with small quantization distance is a good bucket in
-        *any* table, so merging by score probes the globally best bucket
-        next instead of strictly alternating tables.
+        Exposes the ``qd_merge`` strategy's ordering invariant: the
+        yielded quantization distances are non-decreasing (Properties
+        1–2 / Theorem 2's ordering guarantee), whatever the number of
+        tables.
         """
         if not hasattr(self._prober, "probe_scored"):
             raise TypeError(
                 "qd_merge needs a prober with probe_scored (e.g. GQR)"
             )
-        streams = []
-        for hasher, table in zip(self._hashers, self._tables):
-            signature, costs = hasher.probe_info(query)
-            streams.append(
-                iter(self._prober.probe_scored(table, signature, costs))
-            )
-        heap: list[tuple[float, int, int]] = []  # (qd, table_idx, bucket)
-        for idx, stream in enumerate(streams):
-            first = next(stream, None)
-            if first is not None:
-                bucket, qd = first
-                heap.append((qd, idx, bucket))
-        heapq.heapify(heap)
-        seen = np.zeros(self.num_items, dtype=bool)
-        while heap:
-            _, idx, bucket = heapq.heappop(heap)
-            ids = self._tables[idx].get(bucket)
-            if len(ids):
-                fresh = ids[~seen[ids]]
-                if len(fresh):
-                    seen[fresh] = True
-                    yield fresh
-            upcoming = next(streams[idx], None)
-            if upcoming is not None:
-                next_bucket, qd = upcoming
-                heapq.heappush(heap, (qd, idx, next_bucket))
+        query = validate_query(query, self._dim)
+        if probe_infos is None:
+            probe_infos = self._probe_infos(query)
+        scored = [
+            self._prober.probe_scored(table, signature, costs)
+            for table, (signature, costs) in zip(self._tables, probe_infos)
+        ]
+        return qd_merged_scored_stream(scored, self._tables, self.num_items)
 
     # -- evaluation ---------------------------------------------------
 
@@ -297,74 +314,57 @@ class HashIndex:
         At least one criterion must be given.  Collected candidates are
         exactly re-ranked and the top-``k`` returned.
         """
-        if n_candidates is None and max_buckets is None and time_budget is None:
-            raise ValueError(
-                "give at least one stopping criterion: n_candidates, "
-                "max_buckets or time_budget"
-            )
-        query = np.asarray(query, dtype=np.float64)
-        deadline = (
-            None if time_budget is None else time.perf_counter() + time_budget
-        )
-        found: list[np.ndarray] = []
-        total = 0
-        buckets = 0
-        for ids in self.candidate_stream(query):
-            buckets += 1
-            found.append(ids)
-            total += len(ids)
-            if n_candidates is not None and total >= n_candidates:
-                break
-            if max_buckets is not None and buckets >= max_buckets:
-                break
-            if deadline is not None and time.perf_counter() >= deadline:
-                break
-        candidates = (
-            np.concatenate(found) if found else np.empty(0, dtype=np.int64)
-        )
-        ids, dists = evaluate_candidates(
-            query, self._data, candidates, k, self._metric
-        )
-        return SearchResult(ids, dists, total, buckets)
+        plan = self.plan(k, n_candidates, max_buckets, time_budget)
+        query = validate_query(query, self._dim)
+        return self._engine.execute(query, plan, self.candidate_stream(query))
 
     def search_batch(
         self, queries: np.ndarray, k: int, n_candidates: int
     ) -> list[SearchResult]:
-        """``search`` over a query batch.
+        """``search`` over a query batch, genuinely batched.
 
-        Single-table indexes amortise the projection step: all queries'
-        codes and flip costs come from one matmul
-        (:meth:`BinaryHasher.probe_info_batch`); results are identical
-        to mapping :meth:`search` over the rows.
+        The whole batch issues exactly one projection/encode call per
+        table (:meth:`BinaryHasher.probe_info_batch`).  For probers with
+        vectorised bucket scoring (HR, QR, GQR) on a single table, the
+        per-query probe orders additionally come from one shared score
+        matrix, and evaluation is amortised into one
+        ``pairwise_distances`` call over the block's candidate union.
+        Results are identical to mapping :meth:`search` over the rows.
         """
-        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
-        if len(self._tables) != 1:
-            return [self.search(q, k, n_candidates) for q in queries]
-        table = self._tables[0]
-        infos = self._hashers[0].probe_info_batch(queries)
-        results = []
-        for query, (signature, costs) in zip(queries, infos):
-            found: list[np.ndarray] = []
-            total = 0
-            buckets = 0
-            for bucket in self._prober.probe(table, signature, costs):
-                ids = table.get(bucket)
-                if not len(ids):
-                    continue
-                buckets += 1
-                found.append(ids)
-                total += len(ids)
-                if total >= n_candidates:
-                    break
-            candidates = (
-                np.concatenate(found) if found
-                else np.empty(0, dtype=np.int64)
+        queries = validate_query_batch(queries, self._dim)
+        if not len(queries):
+            return []
+        plan = self.plan(k, n_candidates)
+        infos_per_table = [
+            hasher.probe_info_batch(queries) for hasher in self._hashers
+        ]
+        if len(self._tables) == 1:
+            table = self._tables[0]
+            infos = infos_per_table[0]
+            signatures = np.fromiter(
+                (sig for sig, _ in infos), dtype=np.int64, count=len(infos)
             )
-            ids, dists = evaluate_candidates(
-                query, self._data, candidates, k, self._metric
+            cost_matrix = np.stack([costs for _, costs in infos])
+            bucket_signatures, bucket_bits = self._bucket_batch_info(0)
+            scores = self._prober.batch_scores(
+                bucket_signatures,
+                bucket_bits,
+                signatures,
+                unpack_bits(signatures, table.code_length),
+                cost_matrix,
             )
-            results.append(SearchResult(ids, dists, total, buckets))
-        return results
+            if scores is not None:
+                return self._engine.execute_batch_ordered(
+                    queries, plan, table, scores, bucket_signatures
+                )
+        streams = [
+            self.candidate_stream(
+                query,
+                [infos[qi] for infos in infos_per_table],
+            )
+            for qi, query in enumerate(queries)
+        ]
+        return self._engine.execute_batch_streams(queries, plan, streams)
 
     def search_early_stop(
         self, query: np.ndarray, k: int, max_candidates: int | None = None
@@ -380,24 +380,25 @@ class HashIndex:
         (the bound needs ``M = σ_max(H)``), and the Euclidean metric.
         """
         prober, hasher, mu = self._early_stop_setup()
-        query = np.asarray(query, dtype=np.float64)
+        query = validate_query(query, self._dim)
         signature, costs = hasher.probe_info(query)
         table = self._tables[0]
         if max_candidates is None:
             max_candidates = self.num_items
 
-        total = 0
-        buckets = 0
+        ctx = ExecutionContext()
+        start = time.perf_counter()
         kth_distance = np.inf
         best: list[tuple[float, int]] = []
         for bucket, qd in prober.probe_scored(table, signature, costs):
             if mu * qd > kth_distance:
+                ctx.early_stop_triggered = True
                 break
             ids = table.get(bucket)
-            buckets += 1
+            ctx.n_buckets_probed += 1
             if not len(ids):
                 continue
-            total += len(ids)
+            ctx.n_candidates += len(ids)
             dists = pairwise_distances(
                 query[np.newaxis, :], self._data[ids], "euclidean"
             )[0]
@@ -407,13 +408,19 @@ class HashIndex:
             del best[k:]
             if len(best) == k:
                 kth_distance = best[-1][0]
-            if total >= max_candidates:
+            if ctx.n_candidates >= max_candidates:
                 break
+        ctx.total_seconds = time.perf_counter() - start
+        ctx.retrieval_seconds = ctx.total_seconds
 
         ids = np.asarray([item for _, item in best], dtype=np.int64)
         dists = np.asarray([dist for dist, _ in best], dtype=np.float64)
         return SearchResult(
-            ids, dists, total, buckets, extras={"stopped_early": bool(best)}
+            ids,
+            dists,
+            ctx.n_candidates,
+            ctx.n_buckets_probed,
+            extras={"stopped_early": bool(best), "stats": ctx},
         )
 
     def search_range(self, query: np.ndarray, radius: float) -> SearchResult:
@@ -428,31 +435,37 @@ class HashIndex:
         if radius < 0:
             raise ValueError("radius must be non-negative")
         prober, hasher, mu = self._early_stop_setup()
-        query = np.asarray(query, dtype=np.float64)
+        query = validate_query(query, self._dim)
         signature, costs = hasher.probe_info(query)
         table = self._tables[0]
 
+        ctx = ExecutionContext()
+        start = time.perf_counter()
         hits: list[tuple[float, int]] = []
-        total = 0
-        buckets = 0
         for bucket, qd in prober.probe_scored(table, signature, costs):
             if mu * qd > radius:
+                ctx.early_stop_triggered = True
                 break
             ids = table.get(bucket)
-            buckets += 1
+            ctx.n_buckets_probed += 1
             if not len(ids):
                 continue
-            total += len(ids)
+            ctx.n_candidates += len(ids)
             dists = pairwise_distances(
                 query[np.newaxis, :], self._data[ids], "euclidean"
             )[0]
             hits.extend(
                 (float(d), int(i)) for i, d in zip(ids, dists) if d <= radius
             )
+        ctx.total_seconds = time.perf_counter() - start
+        ctx.retrieval_seconds = ctx.total_seconds
         hits.sort()
         ids = np.asarray([item for _, item in hits], dtype=np.int64)
         dists = np.asarray([dist for dist, _ in hits], dtype=np.float64)
-        return SearchResult(ids, dists, total, buckets)
+        return SearchResult(
+            ids, dists, ctx.n_candidates, ctx.n_buckets_probed,
+            extras={"stats": ctx},
+        )
 
     def _early_stop_setup(self):
         """Shared preconditions of the Theorem 2 search modes."""
@@ -484,27 +497,28 @@ class MIHSearchIndex:
         self._hasher = hasher
         self._mih = MultiIndexHashing(hasher.encode(self._data), num_blocks)
         self._metric = metric
+        self._dim = self._data.shape[1]
+        self._engine = QueryEngine(ExactEvaluator(self._data, metric))
 
     @property
     def num_items(self) -> int:
         return len(self._data)
 
+    @property
+    def engine(self) -> QueryEngine:
+        return self._engine
+
     def candidate_stream(self, query: np.ndarray) -> Iterator[np.ndarray]:
-        query = np.asarray(query, dtype=np.float64)
+        query = validate_query(query, self._dim)
         signature, _ = self._hasher.probe_info(query)
         for _, ids in self._mih.probe_increasing(signature):
             if len(ids):
                 yield ids
 
     def search(self, query: np.ndarray, k: int, n_candidates: int) -> SearchResult:
-        query = np.asarray(query, dtype=np.float64)
-        candidates, total, rings = _collect(
-            self.candidate_stream(query), n_candidates
-        )
-        ids, dists = evaluate_candidates(
-            query, self._data, candidates, k, self._metric
-        )
-        return SearchResult(ids, dists, total, rings)
+        query = validate_query(query, self._dim)
+        plan = QueryPlan(k=k, n_candidates=n_candidates, metric=self._metric)
+        return self._engine.execute(query, plan, self.candidate_stream(query))
 
 
 class IMISearchIndex:
@@ -535,45 +549,28 @@ class IMISearchIndex:
         self._imi = InvertedMultiIndex(quantizer, self._data)
         self._metric = metric
         self._fine = rerank_quantizer
+        self._dim = self._data.shape[1]
         if rerank_quantizer is not None:
             if not rerank_quantizer.codebooks:
                 rerank_quantizer.fit(self._data)
             self._fine_codes = rerank_quantizer.encode(self._data)
+            evaluator = ADCEvaluator(rerank_quantizer, self._fine_codes)
+        else:
+            evaluator = ExactEvaluator(self._data, metric)
+        self._engine = QueryEngine(evaluator)
 
     @property
     def num_items(self) -> int:
         return len(self._data)
 
-    def candidate_stream(self, query: np.ndarray) -> Iterator[np.ndarray]:
-        yield from self._imi.probe(np.asarray(query, dtype=np.float64))
+    @property
+    def engine(self) -> QueryEngine:
+        return self._engine
 
-    def _adc_rerank(
-        self, query: np.ndarray, candidates: np.ndarray, k: int
-    ) -> tuple[np.ndarray, np.ndarray]:
-        tables = self._fine.distance_tables(query)
-        codes = self._fine_codes[candidates]
-        approx = np.zeros(len(candidates), dtype=np.float64)
-        for subspace, table in enumerate(tables):
-            approx += table[codes[:, subspace]]
-        keep = min(k, len(candidates))
-        part = (
-            np.argpartition(approx, keep - 1)[:keep]
-            if keep < len(candidates)
-            else np.arange(len(candidates))
-        )
-        order = np.lexsort((candidates[part], approx[part]))
-        chosen = part[order]
-        return candidates[chosen], np.sqrt(np.maximum(approx[chosen], 0.0))
+    def candidate_stream(self, query: np.ndarray) -> Iterator[np.ndarray]:
+        yield from self._imi.probe(validate_query(query, self._dim))
 
     def search(self, query: np.ndarray, k: int, n_candidates: int) -> SearchResult:
-        query = np.asarray(query, dtype=np.float64)
-        candidates, total, cells = _collect(
-            self.candidate_stream(query), n_candidates
-        )
-        if self._fine is not None and len(candidates):
-            ids, dists = self._adc_rerank(query, candidates, k)
-        else:
-            ids, dists = evaluate_candidates(
-                query, self._data, candidates, k, self._metric
-            )
-        return SearchResult(ids, dists, total, cells)
+        query = validate_query(query, self._dim)
+        plan = QueryPlan(k=k, n_candidates=n_candidates, metric=self._metric)
+        return self._engine.execute(query, plan, self.candidate_stream(query))

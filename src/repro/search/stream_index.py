@@ -12,9 +12,13 @@ from collections.abc import Iterator
 
 import numpy as np
 
-from repro.index.distance import METRICS
+from repro.search.engine import (
+    ExactEvaluator,
+    QueryEngine,
+    QueryPlan,
+    validate_query,
+)
 from repro.search.results import SearchResult
-from repro.search.searcher import evaluate_candidates
 
 __all__ = ["StreamSearchIndex"]
 
@@ -35,34 +39,22 @@ class StreamSearchIndex:
     def __init__(self, stream_index, data: np.ndarray, metric: str = "euclidean") -> None:
         self._inner = stream_index
         self._data = np.asarray(data, dtype=np.float64)
-        if metric not in METRICS:
-            raise KeyError(
-                f"unknown metric {metric!r}; options: {sorted(METRICS)}"
-            )
         self._metric = metric
+        self._dim = self._data.shape[1] if self._data.ndim == 2 else None
+        self._engine = QueryEngine(ExactEvaluator(self._data, metric))
 
     @property
     def num_items(self) -> int:
         return self._inner.num_items
 
+    @property
+    def engine(self) -> QueryEngine:
+        return self._engine
+
     def candidate_stream(self, query: np.ndarray) -> Iterator[np.ndarray]:
         yield from self._inner.candidate_stream(query)
 
     def search(self, query: np.ndarray, k: int, n_candidates: int) -> SearchResult:
-        query = np.asarray(query, dtype=np.float64)
-        found: list[np.ndarray] = []
-        total = 0
-        batches = 0
-        for ids in self.candidate_stream(query):
-            batches += 1
-            found.append(ids)
-            total += len(ids)
-            if total >= n_candidates:
-                break
-        candidates = (
-            np.concatenate(found) if found else np.empty(0, dtype=np.int64)
-        )
-        ids, dists = evaluate_candidates(
-            query, self._data, candidates, k, self._metric
-        )
-        return SearchResult(ids, dists, total, batches)
+        query = validate_query(query, self._dim)
+        plan = QueryPlan(k=k, n_candidates=n_candidates, metric=self._metric)
+        return self._engine.execute(query, plan, self.candidate_stream(query))

@@ -1,6 +1,5 @@
 """Tests for the one-call method comparison."""
 
-import numpy as np
 import pytest
 
 from repro.core.gqr import GQR

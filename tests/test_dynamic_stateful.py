@@ -6,7 +6,6 @@ covering the tombstone/compaction/recycling interactions that
 example-based tests can miss.
 """
 
-import numpy as np
 from hypothesis import settings
 from hypothesis import strategies as st
 from hypothesis.stateful import (

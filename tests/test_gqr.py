@@ -7,7 +7,6 @@ from repro.core.generation_tree import SharedGenerationTree
 from repro.core.gqr import GQR
 from repro.core.qd_ranking import QDRanking
 from repro.core.quantization_distance import quantization_distances
-from repro.index.hash_table import HashTable
 
 
 @pytest.fixture()

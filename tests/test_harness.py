@@ -1,6 +1,5 @@
 """Tests for the recall-time experiment harness."""
 
-import numpy as np
 import pytest
 
 from repro.core.gqr import GQR
@@ -14,7 +13,6 @@ from repro.eval.harness import (
     time_to_recall,
 )
 from repro.hashing import ITQ
-from repro.probing import GenerateHammingRanking
 from repro.search.searcher import HashIndex
 
 

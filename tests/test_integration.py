@@ -7,7 +7,6 @@ Hamming distance, every querying method converges to exact recall, and
 the methods compose with every hasher.
 """
 
-import numpy as np
 import pytest
 
 from repro.core.gqr import GQR

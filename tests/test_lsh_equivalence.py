@@ -8,7 +8,6 @@ instances — the strongest guard against a silent formula bug.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -51,7 +51,6 @@ class TestPCAHashing:
         """Similarity preservation: near pairs agree on more bits."""
         hasher = PCAHashing(code_length=8).fit(small_data)
         codes = hasher.encode(small_data)
-        rng = np.random.default_rng(4)
         near_agree, far_agree = [], []
         dists = np.linalg.norm(small_data - small_data[0], axis=1)
         order = np.argsort(dists)

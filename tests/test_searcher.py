@@ -6,7 +6,7 @@ import pytest
 from repro.core.gqr import GQR
 from repro.core.qd_ranking import QDRanking
 from repro.data import gaussian_mixture
-from repro.hashing import ITQ, PCAHashing, SpectralHashing
+from repro.hashing import ITQ, SpectralHashing
 from repro.index.linear_scan import knn_linear_scan
 from repro.probing import GenerateHammingRanking, HammingRanking
 from repro.quantization.opq import OptimizedProductQuantizer
