@@ -11,8 +11,8 @@ margin) halves and measure the GQR-vs-GHR recall gap on each.
 import numpy as np
 
 from repro.core.gqr import GQR
-from repro.data.workloads import boundary_margin, in_distribution_queries
 from repro.data.ground_truth import ground_truth_knn
+from repro.data.workloads import boundary_margin, in_distribution_queries
 from repro.eval.harness import recall_at_budgets
 from repro.eval.reporting import format_table
 from repro.probing import GenerateHammingRanking

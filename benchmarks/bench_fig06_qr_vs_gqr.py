@@ -8,16 +8,15 @@ and compare time at the smallest budget.
 
 from repro.core.gqr import GQR
 from repro.core.qd_ranking import QDRanking
-
 from repro.eval.reporting import format_curves
 from repro.search.searcher import HashIndex
 from repro_bench import (
-    timed_sweep,
     K,
     MAIN_NAMES,
     budget_sweep,
     fitted_hasher,
     save_report,
+    timed_sweep,
     workload,
 )
 
@@ -47,7 +46,7 @@ def test_fig06_qr_vs_gqr(benchmark):
     save_report("fig06_qr_vs_gqr", "\n".join(sections))
 
     # Identical probe order => identical recall at every budget.
-    for name, curves in results.items():
+    for curves in results.values():
         for gqr_point, qr_point in zip(curves["GQR"], curves["QR"]):
             assert abs(gqr_point.recall - qr_point.recall) < 0.03
 

@@ -12,12 +12,12 @@ from repro.eval.reporting import format_curves, format_table
 from repro.probing import GenerateHammingRanking, HammingRanking
 from repro.search.searcher import HashIndex
 from repro_bench import (
-    timed_sweep,
     K,
     MAIN_NAMES,
     budget_sweep,
     fitted_hasher,
     save_report,
+    timed_sweep,
     workload,
 )
 

@@ -43,7 +43,7 @@ def test_fig08_recall_vs_items(benchmark):
     benchmark.pedantic(run_all, rounds=1, iterations=1)
 
     sections = []
-    for name, (budgets, gqr, ghr) in results.items():
+    for name, (_budgets, gqr, ghr) in results.items():
         rows = [
             [b, round(g, 4), round(h, 4)]
             for b, g, h in zip(budgets, gqr, ghr)

@@ -5,10 +5,10 @@ same bar-chart values (seconds per method per target) for the four main
 datasets with ITQ.
 """
 
+from bench_fig07_gqr_vs_hr import sweep_three_probers
 from repro.eval.harness import time_to_recall
 from repro.eval.reporting import format_table
 from repro_bench import MAIN_NAMES, save_report
-from bench_fig07_gqr_vs_hr import sweep_three_probers
 
 TARGETS = [0.80, 0.85, 0.90, 0.95]
 

@@ -12,11 +12,11 @@ from repro.eval.reporting import format_table
 from repro.probing import GenerateHammingRanking, HammingRanking
 from repro.search.searcher import HashIndex
 from repro_bench import (
-    timed_sweep,
     K,
     budget_sweep,
     fitted_hasher,
     save_report,
+    timed_sweep,
     workload,
 )
 

@@ -11,10 +11,10 @@ from repro.eval.reporting import format_table
 from repro.probing import GenerateHammingRanking, HammingRanking
 from repro.search.searcher import HashIndex
 from repro_bench import (
-    timed_sweep,
     budget_sweep,
     fitted_hasher,
     save_report,
+    timed_sweep,
     workload,
 )
 

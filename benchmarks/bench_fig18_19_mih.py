@@ -13,12 +13,12 @@ from repro.eval.reporting import format_curves
 from repro.probing import GenerateHammingRanking
 from repro.search.searcher import HashIndex, MIHSearchIndex
 from repro_bench import (
-    curves_recall_at_items,
-    timed_sweep,
     K,
     budget_sweep,
+    curves_recall_at_items,
     fitted_hasher,
     save_report,
+    timed_sweep,
     workload,
 )
 

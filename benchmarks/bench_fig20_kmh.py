@@ -47,7 +47,7 @@ def test_fig20_kmh_gqr_vs_ghr(benchmark):
     benchmark.pedantic(run_all, rounds=1, iterations=1)
 
     sections = []
-    for name, (budgets, series) in results.items():
+    for name, (_budgets, series) in results.items():
         rows = [
             [b, round(series["GQR"][i], 4), round(series["GHR"][i], 4)]
             for i, b in enumerate(budgets)

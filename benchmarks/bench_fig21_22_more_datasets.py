@@ -6,13 +6,13 @@ comparable with OPQ + IMI in the majority of cases, with no clear
 winner in the rest.  Table 3's statistics are printed alongside.
 """
 
+from bench_fig17_opq_imi import build_opq_imi
 from repro.core.gqr import GQR
 from repro.data.datasets import APPENDIX_DATASETS
 from repro.eval.harness import recall_at_budgets
 from repro.eval.reporting import format_table
 from repro.search.searcher import HashIndex
 from repro_bench import budget_sweep, fitted_hasher, save_report, workload
-from bench_fig17_opq_imi import build_opq_imi
 
 DATASETS = [name for name in APPENDIX_DATASETS if name != "SIFT1M"]
 

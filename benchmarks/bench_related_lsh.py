@@ -17,11 +17,11 @@ from repro.probing import MultiProbeLSH
 from repro.search.searcher import HashIndex
 from repro.search.stream_index import StreamSearchIndex
 from repro_bench import (
-    timed_sweep,
     K,
     budget_sweep,
     fitted_hasher,
     save_report,
+    timed_sweep,
     workload,
 )
 

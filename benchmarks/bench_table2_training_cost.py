@@ -9,10 +9,10 @@ trainers on the four Figure-17 datasets.
 import time
 import tracemalloc
 
-from repro.hashing import PCAHashing
-from repro.eval.reporting import format_table
-from repro_bench import save_report, workload
 from bench_fig17_opq_imi import DATASETS, build_opq_imi
+from repro.eval.reporting import format_table
+from repro.hashing import PCAHashing
+from repro_bench import save_report, workload
 
 
 def _measure(fit):
@@ -32,9 +32,9 @@ def test_table2_training_cost(benchmark):
     def run_all():
         for name in DATASETS:
             dataset, _ = workload(name)
-            opq_time, opq_mem = _measure(lambda: build_opq_imi(dataset))
+            opq_time, opq_mem = _measure(lambda ds=dataset: build_opq_imi(ds))
             pcah_time, pcah_mem = _measure(
-                lambda: PCAHashing(dataset.code_length).fit(dataset.data)
+                lambda ds=dataset: PCAHashing(ds.code_length).fit(ds.data)
             )
             ratios.append(opq_time / pcah_time)
             rows.append(

@@ -51,10 +51,10 @@ from repro.index import (
 from repro.io import load_index, save_index
 from repro.probing import (
     BucketProber,
-    PrefixRanking,
     GenerateHammingRanking,
     HammingRanking,
     MultiProbeLSH,
+    PrefixRanking,
 )
 from repro.quantization import (
     InvertedMultiIndex,
@@ -62,16 +62,16 @@ from repro.quantization import (
     OptimizedProductQuantizer,
     ProductQuantizer,
 )
-from repro.trees import KDTree, KMeansTree, RandomizedKDForest
 from repro.search import (
     CompactHashIndex,
     DynamicHashIndex,
-    StreamSearchIndex,
     HashIndex,
     IMISearchIndex,
     MIHSearchIndex,
     SearchResult,
+    StreamSearchIndex,
 )
+from repro.trees import KDTree, KMeansTree, RandomizedKDForest
 
 __version__ = "1.0.0"
 

@@ -28,7 +28,7 @@ from repro.hashing import ITQ, PCAHashing, SpectralHashing
 from repro.probing import GenerateHammingRanking, HammingRanking
 from repro.search.searcher import HashIndex
 
-__all__ = ["main"]
+__all__ = ["build_parser", "main"]
 
 _HASHERS = {
     "itq": lambda m: ITQ(code_length=m, seed=0),

@@ -171,10 +171,7 @@ class SharedGenerationTree:
         Children are ``-1`` when the node is a leaf (rightmost 1 already
         at position ``m − 1``).
         """
-        if self._flat:
-            cached = self._table[mask]
-        else:
-            cached = self._children.get(mask)
+        cached = self._table[mask] if self._flat else self._children.get(mask)
         if cached is not None:
             return cached
         j = _rightmost_one(mask)

@@ -21,14 +21,14 @@ optimisation remark).
 
 from __future__ import annotations
 
-from collections.abc import Iterator
+from collections.abc import Callable, Iterator
 
 import numpy as np
 
 from repro.core.generation_tree import FlippingVectorGenerator, SharedGenerationTree
+from repro.core.prober import BucketProber
 from repro.core.quantization_distance import batch_quantization_distances
 from repro.index.hash_table import HashTable
-from repro.core.prober import BucketProber
 
 __all__ = ["GQR"]
 
@@ -53,7 +53,7 @@ class GQR(BucketProber):
     def __init__(
         self,
         shared_tree: SharedGenerationTree | None = None,
-        cost_transform=None,
+        cost_transform: Callable[[np.ndarray], np.ndarray] | None = None,
     ) -> None:
         self._shared_tree = shared_tree
         self._cost_transform = cost_transform

@@ -13,12 +13,12 @@ from collections.abc import Iterator
 
 import numpy as np
 
+from repro.core.prober import BucketProber
 from repro.core.quantization_distance import (
     batch_quantization_distances,
     quantization_distances,
 )
 from repro.index.hash_table import HashTable
-from repro.core.prober import BucketProber
 
 __all__ = ["QDRanking"]
 

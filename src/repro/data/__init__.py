@@ -10,17 +10,17 @@ from repro.data.datasets import (
     load_dataset,
 )
 from repro.data.ground_truth import GroundTruthCache, ground_truth_knn
-from repro.data.workloads import (
-    boundary_margin,
-    boundary_queries,
-    in_distribution_queries,
-    out_of_distribution_queries,
-)
 from repro.data.synthetic import (
     correlated_gaussian,
     gaussian_mixture,
     sample_queries,
     uniform_hypercube,
+)
+from repro.data.workloads import (
+    boundary_margin,
+    boundary_queries,
+    in_distribution_queries,
+    out_of_distribution_queries,
 )
 
 __all__ = [

@@ -17,11 +17,13 @@ deployment's latency would follow.
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.core.gqr import GQR
+from repro.core.prober import BucketProber
 from repro.distributed.partitioner import cluster_partition, random_partition
 from repro.distributed.worker import ShardWorker
 from repro.hashing.base import BinaryHasher
@@ -81,7 +83,7 @@ class DistributedHashIndex:
         data: np.ndarray,
         num_workers: int = 4,
         partitioning: str = "random",
-        prober_factory=GQR,
+        prober_factory: Callable[[], BucketProber] = GQR,
         metric: str = "euclidean",
         network: NetworkModel | None = None,
         seed: int | None = 0,

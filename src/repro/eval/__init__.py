@@ -1,5 +1,6 @@
 """Evaluation: metrics, recall-time harness, plain-text reporting."""
 
+from repro.eval.comparison import MethodComparison, compare_methods
 from repro.eval.harness import (
     CurvePoint,
     default_budgets,
@@ -8,19 +9,18 @@ from repro.eval.harness import (
     sweep_budgets,
     time_to_recall,
 )
+from repro.eval.latency import LatencySummary, latency_summary, measure_latencies
 from repro.eval.metrics import (
     mean_recall,
     precision,
     recall,
     recall_from_candidates,
 )
-from repro.eval.comparison import MethodComparison, compare_methods
-from repro.eval.latency import LatencySummary, latency_summary, measure_latencies
 from repro.eval.plotting import ascii_plot, plot_recall_time
+from repro.eval.reporting import format_curve_points, format_curves, format_table
 from repro.eval.stats import PairedTestResult, bootstrap_ci, paired_bootstrap_test
 from repro.eval.trace import ProbeStep, ProbeTrace, trace_query
 from repro.eval.tuning import TuningResult, tune_candidate_budget
-from repro.eval.reporting import format_curve_points, format_curves, format_table
 
 __all__ = [
     "CurvePoint",

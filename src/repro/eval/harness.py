@@ -12,20 +12,45 @@ everything else is post-processing.
 from __future__ import annotations
 
 import time
+from collections.abc import Iterator
 from dataclasses import dataclass
+from typing import Protocol
 
 import numpy as np
 
 from repro.eval.metrics import recall_from_candidates
+from repro.search.results import SearchResult
 
 __all__ = [
     "CurvePoint",
+    "SearchableIndex",
+    "StreamableIndex",
     "sweep_budgets",
     "recall_at_budgets",
     "time_to_recall",
     "speedup_at_recall",
     "default_budgets",
 ]
+
+
+class SearchableIndex(Protocol):
+    """What the harness requires of an index: ``search`` and a size."""
+
+    @property
+    def num_items(self) -> int: ...
+
+    def search(
+        self, query: np.ndarray, k: int, n_candidates: int
+    ) -> SearchResult: ...
+
+
+class StreamableIndex(Protocol):
+    """Index exposing a raw candidate stream (recall-only sweeps)."""
+
+    @property
+    def num_items(self) -> int: ...
+
+    def candidate_stream(self, query: np.ndarray) -> Iterator[np.ndarray]: ...
 
 
 @dataclass(frozen=True)
@@ -72,7 +97,7 @@ def default_budgets(n_items: int, n_points: int = 8) -> list[int]:
 
 
 def sweep_budgets(
-    index,
+    index: SearchableIndex,
     queries: np.ndarray,
     truth_ids: np.ndarray,
     k: int,
@@ -121,7 +146,10 @@ def sweep_budgets(
 
 
 def recall_at_budgets(
-    index, queries: np.ndarray, truth_ids: np.ndarray, budgets: list[int]
+    index: StreamableIndex,
+    queries: np.ndarray,
+    truth_ids: np.ndarray,
+    budgets: list[int],
 ) -> list[float]:
     """Recall-only sweep (no timing) from a single probe trace per query.
 

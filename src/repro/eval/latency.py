@@ -16,6 +16,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.eval.harness import SearchableIndex
+
 __all__ = [
     "measure_latencies",
     "measure_stage_latencies",
@@ -46,7 +48,7 @@ class LatencySummary:
 
 
 def measure_latencies(
-    index, queries: np.ndarray, k: int, n_candidates: int
+    index: SearchableIndex, queries: np.ndarray, k: int, n_candidates: int
 ) -> np.ndarray:
     """Wall time of each individual query, in seconds."""
     queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
@@ -59,7 +61,7 @@ def measure_latencies(
 
 
 def measure_stage_latencies(
-    index, queries: np.ndarray, k: int, n_candidates: int
+    index: SearchableIndex, queries: np.ndarray, k: int, n_candidates: int
 ) -> dict[str, np.ndarray]:
     """Per-query retrieval/evaluation split from the engine's stats.
 

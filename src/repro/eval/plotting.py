@@ -45,7 +45,7 @@ def ascii_plot(
     y_span = (y_hi - y_lo) or 1.0
 
     grid = [[" "] * width for _ in range(height)]
-    for marker, (name, pts) in zip(_MARKERS, series.items()):
+    for marker, pts in zip(_MARKERS, series.values()):
         for x, y in pts:
             col = round((x_of(x) - x_lo) / x_span * (width - 1))
             row = height - 1 - round((y - y_lo) / y_span * (height - 1))

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.eval.reporting import format_table
+from repro.search.searcher import HashIndex
 
 __all__ = ["ProbeStep", "ProbeTrace", "trace_query"]
 
@@ -67,7 +68,7 @@ class ProbeTrace:
 
 
 def trace_query(
-    index,
+    index: HashIndex,
     query: np.ndarray,
     truth_row: np.ndarray,
     max_buckets: int | None = None,

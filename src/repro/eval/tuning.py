@@ -9,9 +9,12 @@ auto-tuning loop FLANN popularised, applied to L2H probing.
 
 from __future__ import annotations
 
+from collections.abc import Callable
+
 import numpy as np
 
-from repro.eval.harness import recall_at_budgets
+from repro.eval.harness import StreamableIndex, recall_at_budgets
+from repro.hashing.base import BinaryHasher
 
 __all__ = ["tune_candidate_budget", "tune_code_length", "TuningResult"]
 
@@ -23,7 +26,7 @@ class TuningResult(dict):
 
 
 def tune_candidate_budget(
-    index,
+    index: StreamableIndex,
     queries: np.ndarray,
     truth_ids: np.ndarray,
     target_recall: float = 0.9,
@@ -82,7 +85,7 @@ def tune_candidate_budget(
 
 
 def tune_code_length(
-    hasher_factory,
+    hasher_factory: Callable[[int], BinaryHasher],
     data: np.ndarray,
     queries: np.ndarray,
     truth_ids: np.ndarray,

@@ -17,11 +17,14 @@ from repro.hashing import (
     PCAHashing,
     SpectralHashing,
 )
+from repro.hashing.base import BinaryHasher
 
 __all__ = ["ExperimentContext", "budget_sweep"]
 
 
-def budget_sweep(n_items: int, n_points: int = 6, top_fraction: float = 0.35):
+def budget_sweep(
+    n_items: int, n_points: int = 6, top_fraction: float = 0.35
+) -> list[int]:
     """Geometric candidate budgets up to ``top_fraction·N``."""
     lo = max(20, n_items // 500)
     hi = max(lo + 1, int(n_items * top_fraction))
@@ -48,12 +51,14 @@ class ExperimentContext:
         self.scale = scale
         self.k = k
         self._truth: dict[tuple[str, int], np.ndarray] = {}
-        self._hashers: dict[tuple[str, str, int], object] = {}
+        self._hashers: dict[tuple[str, str, int], BinaryHasher] = {}
 
     def dataset(self, name: str) -> Dataset:
         return load_dataset(name, scale=self.scale)
 
-    def workload(self, name: str, k: int | None = None):
+    def workload(
+        self, name: str, k: int | None = None
+    ) -> tuple[Dataset, np.ndarray]:
         """``(dataset, truth)`` with exact kNN truth memoised."""
         k = self.k if k is None else k
         dataset = self.dataset(name)
@@ -64,7 +69,9 @@ class ExperimentContext:
             )
         return dataset, self._truth[key]
 
-    def hasher(self, name: str, algo: str, code_length: int | None = None):
+    def hasher(
+        self, name: str, algo: str, code_length: int | None = None
+    ) -> BinaryHasher:
         """A fitted hasher for a dataset, memoised by (dataset, algo, m)."""
         dataset = self.dataset(name)
         m = code_length if code_length is not None else dataset.code_length

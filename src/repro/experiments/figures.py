@@ -16,7 +16,7 @@ import numpy as np
 
 from repro.core.gqr import GQR
 from repro.core.qd_ranking import QDRanking
-from repro.eval.harness import sweep_budgets, time_to_recall
+from repro.eval.harness import CurvePoint, sweep_budgets, time_to_recall
 from repro.eval.plotting import plot_recall_time
 from repro.eval.reporting import format_curves, format_table
 from repro.experiments.context import ExperimentContext, budget_sweep
@@ -26,7 +26,22 @@ from repro.probing import GenerateHammingRanking, HammingRanking
 from repro.quantization.opq import OptimizedProductQuantizer
 from repro.search.searcher import HashIndex, IMISearchIndex
 
-__all__ = ["MAIN_NAMES", "prober_curves", "EXPERIMENTS"]
+__all__ = [
+    "EXPERIMENTS",
+    "MAIN_NAMES",
+    "prober_curves",
+    "table1",
+    "table2",
+    "fig02",
+    "fig06",
+    "fig07",
+    "fig08",
+    "fig09",
+    "fig13",
+    "fig15",
+    "fig17",
+    "fig20",
+]
 
 MAIN_NAMES = ["CIFAR60K", "GIST1M", "TINY5M", "SIFT10M"]
 
@@ -43,7 +58,7 @@ def prober_curves(
     algo: str = "itq",
     probers: dict | None = None,
     k: int | None = None,
-):
+) -> dict[str, list[CurvePoint]]:
     """Recall-time curves of several probers on one dataset."""
     dataset, truth = ctx.workload(dataset_name, k)
     hasher = ctx.hasher(dataset_name, algo)

@@ -32,7 +32,7 @@ from repro.hashing.base import BinaryHasher
 from repro.index.codes import pack_bits
 from repro.quantization.kmeans import KMeans
 
-__all__ = ["KMeansHashing"]
+__all__ = ["KMeansHashing", "assign_indices"]
 
 
 def _pairwise_distances(centers: np.ndarray) -> np.ndarray:
@@ -238,7 +238,9 @@ class KMeansHashing(BinaryHasher):
             out[row] = (2.0 * bits - 1.0) * costs
         return out
 
-    def probe_info_batch(self, queries: np.ndarray):
+    def probe_info_batch(
+        self, queries: np.ndarray
+    ) -> list[tuple[int, np.ndarray]]:
         """Per-query probing (codeword flip costs are not a projection)."""
         queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
         return [self.probe_info(query) for query in queries]

@@ -1,5 +1,6 @@
 """Index substrates: binary codes, hash tables, exact-search baselines."""
 
+from repro.index.c2lsh import C2LSH
 from repro.index.codes import (
     MAX_CODE_LENGTH,
     hamming_distance,
@@ -15,7 +16,6 @@ from repro.index.distance import (
     knn_exact,
     pairwise_distances,
 )
-from repro.index.c2lsh import C2LSH
 from repro.index.dynamic import DynamicHashTable
 from repro.index.e2lsh import E2LSH
 from repro.index.hash_table import HashTable

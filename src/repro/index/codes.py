@@ -43,7 +43,7 @@ def validate_code_length(m: int) -> int:
     return int(m)
 
 
-def pack_bits(bits: np.ndarray) -> np.ndarray:
+def pack_bits(bits: np.ndarray) -> np.ndarray | int:
     """Pack a ``(n, m)`` or ``(m,)`` array of {0, 1} into integer signatures.
 
     Bit ``i`` of each code becomes bit position ``i`` of the signature, so
@@ -52,7 +52,9 @@ def pack_bits(bits: np.ndarray) -> np.ndarray:
     Returns an ``int64`` array of shape ``(n,)``, or a scalar ``int`` for a
     single code.
     """
-    arr = np.asarray(bits)
+    # Deliberately dtype-polymorphic: accepts bool/int/float {0, 1}
+    # arrays; entries are range-checked below, then cast to int64.
+    arr = np.asarray(bits)  # reprolint: disable=RL002
     single = arr.ndim == 1
     if single:
         arr = arr[np.newaxis, :]

@@ -27,10 +27,30 @@ __all__ = [
 ]
 
 
+def _rescale_extreme_rows(m: np.ndarray) -> np.ndarray:
+    """Rescale rows whose magnitude would under/overflow when squared.
+
+    Norm computation squares entries, so rows around 1e-161 produce
+    subnormal squares whose rounding error (up to ~0.5%) destroys the
+    scale invariance of cosine/angular distances.  Cosine is invariant
+    under positive row scaling, so dividing an extreme row by its peak
+    absolute value is exact in meaning and keeps every square in the
+    well-conditioned range.  Rows of ordinary magnitude pass through
+    untouched (bit-identical results).
+    """
+    peak = np.max(np.abs(m), axis=1, keepdims=True)
+    extreme = (peak != 0) & ((peak < 1e-100) | (peak > 1e100))
+    if not extreme.any():
+        return m
+    m = m.copy()
+    np.divide(m, peak, out=m, where=extreme)
+    return m
+
+
 def cosine_distances(queries: np.ndarray, data: np.ndarray) -> np.ndarray:
     """``1 − cos(q, x)`` pairwise; zero-norm vectors get distance 1."""
-    q = np.atleast_2d(np.asarray(queries, dtype=np.float64))
-    x = np.atleast_2d(np.asarray(data, dtype=np.float64))
+    q = _rescale_extreme_rows(np.atleast_2d(np.asarray(queries, dtype=np.float64)))
+    x = _rescale_extreme_rows(np.atleast_2d(np.asarray(data, dtype=np.float64)))
     qn = np.linalg.norm(q, axis=1, keepdims=True)
     xn = np.linalg.norm(x, axis=1, keepdims=True)
     qn[qn == 0] = 1.0

@@ -67,9 +67,10 @@ class DynamicHashTable:
                 if not members:
                     del self._buckets[old_signature]
             self._dead.discard(item_id)
-        signature = (
-            int(code) if np.isscalar(code) else int(pack_bits(np.asarray(code)))
-        )
+        if isinstance(code, (int, np.integer)):
+            signature = int(code)
+        else:
+            signature = int(pack_bits(code))
         if not 0 <= signature < (1 << self._m):
             raise ValueError(f"signature out of range for m={self._m}")
         self._buckets.setdefault(signature, []).append(item_id)
@@ -80,8 +81,9 @@ class DynamicHashTable:
     def add_batch(self, item_ids: np.ndarray, codes: np.ndarray) -> None:
         """Insert many items; ``codes`` is a ``(n, m)`` bit array."""
         ids = np.asarray(item_ids, dtype=np.int64)
-        signatures = pack_bits(np.asarray(codes))
-        signatures = np.atleast_1d(np.asarray(signatures, dtype=np.int64))
+        signatures = np.atleast_1d(
+            np.asarray(pack_bits(codes), dtype=np.int64)
+        )
         if len(ids) != len(signatures):
             raise ValueError("item_ids must align with codes")
         for item_id, signature in zip(ids, signatures):

@@ -97,7 +97,9 @@ class E2LSH:
     def n_tables(self) -> int:
         return self._L
 
-    def _query_state(self, query: np.ndarray, table: int):
+    def _query_state(
+        self, query: np.ndarray, table: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Anchor keys plus boundary distances for one table."""
         projection = query @ self._directions[table]
         shifted = (projection + self._offsets[table]) / self._widths[table]

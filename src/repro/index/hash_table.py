@@ -39,10 +39,12 @@ class HashTable:
         code_length: int | None = None,
         ids: np.ndarray | None = None,
     ) -> None:
-        arr = np.asarray(codes)
+        # Deliberately dtype-polymorphic: accepts bool/int bit matrices
+        # or packed signatures; both branches below pin int64.
+        arr = np.asarray(codes)  # reprolint: disable=RL002
         if arr.ndim == 2:
             m = validate_code_length(arr.shape[1])
-            signatures = pack_bits(arr)
+            signatures = np.asarray(pack_bits(arr), dtype=np.int64)
         elif arr.ndim == 1:
             if code_length is None:
                 raise ValueError(

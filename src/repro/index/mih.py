@@ -63,9 +63,9 @@ class MultiIndexHashing:
 
         self._m = m
         self._s = num_blocks
-        self._signatures = pack_bits(bits)
-        if np.isscalar(self._signatures):  # single item edge case
-            self._signatures = np.asarray([self._signatures], dtype=np.int64)
+        self._signatures = np.atleast_1d(
+            np.asarray(pack_bits(bits), dtype=np.int64)
+        )
 
         # Block i covers bit columns [starts[i], starts[i+1]).
         base, extra = divmod(m, num_blocks)
@@ -77,9 +77,11 @@ class MultiIndexHashing:
         self._block_tables: list[dict[int, np.ndarray]] = []
         for i in range(num_blocks):
             sub = bits[:, starts[i] : starts[i + 1]]
-            sub_sigs = pack_bits(sub)
+            sub_sigs = np.atleast_1d(
+                np.asarray(pack_bits(sub), dtype=np.int64)
+            )
             table: dict[int, list[int]] = {}
-            for item_id, sig in enumerate(np.atleast_1d(sub_sigs)):
+            for item_id, sig in enumerate(sub_sigs):
                 table.setdefault(int(sig), []).append(item_id)
             self._block_tables.append(
                 {sig: np.asarray(ids, dtype=np.int64) for sig, ids in table.items()}

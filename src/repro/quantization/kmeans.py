@@ -33,11 +33,8 @@ def kmeans_plus_plus(
     closest = _squared_distances(data, centers[:1]).ravel()
     for i in range(1, n_clusters):
         total = closest.sum()
-        if total <= 0:
-            # All remaining points coincide with chosen centres.
-            choice = rng.integers(n)
-        else:
-            choice = rng.choice(n, p=closest / total)
+        # Zero total: all remaining points coincide with chosen centres.
+        choice = rng.integers(n) if total <= 0 else rng.choice(n, p=closest / total)
         centers[i] = data[choice]
         new_d = _squared_distances(data, centers[i : i + 1]).ravel()
         np.minimum(closest, new_d, out=closest)

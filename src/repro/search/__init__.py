@@ -14,13 +14,13 @@ from repro.search.engine import (
     validate_query_batch,
 )
 from repro.search.results import SearchResult
-from repro.search.stream_index import StreamSearchIndex
 from repro.search.searcher import (
     HashIndex,
     IMISearchIndex,
     MIHSearchIndex,
     evaluate_candidates,
 )
+from repro.search.stream_index import StreamSearchIndex
 
 __all__ = [
     "ADCEvaluator",

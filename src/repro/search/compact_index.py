@@ -39,6 +39,8 @@ the rerank-code length, which the benchmark sweeps.
 
 from __future__ import annotations
 
+from collections.abc import Iterator
+
 import numpy as np
 
 from repro.core.gqr import GQR
@@ -124,7 +126,7 @@ class CompactHashIndex:
         """Long signatures + bucket table — the full index footprint."""
         return int(self._long_signatures.nbytes) + self._table.memory_bytes()
 
-    def candidate_stream(self, query: np.ndarray):
+    def candidate_stream(self, query: np.ndarray) -> Iterator[np.ndarray]:
         query = validate_query(query, self._dim)
         signature, costs = self._probe_hasher.probe_info(query)
         for bucket in self._prober.probe(self._table, signature, costs):

@@ -26,21 +26,27 @@ from __future__ import annotations
 
 import heapq
 import time
-from collections.abc import Iterable, Iterator
+from collections.abc import Callable, Iterable, Iterator
 from dataclasses import dataclass
+from typing import Protocol
 
 import numpy as np
 
 from repro.core.quantization_distance import quantization_distances
 from repro.index.codes import hamming_distance
 from repro.index.distance import METRICS, pairwise_distances
+from repro.search.results import SearchResult
 
 __all__ = [
     "ADCEvaluator",
+    "BucketTable",
     "CandidatePipeline",
     "CodeEvaluator",
+    "DistanceTableQuantizer",
+    "Evaluator",
     "ExactEvaluator",
     "ExecutionContext",
+    "ProbeInfoHasher",
     "QueryEngine",
     "QueryPlan",
     "qd_merged_scored_stream",
@@ -247,6 +253,39 @@ class CandidatePipeline:
         return candidate_ids[chosen], scores[chosen]
 
 
+# -- evaluator contracts ----------------------------------------------
+
+class Evaluator(Protocol):
+    """The evaluation stage's scoring rule, as the engine sees it.
+
+    ``evaluate`` re-ranks ``candidates`` for ``query`` and returns the
+    top-``k`` ``(ids, scores)`` pair, both aligned and ascending by
+    score with ties broken by id.
+    """
+
+    def evaluate(
+        self, query: np.ndarray, candidates: np.ndarray, k: int
+    ) -> tuple[np.ndarray, np.ndarray]: ...
+
+
+class DistanceTableQuantizer(Protocol):
+    """The slice of a product quantizer :class:`ADCEvaluator` needs."""
+
+    def distance_tables(self, query: np.ndarray) -> list[np.ndarray]: ...
+
+
+class ProbeInfoHasher(Protocol):
+    """The slice of a binary hasher :class:`CodeEvaluator` needs."""
+
+    def probe_info(self, query: np.ndarray) -> tuple[int, np.ndarray]: ...
+
+
+class BucketTable(Protocol):
+    """Bucket lookup surface the batched fast path drains."""
+
+    def get(self, signature: int) -> np.ndarray: ...
+
+
 # -- evaluators -------------------------------------------------------
 
 class ExactEvaluator:
@@ -257,7 +296,11 @@ class ExactEvaluator:
     storage is reallocated as it grows) stay wired to live storage.
     """
 
-    def __init__(self, data, metric: str = "euclidean") -> None:
+    def __init__(
+        self,
+        data: np.ndarray | Callable[[], np.ndarray],
+        metric: str = "euclidean",
+    ) -> None:
         if metric not in METRICS:
             raise KeyError(
                 f"unknown metric {metric!r}; options: {sorted(METRICS)}"
@@ -267,6 +310,22 @@ class ExactEvaluator:
 
     def _vectors(self) -> np.ndarray:
         return self._data() if callable(self._data) else self._data
+
+    def distances(
+        self, query: np.ndarray, candidates: np.ndarray
+    ) -> np.ndarray:
+        """Exact distances to ``candidates``, aligned — no selection.
+
+        The sanctioned interface for search paths that need raw
+        per-candidate distances (the Theorem 2 early-stop loop, range
+        search) rather than a top-``k``: exact scoring stays inside the
+        engine's evaluator instead of leaking into each index class.
+        """
+        if not len(candidates):
+            return _EMPTY_DISTS
+        return pairwise_distances(
+            query[np.newaxis, :], self._vectors()[candidates], self.metric
+        )[0]
 
     def evaluate(
         self, query: np.ndarray, candidates: np.ndarray, k: int
@@ -298,7 +357,9 @@ class ADCEvaluator:
     systems run in; returned distances are approximate.
     """
 
-    def __init__(self, fine_quantizer, fine_codes: np.ndarray) -> None:
+    def __init__(
+        self, fine_quantizer: DistanceTableQuantizer, fine_codes: np.ndarray
+    ) -> None:
         self._fine = fine_quantizer
         self._codes = fine_codes
 
@@ -326,7 +387,10 @@ class CodeEvaluator:
     """
 
     def __init__(
-        self, rerank_hasher, long_signatures: np.ndarray, mode: str
+        self,
+        rerank_hasher: ProbeInfoHasher,
+        long_signatures: np.ndarray,
+        mode: str,
     ) -> None:
         if mode not in ("asymmetric", "symmetric"):
             raise ValueError("rerank must be 'asymmetric' or 'symmetric'")
@@ -643,7 +707,7 @@ class QueryEngine:
     stream, so all indexes share a single instrumented control flow.
     """
 
-    def __init__(self, evaluator) -> None:
+    def __init__(self, evaluator: Evaluator) -> None:
         self.evaluator = evaluator
 
     def execute(
@@ -652,14 +716,12 @@ class QueryEngine:
         plan: QueryPlan,
         stream: Iterable[np.ndarray],
         extras: dict | None = None,
-    ):
+    ) -> SearchResult:
         """Drain ``stream`` under ``plan`` and exactly re-rank — one query.
 
         Returns a :class:`~repro.search.results.SearchResult` whose
         ``extras["stats"]`` carries the :class:`ExecutionContext`.
         """
-        from repro.search.results import SearchResult
-
         ctx = ExecutionContext()
         start = time.perf_counter()
         candidates = CandidatePipeline.drain(stream, plan, ctx)
@@ -681,15 +743,13 @@ class QueryEngine:
         queries: np.ndarray,
         plan: QueryPlan,
         streams: list[Iterable[np.ndarray]],
-    ) -> list:
+    ) -> list[SearchResult]:
         """Batched execution over per-query candidate streams.
 
         Retrieval stays per-query (each stream's probe order is exactly
         the per-query path's), but evaluation is amortised across the
         whole block via :meth:`evaluate_block`.
         """
-        from repro.search.results import SearchResult
-
         contexts = [ExecutionContext() for _ in streams]
         per_query: list[np.ndarray] = []
         start = time.perf_counter()
@@ -699,7 +759,7 @@ class QueryEngine:
         for ctx in contexts:
             ctx.retrieval_seconds = retrieval / max(len(contexts), 1)
         ranked = self.evaluate_block(queries, per_query, plan.k, contexts)
-        results = []
+        results: list[SearchResult] = []
         for ctx, (ids, dists) in zip(contexts, ranked):
             ctx.total_seconds = ctx.retrieval_seconds + ctx.evaluation_seconds
             results.append(
@@ -717,10 +777,10 @@ class QueryEngine:
         self,
         queries: np.ndarray,
         plan: QueryPlan,
-        table,
+        table: BucketTable,
         scores: np.ndarray,
         bucket_signatures: np.ndarray,
-    ) -> list:
+    ) -> list[SearchResult]:
         """Batched execution from a precomputed ``(B, nb)`` score matrix.
 
         The fast path behind ``search_batch``: every query's probe order
@@ -730,8 +790,6 @@ class QueryEngine:
         argsort and the candidate gather from one cumulative-sum drain,
         instead of B generator walks.
         """
-        from repro.search.results import SearchResult
-
         budget = plan.n_candidates
         if budget is None:
             raise ValueError("batched execution needs a candidate budget")
@@ -744,9 +802,8 @@ class QueryEngine:
             resort = np.argsort(bucket_signatures, kind="stable")
             bucket_signatures = bucket_signatures[resort]
             scores = scores[:, resort]
-        layout = (
-            table.dense_layout() if hasattr(table, "dense_layout") else None
-        )
+        layout_fn = getattr(table, "dense_layout", None)
+        layout = layout_fn() if layout_fn is not None else None
         if layout is not None and np.array_equal(layout[0], bucket_signatures):
             _, sizes, bucket_offsets, ids_flat = layout
         else:
@@ -800,7 +857,7 @@ class QueryEngine:
         else:
             per_query = np.split(all_candidates, np.cumsum(counts)[:-1])
             ranked = self.evaluate_block(queries, per_query, plan.k, contexts)
-        results = []
+        results: list[SearchResult] = []
         for ctx, (ids, dists) in zip(contexts, ranked):
             ctx.total_seconds = ctx.retrieval_seconds + ctx.evaluation_seconds
             results.append(

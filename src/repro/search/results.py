@@ -3,8 +3,12 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:
+    from repro.search.engine import ExecutionContext
 
 __all__ = ["SearchResult"]
 
@@ -36,7 +40,7 @@ class SearchResult:
         return len(self.ids)
 
     @property
-    def stats(self):
+    def stats(self) -> ExecutionContext | None:
         """The engine's per-query ``ExecutionContext``, if one was attached.
 
         Engine-backed searches always attach one under

@@ -32,14 +32,17 @@ from repro.core.gqr import GQR
 from repro.core.quantization_distance import theorem2_mu
 from repro.hashing.base import BinaryHasher, ProjectionHasher
 from repro.index.codes import unpack_bits
-from repro.index.distance import METRICS, pairwise_distances
+from repro.index.distance import METRICS
 from repro.index.hash_table import HashTable
 from repro.index.mih import MultiIndexHashing
 from repro.probing.base import BucketProber
 from repro.quantization.imi import InvertedMultiIndex
+from repro.quantization.opq import OptimizedProductQuantizer
+from repro.quantization.pq import ProductQuantizer
 from repro.search.engine import (
     ADCEvaluator,
     CandidatePipeline,
+    Evaluator,
     ExactEvaluator,
     ExecutionContext,
     QueryEngine,
@@ -76,9 +79,7 @@ def evaluate_candidates(
     if not len(candidate_ids):
         empty = np.empty(0, dtype=np.int64)
         return empty, np.empty(0, dtype=np.float64)
-    dists = pairwise_distances(
-        query[np.newaxis, :], data[candidate_ids], metric
-    )[0]
+    dists = ExactEvaluator(data, metric).distances(query, candidate_ids)
     return CandidatePipeline.top_k(candidate_ids, dists, k)
 
 
@@ -139,7 +140,8 @@ class HashIndex:
         self._metric = metric
         self._multi_table_strategy = multi_table_strategy
         self._dim = self._data.shape[1]
-        self._engine = QueryEngine(ExactEvaluator(self._data, metric))
+        self._evaluator = ExactEvaluator(self._data, metric)
+        self._engine = QueryEngine(self._evaluator)
         # Per-table (signatures, unpacked bits), lazily built for
         # batched scoring; safe to cache because the tables are static.
         self._bucket_bits: dict[int, tuple[np.ndarray, np.ndarray]] = {}
@@ -399,9 +401,7 @@ class HashIndex:
             if not len(ids):
                 continue
             ctx.n_candidates += len(ids)
-            dists = pairwise_distances(
-                query[np.newaxis, :], self._data[ids], "euclidean"
-            )[0]
+            dists = self._evaluator.distances(query, ids)
             for item_id, dist in zip(ids, dists):
                 best.append((float(dist), int(item_id)))
             best.sort()
@@ -451,9 +451,7 @@ class HashIndex:
             if not len(ids):
                 continue
             ctx.n_candidates += len(ids)
-            dists = pairwise_distances(
-                query[np.newaxis, :], self._data[ids], "euclidean"
-            )[0]
+            dists = self._evaluator.distances(query, ids)
             hits.extend(
                 (float(d), int(i)) for i, d in zip(ids, dists) if d <= radius
             )
@@ -467,7 +465,7 @@ class HashIndex:
             extras={"stats": ctx},
         )
 
-    def _early_stop_setup(self):
+    def _early_stop_setup(self) -> tuple[GQR, ProjectionHasher, float]:
         """Shared preconditions of the Theorem 2 search modes."""
         if len(self._tables) != 1:
             raise ValueError("early stop is defined for a single table")
@@ -498,7 +496,8 @@ class MIHSearchIndex:
         self._mih = MultiIndexHashing(hasher.encode(self._data), num_blocks)
         self._metric = metric
         self._dim = self._data.shape[1]
-        self._engine = QueryEngine(ExactEvaluator(self._data, metric))
+        self._evaluator = ExactEvaluator(self._data, metric)
+        self._engine = QueryEngine(self._evaluator)
 
     @property
     def num_items(self) -> int:
@@ -540,16 +539,17 @@ class IMISearchIndex:
 
     def __init__(
         self,
-        quantizer,
+        quantizer: ProductQuantizer | OptimizedProductQuantizer,
         data: np.ndarray,
         metric: str = "euclidean",
-        rerank_quantizer=None,
+        rerank_quantizer: ProductQuantizer | None = None,
     ) -> None:
         self._data = np.asarray(data, dtype=np.float64)
         self._imi = InvertedMultiIndex(quantizer, self._data)
         self._metric = metric
         self._fine = rerank_quantizer
         self._dim = self._data.shape[1]
+        evaluator: Evaluator
         if rerank_quantizer is not None:
             if not rerank_quantizer.codebooks:
                 rerank_quantizer.fit(self._data)

@@ -9,6 +9,7 @@ same harness as every other method.
 from __future__ import annotations
 
 from collections.abc import Iterator
+from typing import Protocol
 
 import numpy as np
 
@@ -20,7 +21,16 @@ from repro.search.engine import (
 )
 from repro.search.results import SearchResult
 
-__all__ = ["StreamSearchIndex"]
+__all__ = ["CandidateStreamSource", "StreamSearchIndex"]
+
+
+class CandidateStreamSource(Protocol):
+    """What :class:`StreamSearchIndex` needs from the wrapped index."""
+
+    @property
+    def num_items(self) -> int: ...
+
+    def candidate_stream(self, query: np.ndarray) -> Iterator[np.ndarray]: ...
 
 
 class StreamSearchIndex:
@@ -36,7 +46,12 @@ class StreamSearchIndex:
         The ``(n, d)`` raw vectors for evaluation.
     """
 
-    def __init__(self, stream_index, data: np.ndarray, metric: str = "euclidean") -> None:
+    def __init__(
+        self,
+        stream_index: CandidateStreamSource,
+        data: np.ndarray,
+        metric: str = "euclidean",
+    ) -> None:
         self._inner = stream_index
         self._data = np.asarray(data, dtype=np.float64)
         self._metric = metric

@@ -14,9 +14,8 @@ is farther than the current k-th nearest distance.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
 import heapq
+from dataclasses import dataclass, field
 
 import numpy as np
 

@@ -3,11 +3,11 @@
 import numpy as np
 import pytest
 
+from repro.core.gqr import GQR
 from repro.data import gaussian_mixture
 from repro.distributed.cluster import DistributedHashIndex, NetworkModel
 from repro.distributed.partitioner import cluster_partition, random_partition
 from repro.distributed.worker import ShardWorker
-from repro.core.gqr import GQR
 from repro.hashing import ITQ
 from repro.index.linear_scan import knn_linear_scan
 

@@ -4,8 +4,8 @@ import numpy as np
 import pytest
 
 from repro.data import gaussian_mixture
-from repro.index.lsb import LSBForest, interleave_bits
 from repro.index.linear_scan import knn_linear_scan
+from repro.index.lsb import LSBForest, interleave_bits
 from repro.search.stream_index import StreamSearchIndex
 
 

@@ -67,7 +67,7 @@ class TestProbeIncreasing:
         mih = MultiIndexHashing(codes, num_blocks=2)
         query = int(signatures[0])
         collected = []
-        for r, ids in mih.probe_increasing(query):
+        for _r, ids in mih.probe_increasing(query):
             collected.extend(ids.tolist())
         assert sorted(collected) == list(range(300))
 

@@ -9,8 +9,8 @@ from repro.core.quantization_distance import (
     quantization_distances,
     theorem2_mu,
 )
-from repro.index.codes import hamming_distance, pack_bits
 from repro.hashing.base import sign_quantize
+from repro.index.codes import hamming_distance, pack_bits
 
 
 class TestDefinition:

@@ -5,8 +5,8 @@ import pytest
 
 from repro.core.gqr import GQR
 from repro.data import gaussian_mixture, ground_truth_knn
-from repro.eval.latency import latency_summary, measure_latencies
 from repro.eval.harness import recall_at_budgets
+from repro.eval.latency import latency_summary, measure_latencies
 from repro.eval.tuning import tune_candidate_budget
 from repro.hashing import ITQ
 from repro.search.searcher import HashIndex

@@ -1,0 +1,51 @@
+"""reprolint — repo-specific static analysis for the repro codebase.
+
+Generic linters check style; ``reprolint`` checks the *architecture and
+numeric contracts* this reproduction's correctness rests on: every
+search path routed through the query engine, explicit dtypes in hot
+paths, ``HashTable`` bucket encapsulation, monotonic timing, and
+public-API hygiene.  See ``CONTRIBUTING.md`` for the rule catalogue and
+the paper invariant each rule protects.
+
+Usage::
+
+    python -m reprolint src tests benchmarks
+    python -m reprolint --list-rules
+    python -m reprolint --format json src
+
+Suppress a finding on one line (justify in the commit or a comment)::
+
+    arr = np.asarray(codes)  # reprolint: disable=RL002 -- dtype-polymorphic
+
+A comment-only directive line suppresses the next statement line::
+
+    # reprolint: disable=RL002 -- validated before the cast below
+    arr = np.asarray(bits)
+"""
+
+from __future__ import annotations
+
+from reprolint.core import (
+    ModuleContext,
+    Rule,
+    Violation,
+    all_rules,
+    check_paths,
+    check_source,
+    get_rule,
+    register,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ModuleContext",
+    "Rule",
+    "Violation",
+    "__version__",
+    "all_rules",
+    "check_paths",
+    "check_source",
+    "get_rule",
+    "register",
+]

@@ -1,0 +1,10 @@
+"""Run ``reprolint`` as a module: ``python -m reprolint src tests``."""
+
+from __future__ import annotations
+
+import sys
+
+from reprolint.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

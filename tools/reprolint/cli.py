@@ -1,0 +1,119 @@
+"""Console entry point: ``python -m reprolint [paths...]``.
+
+Exit codes: 0 — clean, 1 — violations found, 2 — usage error or a file
+that could not be read.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import Counter
+from collections.abc import Sequence
+
+from reprolint.core import Rule, all_rules, check_paths
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="reprolint",
+        description=(
+            "Repo-specific static analysis for the repro codebase: "
+            "engine-architecture and numeric-contract rules generic "
+            "linters cannot express."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "tests", "benchmarks"],
+        help="files or directories to check (default: src tests benchmarks)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        metavar="RULES",
+        help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def _pick_rules(select: str | None, ignore: str | None) -> list[Rule]:
+    rules = all_rules()
+    known = {rule.rule_id for rule in rules}
+    for option, value in (("--select", select), ("--ignore", ignore)):
+        if value:
+            unknown = {r.strip() for r in value.split(",")} - known
+            if unknown:
+                raise SystemExit(
+                    f"reprolint: unknown rule id(s) for {option}: "
+                    + ", ".join(sorted(unknown))
+                )
+    if select:
+        wanted = {r.strip() for r in select.split(",")}
+        rules = [rule for rule in rules if rule.rule_id in wanted]
+    if ignore:
+        dropped = {r.strip() for r in ignore.split(",")}
+        rules = [rule for rule in rules if rule.rule_id not in dropped]
+    return rules
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    options = parser.parse_args(argv)
+
+    if options.list_rules:
+        for rule in all_rules():
+            print(f"{rule.rule_id}  {rule.name}: {rule.description}")
+        return 0
+
+    try:
+        rules = _pick_rules(options.select, options.ignore)
+        violations, files_checked = check_paths(options.paths, rules)
+    except SystemExit as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    except (FileNotFoundError, OSError) as exc:
+        print(f"reprolint: {exc}", file=sys.stderr)
+        return 2
+
+    if options.format == "json":
+        counts = Counter(violation.rule_id for violation in violations)
+        print(
+            json.dumps(
+                {
+                    "files_checked": files_checked,
+                    "violation_count": len(violations),
+                    "counts_by_rule": dict(sorted(counts.items())),
+                    "violations": [v.as_dict() for v in violations],
+                },
+                indent=2,
+            )
+        )
+    else:
+        for violation in violations:
+            print(violation.format_text())
+        noun = "violation" if len(violations) == 1 else "violations"
+        print(
+            f"reprolint: {len(violations)} {noun} "
+            f"({files_checked} files checked)"
+        )
+    return 1 if violations else 0

@@ -1,0 +1,255 @@
+"""Visitor infrastructure, rule registry and suppression handling.
+
+A :class:`Rule` inspects one parsed module (a :class:`ModuleContext`)
+and yields :class:`Violation` instances.  Rules self-register through
+the :func:`register` decorator; the CLI runs every registered rule
+whose :meth:`Rule.applies` accepts the module's path.
+
+Suppression mirrors the classic linter contract: a trailing
+``# reprolint: disable=RL001`` comment silences the named rule(s) on
+that physical line, and a comment-only directive line silences them on
+the next statement line.  Anything after ``--`` in the directive is a
+free-form justification.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = [
+    "ModuleContext",
+    "Rule",
+    "Violation",
+    "all_rules",
+    "check_paths",
+    "check_source",
+    "collect_files",
+    "get_rule",
+    "register",
+    "suppressed_lines",
+]
+
+_DIRECTIVE_RE = re.compile(
+    r"#\s*reprolint:\s*disable=([A-Z]{2}\d{3}(?:\s*,\s*[A-Z]{2}\d{3})*)"
+)
+_RULE_ID_RE = re.compile(r"^[A-Z]{2}\d{3}$")
+
+#: Pseudo rule id attached to files that fail to parse.  Not in the
+#: registry and not suppressible — a syntax error hides every other
+#: finding in the file.
+PARSE_ERROR = "RL000"
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One finding: a rule, a location, and a human-readable message."""
+
+    rule_id: str
+    message: str
+    path: str
+    line: int
+    column: int
+
+    def format_text(self) -> str:
+        return f"{self.path}:{self.line}:{self.column}: {self.rule_id} {self.message}"
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "rule": self.rule_id,
+            "message": self.message,
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+        }
+
+    def sort_key(self) -> tuple[str, int, int, str]:
+        return (self.path, self.line, self.column, self.rule_id)
+
+
+class ModuleContext:
+    """A parsed module plus the path metadata rules filter on."""
+
+    def __init__(self, path: str | Path, source: str) -> None:
+        self.path = Path(path)
+        self.source = source
+        self.norm = self.path.as_posix()
+        self.tree = ast.parse(source, filename=self.norm)
+
+    @property
+    def is_init(self) -> bool:
+        """Whether this module is a package ``__init__.py``."""
+        return self.path.name == "__init__.py"
+
+    def within(self, *directories: str) -> bool:
+        """True if the module lives under any of ``directories``.
+
+        Directory names are slash-separated suffix-free fragments such
+        as ``"repro/search"`` — matched as whole path components, so
+        ``repro/search_utils`` does not match ``repro/search``.
+        """
+        haystack = f"/{self.norm}"
+        return any(f"/{d.strip('/')}/" in haystack for d in directories)
+
+    def is_file(self, *names: str) -> bool:
+        """True if the module path ends with any of ``names``."""
+        haystack = f"/{self.norm}"
+        return any(haystack.endswith(f"/{n.lstrip('/')}") for n in names)
+
+
+class Rule:
+    """Base class for reprolint rules.
+
+    Subclasses set ``rule_id`` (``RLxxx``), ``name`` (short slug) and
+    ``description`` (one line, shown by ``--list-rules``), override
+    :meth:`check`, and optionally narrow :meth:`applies`.
+    """
+
+    rule_id: str = ""
+    name: str = ""
+    description: str = ""
+
+    def applies(self, module: ModuleContext) -> bool:
+        """Whether this rule runs on ``module`` (path-based scoping)."""
+        return True
+
+    def check(self, module: ModuleContext) -> Iterator[Violation]:
+        """Yield violations found in ``module``."""
+        raise NotImplementedError
+
+    def violation(
+        self, module: ModuleContext, node: ast.AST, message: str
+    ) -> Violation:
+        """Build a :class:`Violation` anchored at ``node``."""
+        return Violation(
+            rule_id=self.rule_id,
+            message=message,
+            path=module.norm,
+            line=getattr(node, "lineno", 1),
+            column=getattr(node, "col_offset", 0) + 1,
+        )
+
+
+_REGISTRY: dict[str, type[Rule]] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if not _RULE_ID_RE.match(cls.rule_id):
+        raise ValueError(f"bad rule id {cls.rule_id!r} on {cls.__name__}")
+    if cls.rule_id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {cls.rule_id}")
+    _REGISTRY[cls.rule_id] = cls
+    return cls
+
+
+def all_rules() -> list[Rule]:
+    """Fresh instances of every registered rule, sorted by id."""
+    _load_builtin_rules()
+    return [_REGISTRY[rule_id]() for rule_id in sorted(_REGISTRY)]
+
+
+def get_rule(rule_id: str) -> Rule:
+    """Instantiate one registered rule by id."""
+    _load_builtin_rules()
+    return _REGISTRY[rule_id]()
+
+
+def _load_builtin_rules() -> None:
+    # Imported lazily so `import reprolint.core` alone has no side
+    # effects; the import registers every built-in rule module.
+    import reprolint.rules  # noqa: F401
+
+
+def suppressed_lines(source: str) -> dict[int, set[str]]:
+    """Map line number → rule ids silenced on that line.
+
+    Trailing directives apply to their own line; comment-only directive
+    lines also apply to the next non-comment, non-blank line (useful
+    above a long multi-line statement).
+    """
+    suppressed: dict[int, set[str]] = {}
+    pending: set[str] = set()
+    for lineno, line in enumerate(source.splitlines(), 1):
+        stripped = line.strip()
+        if pending and stripped and not stripped.startswith("#"):
+            suppressed.setdefault(lineno, set()).update(pending)
+            pending = set()
+        match = _DIRECTIVE_RE.search(line)
+        if match is None:
+            continue
+        codes = {code.strip() for code in match.group(1).split(",")}
+        if stripped.startswith("#"):
+            pending |= codes
+        else:
+            suppressed.setdefault(lineno, set()).update(codes)
+    return suppressed
+
+
+def check_source(
+    source: str,
+    path: str | Path,
+    rules: Iterable[Rule] | None = None,
+) -> list[Violation]:
+    """Run ``rules`` (default: all registered) over one module's source."""
+    norm = Path(path).as_posix()
+    try:
+        module = ModuleContext(path, source)
+    except SyntaxError as exc:
+        return [
+            Violation(
+                rule_id=PARSE_ERROR,
+                message=f"syntax error: {exc.msg}",
+                path=norm,
+                line=exc.lineno or 1,
+                column=(exc.offset or 1),
+            )
+        ]
+    silenced = suppressed_lines(source)
+    found: list[Violation] = []
+    for rule in all_rules() if rules is None else rules:
+        if not rule.applies(module):
+            continue
+        for violation in rule.check(module):
+            if violation.rule_id in silenced.get(violation.line, set()):
+                continue
+            found.append(violation)
+    return sorted(found, key=Violation.sort_key)
+
+
+def collect_files(paths: Iterable[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    files: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file():
+            files.add(path)
+        elif path.is_dir():
+            for candidate in path.rglob("*.py"):
+                parts = candidate.parts
+                if any(p.startswith(".") or p == "__pycache__" for p in parts):
+                    continue
+                files.add(candidate)
+        else:
+            raise FileNotFoundError(f"no such file or directory: {path}")
+    return sorted(files)
+
+
+def check_paths(
+    paths: Iterable[str | Path],
+    rules: Iterable[Rule] | None = None,
+) -> tuple[list[Violation], int]:
+    """Check every ``.py`` file under ``paths``.
+
+    Returns ``(violations, files_checked)``.
+    """
+    rule_list = list(all_rules() if rules is None else rules)
+    files = collect_files(paths)
+    found: list[Violation] = []
+    for file in files:
+        source = file.read_text(encoding="utf-8")
+        found.extend(check_source(source, file, rule_list))
+    return sorted(found, key=Violation.sort_key), len(files)

@@ -1,0 +1,20 @@
+"""Built-in rule catalogue.
+
+Importing this package registers every rule with the core registry.
+Rules are grouped by the contract they protect:
+
+* :mod:`reprolint.rules.architecture` — RL001 engine bypass, RL003
+  bucket encapsulation (the PR-1 engine refactor).
+* :mod:`reprolint.rules.numerics` — RL002 implicit dtype, RL004
+  wall-clock timing (the paper's numeric/measurement contracts).
+* :mod:`reprolint.rules.hygiene` — RL005 broad except, RL007 mutable
+  default arguments.
+* :mod:`reprolint.rules.api` — RL006 public-API annotations, RL008
+  ``__all__`` consistency.
+"""
+
+from __future__ import annotations
+
+from reprolint.rules import api, architecture, hygiene, numerics
+
+__all__ = ["api", "architecture", "hygiene", "numerics"]

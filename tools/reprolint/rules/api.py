@@ -1,0 +1,243 @@
+"""Public-API surface rules: annotations and ``__all__`` consistency.
+
+The mypy gate (see ``pyproject.toml``) enforces typedness on
+``repro.index`` / ``repro.core`` / ``repro.search``; RL006 extends the
+annotation-completeness contract to every public definition under
+``src/repro`` so the API reads uniformly.  RL008 keeps each module's
+``__all__`` truthful — stale entries break ``from repro.x import *``
+and the registry smoke tests.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from reprolint.core import ModuleContext, Rule, Violation, register
+
+__all__ = ["AnnotationCompletenessRule", "DunderAllConsistencyRule"]
+
+
+@register
+class AnnotationCompletenessRule(Rule):
+    """RL006: public functions/methods must be fully annotated.
+
+    Applies to module-level functions and methods of public classes
+    under ``src/repro``: every parameter (except ``self``/``cls``) and
+    the return type must carry an annotation.  ``__init__`` counts as
+    public; other dunders and ``_private`` names are the author's
+    business (mypy still covers them in the strict packages).
+    """
+
+    rule_id = "RL006"
+    name = "annotation-completeness"
+    description = (
+        "public functions and methods under src/repro must annotate "
+        "every parameter and the return type"
+    )
+
+    def applies(self, module: ModuleContext) -> bool:
+        return module.within("src/repro")
+
+    def check(self, module: ModuleContext) -> Iterator[Violation]:
+        yield from self._scan(module, module.tree.body, in_class=False)
+
+    def _scan(
+        self,
+        module: ModuleContext,
+        body: list[ast.stmt],
+        in_class: bool,
+    ) -> Iterator[Violation]:
+        for node in body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if self._is_public(node.name):
+                    missing = self._missing_annotations(node, in_class)
+                    if missing:
+                        yield self.violation(
+                            module,
+                            node,
+                            f"public {'method' if in_class else 'function'} "
+                            f"{node.name!r} missing annotations: "
+                            + ", ".join(missing),
+                        )
+                # Nested defs are not public API — do not recurse.
+            elif isinstance(node, ast.ClassDef) and self._is_public(node.name):
+                yield from self._scan(module, node.body, in_class=True)
+
+    @staticmethod
+    def _is_public(name: str) -> bool:
+        return not name.startswith("_") or name == "__init__"
+
+    @staticmethod
+    def _missing_annotations(
+        node: ast.FunctionDef | ast.AsyncFunctionDef, in_class: bool
+    ) -> list[str]:
+        args = node.args
+        positional = args.posonlyargs + args.args
+        is_static = any(
+            isinstance(dec, ast.Name) and dec.id == "staticmethod"
+            for dec in node.decorator_list
+        )
+        missing: list[str] = []
+        for index, arg in enumerate(positional):
+            if (
+                index == 0
+                and in_class
+                and not is_static
+                and arg.arg in ("self", "cls")
+            ):
+                continue
+            if arg.annotation is None:
+                missing.append(f"parameter {arg.arg!r}")
+        missing.extend(
+            f"parameter {arg.arg!r}"
+            for arg in args.kwonlyargs
+            if arg.annotation is None
+        )
+        if args.vararg is not None and args.vararg.annotation is None:
+            missing.append(f"parameter *{args.vararg.arg}")
+        if args.kwarg is not None and args.kwarg.annotation is None:
+            missing.append(f"parameter **{args.kwarg.arg}")
+        if node.returns is None:
+            missing.append("return type")
+        return missing
+
+
+@register
+class DunderAllConsistencyRule(Rule):
+    """RL008: ``__all__`` entries must exist; public defs must be listed.
+
+    Three checks on modules that declare a literal ``__all__``: every
+    entry is a string naming something bound at module level, no entry
+    appears twice, and every public module-level ``def``/``class`` is
+    exported.  Modules building ``__all__`` dynamically are skipped —
+    they opt out of mechanical verification.
+    """
+
+    rule_id = "RL008"
+    name = "dunder-all-consistency"
+    description = (
+        "__all__ must list existing names exactly once and include every "
+        "public module-level def/class"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Violation]:
+        declaration = self._find_all(module.tree)
+        if declaration is None:
+            return
+        node, value = declaration
+        if not isinstance(value, (ast.List, ast.Tuple)):
+            return  # dynamically built — not mechanically verifiable
+        bound = _module_level_bindings(module.tree)
+        if bound is None:
+            return  # star import present — cannot verify
+        entries: list[str] = []
+        for element in value.elts:
+            if not (
+                isinstance(element, ast.Constant)
+                and isinstance(element.value, str)
+            ):
+                yield self.violation(
+                    module, element, "__all__ entries must be string literals"
+                )
+                continue
+            name = element.value
+            if name in entries:
+                yield self.violation(
+                    module, element, f"duplicate __all__ entry {name!r}"
+                )
+            entries.append(name)
+            if name not in bound:
+                yield self.violation(
+                    module,
+                    element,
+                    f"__all__ names {name!r} which is not defined or "
+                    "imported at module level",
+                )
+        listed = set(entries)
+        for statement in module.tree.body:
+            if (
+                isinstance(
+                    statement,
+                    (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+                )
+                and not statement.name.startswith("_")
+                and statement.name not in listed
+            ):
+                yield self.violation(
+                    module,
+                    statement,
+                    f"public name {statement.name!r} is missing from "
+                    "__all__",
+                )
+
+    @staticmethod
+    def _find_all(
+        tree: ast.Module,
+    ) -> tuple[ast.stmt, ast.expr] | None:
+        for statement in tree.body:
+            if isinstance(statement, ast.Assign):
+                for target in statement.targets:
+                    if isinstance(target, ast.Name) and target.id == "__all__":
+                        return statement, statement.value
+            elif (
+                isinstance(statement, ast.AnnAssign)
+                and isinstance(statement.target, ast.Name)
+                and statement.target.id == "__all__"
+                and statement.value is not None
+            ):
+                return statement, statement.value
+        return None
+
+
+def _module_level_bindings(tree: ast.Module) -> set[str] | None:
+    """Names bound at module scope, or ``None`` if a star import hides them.
+
+    Recurses through ``if``/``try``/``for``/``while``/``with`` blocks
+    (conditional definitions still bind at module scope) but not into
+    function or class bodies.
+    """
+    bound: set[str] = set()
+    stack: list[ast.stmt] = list(tree.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            bound.add(node.name)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                bound.update(_target_names(target))
+        elif isinstance(node, ast.AnnAssign):
+            bound.update(_target_names(node.target))
+        elif isinstance(node, ast.AugAssign):
+            bound.update(_target_names(node.target))
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                bound.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                if alias.name == "*":
+                    return None
+                bound.add(alias.asname or alias.name)
+        elif isinstance(node, (ast.If, ast.Try, ast.For, ast.While, ast.With)):
+            for attr in ("body", "orelse", "finalbody", "handlers"):
+                for child in getattr(node, attr, []):
+                    if isinstance(child, ast.ExceptHandler):
+                        stack.extend(child.body)
+                    else:
+                        stack.append(child)
+    return bound
+
+
+def _target_names(target: ast.expr) -> set[str]:
+    if isinstance(target, ast.Name):
+        return {target.id}
+    if isinstance(target, (ast.Tuple, ast.List)):
+        names: set[str] = set()
+        for element in target.elts:
+            names.update(_target_names(element))
+        return names
+    if isinstance(target, ast.Starred):
+        return _target_names(target.value)
+    return set()

@@ -1,0 +1,128 @@
+"""General defect-class rules: exception hygiene and mutable defaults.
+
+Both are classic Python footguns, but they earn repo-specific rules
+because of how they fail *here*: a broad ``except`` around a prober
+loop can swallow the ``ValueError`` that signals a violated signature
+contract, and a shared mutable default on an index constructor leaks
+state across experiment repetitions, corrupting measured recall.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from reprolint.core import ModuleContext, Rule, Violation, register
+
+__all__ = ["BroadExceptRule", "MutableDefaultRule"]
+
+
+@register
+class BroadExceptRule(Rule):
+    """RL005: no bare ``except``; broad ``except`` must re-raise.
+
+    ``except:`` and ``except BaseException:`` catch ``KeyboardInterrupt``
+    and ``SystemExit``; ``except Exception:`` swallows contract
+    violations (dtype/shape errors) that the test suite depends on
+    surfacing.  A broad handler is tolerated only when it re-raises.
+    """
+
+    rule_id = "RL005"
+    name = "broad-except"
+    description = (
+        "bare except is forbidden; except Exception/BaseException must "
+        "re-raise"
+    )
+
+    _BROAD = ("Exception", "BaseException")
+
+    def check(self, module: ModuleContext) -> Iterator[Violation]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.violation(
+                    module,
+                    node,
+                    "bare except catches SystemExit/KeyboardInterrupt; "
+                    "name the exception types",
+                )
+            elif (
+                isinstance(node.type, ast.Name)
+                and node.type.id in self._BROAD
+                and not _reraises(node)
+            ):
+                yield self.violation(
+                    module,
+                    node,
+                    f"except {node.type.id} without re-raise swallows "
+                    "contract violations; catch specific exceptions or "
+                    "re-raise",
+                )
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    """Whether the handler body contains a bare ``raise``."""
+    return any(
+        isinstance(node, ast.Raise) and node.exc is None
+        for node in ast.walk(handler)
+    )
+
+
+@register
+class MutableDefaultRule(Rule):
+    """RL007: no mutable default argument values.
+
+    A list/dict/set default is created once at ``def`` time and shared
+    by every call — in this codebase that means state leaking across
+    queries or experiment repetitions.  Use ``None`` and materialise
+    inside the function.
+    """
+
+    rule_id = "RL007"
+    name = "mutable-default"
+    description = "function defaults must not be mutable (list/dict/set)"
+
+    _MUTABLE_LITERALS = (
+        ast.List,
+        ast.Dict,
+        ast.Set,
+        ast.ListComp,
+        ast.DictComp,
+        ast.SetComp,
+    )
+    _MUTABLE_CALLS = ("list", "dict", "set", "bytearray")
+
+    def check(self, module: ModuleContext) -> Iterator[Violation]:
+        for node in ast.walk(module.tree):
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            defaults = list(node.args.defaults) + [
+                default
+                for default in node.args.kw_defaults
+                if default is not None
+            ]
+            for default in defaults:
+                if self._is_mutable(default):
+                    label = (
+                        "lambda"
+                        if isinstance(node, ast.Lambda)
+                        else f"function {node.name!r}"
+                    )
+                    yield self.violation(
+                        module,
+                        default,
+                        f"mutable default argument in {label}; default to "
+                        "None and create the object inside the function",
+                    )
+
+    def _is_mutable(self, node: ast.expr) -> bool:
+        if isinstance(node, self._MUTABLE_LITERALS):
+            return True
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in self._MUTABLE_CALLS
+        )

@@ -1,0 +1,113 @@
+"""Rules protecting numeric and measurement contracts.
+
+Signatures are int64/uint64 by construction (codes.py caps code length
+at 63 bits); a single implicit-dtype array in a hot path silently
+promotes to float64 or platform-int and corrupts signature arithmetic.
+Timing feeds the paper's latency/recall trade-off figures, which are
+meaningless under a non-monotonic clock.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from reprolint.core import ModuleContext, Rule, Violation, register
+
+__all__ = ["ImplicitDtypeRule", "WallClockTimingRule"]
+
+#: Hot-path packages where every array construction must pin its dtype.
+_HOT_DIRS = ("repro/index", "repro/core", "repro/search")
+
+
+@register
+class ImplicitDtypeRule(Rule):
+    """RL002: hot-path array factories must pass an explicit ``dtype``.
+
+    ``np.asarray`` / ``np.zeros`` / ``np.empty`` default to float64 (or
+    whatever the input carries), which breaks the int64 signature
+    contract the probers and ``HashTable`` rely on.  A deliberate
+    dtype-polymorphic call site states its intent with a suppression
+    comment and a justification.
+    """
+
+    rule_id = "RL002"
+    name = "implicit-dtype"
+    description = (
+        "np.asarray/np.zeros/np.empty in hot-path modules "
+        "(repro/index, repro/core, repro/search) must pass an explicit dtype"
+    )
+
+    _FACTORIES = ("asarray", "zeros", "empty")
+    _NUMPY_ALIASES = ("np", "numpy")
+
+    def applies(self, module: ModuleContext) -> bool:
+        return module.within(*_HOT_DIRS)
+
+    def check(self, module: ModuleContext) -> Iterator[Violation]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (
+                isinstance(func, ast.Attribute)
+                and func.attr in self._FACTORIES
+                and isinstance(func.value, ast.Name)
+                and func.value.id in self._NUMPY_ALIASES
+            ):
+                continue
+            has_dtype = len(node.args) >= 2 or any(
+                keyword.arg == "dtype" for keyword in node.keywords
+            )
+            if not has_dtype:
+                yield self.violation(
+                    module,
+                    node,
+                    f"np.{func.attr} without an explicit dtype in a "
+                    "hot-path module; pin the dtype (signatures are "
+                    "int64, vectors float64) or suppress with a "
+                    "justification",
+                )
+
+
+@register
+class WallClockTimingRule(Rule):
+    """RL004: use ``time.perf_counter`` for intervals, never ``time.time``.
+
+    ``time.time()`` is subject to NTP slew and DST wall-clock steps; a
+    negative or inflated interval poisons latency stats and the
+    ``time_budget`` stopping criterion.  All engine instrumentation
+    uses ``perf_counter`` — so must every other timed path.
+    """
+
+    rule_id = "RL004"
+    name = "wall-clock-timing"
+    description = (
+        "time.time() is forbidden in timed paths; use time.perf_counter()"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Violation]:
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "time"
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == "time"
+            ):
+                yield self.violation(
+                    module,
+                    node,
+                    "time.time() is not monotonic; use "
+                    "time.perf_counter() for all timing",
+                )
+            elif isinstance(node, ast.ImportFrom) and node.module == "time":
+                for alias in node.names:
+                    if alias.name == "time":
+                        yield self.violation(
+                            module,
+                            node,
+                            "importing time.time invites wall-clock "
+                            "timing; import time and use "
+                            "time.perf_counter()",
+                        )
