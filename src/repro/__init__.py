@@ -19,6 +19,7 @@ Quickstart::
     print(result.ids, result.distances)
 """
 
+from repro import obs
 from repro.core import (
     GQR,
     FlippingVectorGenerator,
@@ -114,6 +115,7 @@ __all__ = [
     "SemiSupervisedHashing",
     "SearchResult",
     "load_index",
+    "obs",
     "save_index",
     "SharedGenerationTree",
     "StreamSearchIndex",

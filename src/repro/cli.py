@@ -10,6 +10,10 @@ Commands
 ``demo``
     Build an index on synthetic data and answer a few queries,
     narrating each stage — a zero-setup smoke test.
+``obs``
+    Run a demo workload under the telemetry subsystem and print the
+    metrics it recorded — as a summary table, a JSON snapshot, or
+    Prometheus exposition text.
 """
 
 from __future__ import annotations
@@ -129,6 +133,45 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from repro import obs
+    from repro.data import gaussian_mixture, sample_queries
+
+    data = gaussian_mixture(10_000, 32, n_clusters=40,
+                            cluster_spread=1.0, seed=0)
+    queries = sample_queries(data, args.queries, seed=1)
+    index = HashIndex(ITQ(code_length=10, seed=0), data, prober=GQR())
+
+    sampler = obs.TraceSampler(every_n=args.sample_every, seed=0)
+    with obs.telemetry_session(sampler=sampler) as telemetry:
+        for query in queries:
+            index.search(query, k=10, n_candidates=400)
+        batch = index.search_batch(queries[:32], k=10, n_candidates=400)
+        assert len(batch) == min(32, len(queries))
+        if args.format == "json":
+            print(obs.snapshot_json(telemetry.registry))
+        elif args.format == "prometheus":
+            print(obs.to_prometheus_text(telemetry.registry), end="")
+        else:
+            print(f"{args.queries} single + {len(batch)} batched queries "
+                  "under telemetry:")
+            print(format_table(
+                ["metric", "labels", "count", "mean", "p50", "p95"],
+                obs.summary_rows(telemetry.registry),
+            ))
+            traces = sampler.traces()
+            print(f"sampled traces: {len(traces)} "
+                  f"(every {sampler.every_n}th query)")
+            last = sampler.last()
+            if last is not None and last.spans is not None:
+                stages = ", ".join(
+                    f"{child['name']} {child['duration_seconds'] * 1e3:.3f}ms"
+                    for child in last.spans["children"]
+                )
+                print(f"last sampled query #{last.seq}: {stages}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the ``python -m repro`` argument parser."""
     parser = argparse.ArgumentParser(
@@ -155,6 +198,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     commands.add_parser("demo", help="end-to-end smoke demo")
 
+    obs_cmd = commands.add_parser(
+        "obs", help="demo workload under telemetry; print the metrics"
+    )
+    obs_cmd.add_argument("--queries", type=int, default=200,
+                         help="single-query workload size")
+    obs_cmd.add_argument("--sample-every", type=int, default=32,
+                         help="trace-sampling period (every Nth query)")
+    obs_cmd.add_argument(
+        "--format", choices=("table", "json", "prometheus"),
+        default="table", help="output format",
+    )
+
     reproduce = commands.add_parser(
         "reproduce", help="regenerate a paper table/figure"
     )
@@ -174,6 +229,7 @@ def main(argv: list[str] | None = None) -> int:
         "datasets": _cmd_datasets,
         "compare": _cmd_compare,
         "demo": _cmd_demo,
+        "obs": _cmd_obs,
         "reproduce": _cmd_reproduce,
     }
     return handlers[args.command](args)

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.core.gqr import GQR
 from repro.core.prober import BucketProber
 from repro.distributed.partitioner import cluster_partition, random_partition
@@ -153,22 +154,26 @@ class DistributedHashIndex:
         network traffic and tail latency.
         """
         query = np.asarray(query, dtype=np.float64)
-        probe_info = self._hasher.probe_info(query)
-        targets = self._route(query, fanout)
-        per_worker = max(1, n_candidates // len(targets))
-
-        partials = [
-            worker.search_local(query, k, per_worker, probe_info)
-            for worker in targets
-        ]
-        merged: list[tuple[float, int]] = []
-        for partial in partials:
-            merged.extend(
-                (float(d), int(i))
-                for d, i in zip(partial.distances, partial.ids)
-            )
-        merged.sort()
-        del merged[k:]
+        with obs.span("fanout") as fanout_span:
+            probe_info = self._hasher.probe_info(query)
+            targets = self._route(query, fanout)
+            per_worker = max(1, n_candidates // len(targets))
+            partials = [
+                worker.search_local(query, k, per_worker, probe_info)
+                for worker in targets
+            ]
+        with obs.span("merge") as merge_span:
+            merged: list[tuple[float, int]] = []
+            for partial in partials:
+                merged.extend(
+                    (float(d), int(i))
+                    for d, i in zip(partial.distances, partial.ids)
+                )
+            merged.sort()
+            del merged[k:]
+        obs.observe_distributed(
+            len(targets), fanout_span.duration, merge_span.duration
+        )
 
         worker_seconds = [p.extras["worker_seconds"] for p in partials]
         result_bytes = sum(16 * len(p.ids) for p in partials)  # (id, dist)
@@ -183,5 +188,7 @@ class DistributedHashIndex:
                 ),
                 "worker_seconds": worker_seconds,
                 "workers_contacted": len(targets),
+                "fanout_seconds": fanout_span.duration,
+                "merge_seconds": merge_span.duration,
             },
         )

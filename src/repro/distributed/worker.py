@@ -12,10 +12,9 @@ coordinator's :class:`~repro.distributed.cluster.NetworkModel`.
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 
+from repro import obs
 from repro.hashing.base import BinaryHasher
 from repro.index.hash_table import HashTable
 from repro.probing.base import BucketProber
@@ -69,7 +68,9 @@ class ShardWorker:
         self._prober = prober
         self._metric = metric
         self._table = HashTable(hasher.encode(self._shard))
-        self._engine = QueryEngine(ExactEvaluator(self._shard, metric))
+        self._engine = QueryEngine(
+            ExactEvaluator(self._shard, metric), name="shard"
+        )
 
     @property
     def num_items(self) -> int:
@@ -95,19 +96,24 @@ class ShardWorker:
         turns into a makespan; ``extras['stats']`` carries the engine's
         per-stage :class:`~repro.search.engine.ExecutionContext`.
         """
-        start = time.perf_counter()
-        query = validate_query(query, self._shard.shape[1])
-        if probe_info is None:
-            probe_info = self._hasher.probe_info(query)
-        signature, costs = probe_info
-        plan = QueryPlan(k=k, n_candidates=n_candidates, metric=self._metric)
-        local = self._engine.execute(
-            query, plan, self._bucket_stream(signature, costs)
-        )
-        elapsed = time.perf_counter() - start
+        with obs.span("shard_local") as local_span:
+            query = validate_query(query, self._shard.shape[1])
+            if probe_info is None:
+                probe_info = self._hasher.probe_info(query)
+            signature, costs = probe_info
+            plan = QueryPlan(
+                k=k, n_candidates=n_candidates, metric=self._metric
+            )
+            local = self._engine.execute(
+                query, plan, self._bucket_stream(signature, costs)
+            )
+        obs.observe_shard(self.worker_id, local_span.duration)
         extras = dict(local.extras)
         extras.update(
-            {"worker_seconds": elapsed, "worker_id": self.worker_id}
+            {
+                "worker_seconds": local_span.duration,
+                "worker_id": self.worker_id,
+            }
         )
         return SearchResult(
             self._global_ids[local.ids],

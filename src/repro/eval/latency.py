@@ -12,15 +12,18 @@ every single query).
 from __future__ import annotations
 
 import time
+from collections.abc import Iterable
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.eval.harness import SearchableIndex
+from repro.search.results import SearchResult
 
 __all__ = [
     "measure_latencies",
     "measure_stage_latencies",
+    "stage_latencies_from_results",
     "latency_summary",
     "LatencySummary",
 ]
@@ -63,32 +66,52 @@ def measure_latencies(
 def measure_stage_latencies(
     index: SearchableIndex, queries: np.ndarray, k: int, n_candidates: int
 ) -> dict[str, np.ndarray]:
-    """Per-query retrieval/evaluation split from the engine's stats.
+    """Per-query retrieval/evaluation split from the engine's telemetry.
 
-    Every engine-backed search attaches an
+    The harness does **no timing of its own**: every engine-backed
+    search times its stages with :mod:`repro.obs` spans and attaches
+    the measurements as an
     :class:`~repro.search.engine.ExecutionContext` under
-    ``result.stats``; this reads the per-stage wall times off it, so the
-    tail of retrieval (probe-order generation) can be separated from the
-    tail of evaluation (exact re-rank).  Raises when the index does not
-    attach stats.
+    ``result.stats`` — the same numbers the telemetry registry's
+    ``repro_query_stage_seconds`` histogram aggregates.  Reading them
+    off the results keeps offline reports and live metrics on one
+    source of truth, and separates the tail of retrieval (probe-order
+    generation) from the tail of evaluation (exact re-rank).  Raises
+    when the index does not attach stats.
     """
     queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
-    stages = {
-        "total": np.empty(len(queries)),
-        "retrieval": np.empty(len(queries)),
-        "evaluation": np.empty(len(queries)),
-    }
-    for i, query in enumerate(queries):
-        stats = index.search(query, k, n_candidates).stats
+    return stage_latencies_from_results(
+        index.search(query, k, n_candidates) for query in queries
+    )
+
+
+def stage_latencies_from_results(
+    results: Iterable[SearchResult],
+) -> dict[str, np.ndarray]:
+    """Stage splits off already-executed results' span-backed stats.
+
+    Works on any iterable of :class:`SearchResult` — e.g. the output of
+    ``search_batch`` — so batched paths get the same stage report as
+    :func:`measure_stage_latencies` without re-running the queries.
+    """
+    totals: list[float] = []
+    retrievals: list[float] = []
+    evaluations: list[float] = []
+    for result in results:
+        stats = result.stats
         if stats is None:
             raise ValueError(
-                "index did not attach ExecutionContext stats; use "
+                "result did not attach ExecutionContext stats; use "
                 "measure_latencies for plain wall times"
             )
-        stages["total"][i] = stats.total_seconds
-        stages["retrieval"][i] = stats.retrieval_seconds
-        stages["evaluation"][i] = stats.evaluation_seconds
-    return stages
+        totals.append(stats.total_seconds)
+        retrievals.append(stats.retrieval_seconds)
+        evaluations.append(stats.evaluation_seconds)
+    return {
+        "total": np.asarray(totals, dtype=np.float64),
+        "retrieval": np.asarray(retrievals, dtype=np.float64),
+        "evaluation": np.asarray(evaluations, dtype=np.float64),
+    }
 
 
 def latency_summary(latencies: np.ndarray) -> LatencySummary:

@@ -5,11 +5,17 @@ score (QD or Hamming distance when the prober exposes one), its
 population, and the cumulative true-neighbour count — the raw material
 behind every curve in the paper, exposed for debugging and analysis
 ("why did this query miss?").
+
+Traces serialise to JSON under the ``repro.probe_trace/v1`` schema —
+the same shape the telemetry sampler's ``probe_trace`` field carries
+(:class:`repro.obs.sampling.SampledTrace`), so offline harness traces
+and online sampled queries are interchangeable to tooling.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import json
+from dataclasses import asdict, dataclass
 
 import numpy as np
 
@@ -17,6 +23,9 @@ from repro.eval.reporting import format_table
 from repro.search.searcher import HashIndex
 
 __all__ = ["ProbeStep", "ProbeTrace", "trace_query"]
+
+#: Schema tag on serialised traces; bump on incompatible field changes.
+_SCHEMA = "repro.probe_trace/v1"
 
 
 @dataclass(frozen=True)
@@ -65,6 +74,39 @@ class ProbeTrace:
         return format_table(
             ["#", "bucket", "score", "items", "hits", "recall"], rows
         )
+
+    def to_dict(self) -> dict:
+        """JSON-ready record under the ``repro.probe_trace/v1`` schema.
+
+        This is the shape the telemetry sampler stores in
+        ``SampledTrace.probe_trace``, so offline and sampled traces
+        share one consumer-facing format.
+        """
+        return {
+            "schema": _SCHEMA,
+            "truth_size": self.truth_size,
+            "steps": [asdict(step) for step in self.steps],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> ProbeTrace:
+        """Rebuild a trace from :meth:`to_dict` output."""
+        schema = payload.get("schema")
+        if schema != _SCHEMA:
+            raise ValueError(
+                f"expected schema {_SCHEMA!r}, got {schema!r}"
+            )
+        steps = [ProbeStep(**step) for step in payload["steps"]]
+        return cls(steps=steps, truth_size=int(payload["truth_size"]))
+
+    def to_json(self, indent: int | None = None) -> str:
+        """The trace as a JSON document."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> ProbeTrace:
+        """Inverse of :meth:`to_json`."""
+        return cls.from_dict(json.loads(text))
 
 
 def trace_query(

@@ -1,0 +1,354 @@
+"""Process-global telemetry state and the engine's recording hooks.
+
+The query engine calls three tiny hooks — :func:`should_sample`,
+:func:`observe_query` / :func:`observe_batch`, and the distributed
+layer's :func:`observe_shard` / :func:`observe_distributed` — all of
+which reduce to a single ``None`` check when telemetry is disabled
+(the default).  :func:`enable_telemetry` installs a
+:class:`TelemetryState` binding a
+:class:`~repro.obs.metrics.MetricsRegistry` (injected or fresh) and an
+optional :class:`~repro.obs.sampling.TraceSampler`; the state
+pre-registers every instrument and caches per-index label children so
+the per-query cost is a handful of histogram observes.
+
+Instrument inventory (all under the ``repro_`` prefix):
+
+========================================  =========  =====================
+metric                                    kind       labels
+========================================  =========  =====================
+``repro_queries_total``                   counter    ``index``
+``repro_query_stage_seconds``             histogram  ``index``, ``stage``
+``repro_query_candidates``                histogram  ``index``
+``repro_query_buckets_probed``            histogram  ``index``
+``repro_early_stops_total``               counter    ``index``
+``repro_sampled_traces_total``            counter    —
+``repro_shard_queries_total``             counter    ``worker``
+``repro_shard_seconds``                   histogram  ``worker``
+``repro_distributed_queries_total``       counter    —
+``repro_distributed_workers_contacted``   histogram  —
+``repro_distributed_stage_seconds``       histogram  ``stage``
+========================================  =========  =====================
+
+``index`` is the engine's name ("hash", "mih", "imi", "compact",
+"dynamic", "stream", "shard"), ``stage`` one of ``retrieval`` /
+``evaluation`` / ``total`` (or ``fanout`` / ``merge`` for the
+distributed coordinator).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Protocol
+
+from repro.obs.metrics import (
+    DEFAULT_COUNT_BUCKETS,
+    Counter,
+    CounterChild,
+    Histogram,
+    HistogramChild,
+    MetricsRegistry,
+)
+from repro.obs.sampling import TraceSampler
+
+if TYPE_CHECKING:
+    from repro.obs.spans import Span
+
+__all__ = [
+    "QueryStats",
+    "TelemetryState",
+    "disable_telemetry",
+    "enable_telemetry",
+    "get_registry",
+    "get_sampler",
+    "observe_batch",
+    "observe_distributed",
+    "observe_query",
+    "observe_shard",
+    "should_sample",
+    "telemetry_enabled",
+    "telemetry_session",
+]
+
+_WORKERS_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128)
+
+
+class QueryStats(Protocol):
+    """The slice of ``ExecutionContext`` the hooks read (duck-typed so
+    ``repro.obs`` stays import-independent of the engine)."""
+
+    n_buckets_probed: int
+    n_candidates: int
+    early_stop_triggered: bool
+    retrieval_seconds: float
+    evaluation_seconds: float
+    total_seconds: float
+    bucket_sizes: list[int] | None
+
+    def as_dict(self) -> dict: ...
+
+
+class _IndexInstruments:
+    """Cached recording methods for one ``index`` label value.
+
+    Holds the children's *bound* ``observe``/``inc`` methods rather
+    than the children: these run on every query, and skipping the
+    attribute lookup and method bind per call is measurable against
+    sub-millisecond query latencies.
+    """
+
+    __slots__ = (
+        "inc_queries",
+        "observe_retrieval",
+        "observe_evaluation",
+        "observe_total",
+        "observe_candidates",
+        "observe_buckets",
+        "inc_early_stops",
+    )
+
+    def __init__(
+        self,
+        queries: CounterChild,
+        retrieval: HistogramChild,
+        evaluation: HistogramChild,
+        total: HistogramChild,
+        candidates: HistogramChild,
+        buckets: HistogramChild,
+        early_stops: CounterChild,
+    ) -> None:
+        self.inc_queries = queries.inc
+        self.observe_retrieval = retrieval.observe
+        self.observe_evaluation = evaluation.observe
+        self.observe_total = total.observe
+        self.observe_candidates = candidates.observe
+        self.observe_buckets = buckets.observe
+        self.inc_early_stops = early_stops.inc
+
+
+class TelemetryState:
+    """Everything telemetry-on means: registry, sampler, instruments."""
+
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        sampler: TraceSampler | None = None,
+    ) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.sampler = sampler
+        reg = self.registry
+        self.queries: Counter = reg.counter(
+            "repro_queries_total",
+            "Queries executed by the query engine",
+            labels=("index",),
+        )
+        self.stage_seconds: Histogram = reg.histogram(
+            "repro_query_stage_seconds",
+            "Per-stage query latency as measured by the engine's spans",
+            labels=("index", "stage"),
+        )
+        self.candidates: Histogram = reg.histogram(
+            "repro_query_candidates",
+            "Candidate ids gathered per query (evaluation cost)",
+            labels=("index",),
+            buckets=DEFAULT_COUNT_BUCKETS,
+        )
+        self.buckets_probed: Histogram = reg.histogram(
+            "repro_query_buckets_probed",
+            "Non-empty buckets fetched per query (retrieval cost)",
+            labels=("index",),
+            buckets=DEFAULT_COUNT_BUCKETS,
+        )
+        self.early_stops: Counter = reg.counter(
+            "repro_early_stops_total",
+            "Queries terminated early by the Theorem 2 bound",
+            labels=("index",),
+        )
+        self.sampled_traces: Counter = reg.counter(
+            "repro_sampled_traces_total",
+            "Queries captured by the trace sampler",
+        )
+        self.shard_queries: Counter = reg.counter(
+            "repro_shard_queries_total",
+            "Local searches answered per shard worker",
+            labels=("worker",),
+        )
+        self.shard_seconds: Histogram = reg.histogram(
+            "repro_shard_seconds",
+            "Per-shard local search latency",
+            labels=("worker",),
+        )
+        self.distributed_queries: Counter = reg.counter(
+            "repro_distributed_queries_total",
+            "Scatter-gather queries answered by the coordinator",
+        )
+        self.workers_contacted: Histogram = reg.histogram(
+            "repro_distributed_workers_contacted",
+            "Workers contacted per distributed query (fan-out)",
+            buckets=_WORKERS_BUCKETS,
+        )
+        self.distributed_stage_seconds: Histogram = reg.histogram(
+            "repro_distributed_stage_seconds",
+            "Coordinator stage latency (fanout = scatter + local work, "
+            "merge = gather + global top-k)",
+            labels=("stage",),
+        )
+        self._per_index: dict[str, _IndexInstruments] = {}
+
+    def index_instruments(self, index: str) -> _IndexInstruments:
+        """Label children for ``index``, resolved once and cached."""
+        instruments = self._per_index.get(index)
+        if instruments is None:
+            instruments = _IndexInstruments(
+                queries=self.queries.labels(index=index),
+                retrieval=self.stage_seconds.labels(
+                    index=index, stage="retrieval"
+                ),
+                evaluation=self.stage_seconds.labels(
+                    index=index, stage="evaluation"
+                ),
+                total=self.stage_seconds.labels(index=index, stage="total"),
+                candidates=self.candidates.labels(index=index),
+                buckets=self.buckets_probed.labels(index=index),
+                early_stops=self.early_stops.labels(index=index),
+            )
+            self._per_index[index] = instruments
+        return instruments
+
+
+_STATE: TelemetryState | None = None
+
+
+def enable_telemetry(
+    registry: MetricsRegistry | None = None,
+    sampler: TraceSampler | None = None,
+) -> TelemetryState:
+    """Install (and return) the process-global telemetry state."""
+    global _STATE
+    _STATE = TelemetryState(registry=registry, sampler=sampler)
+    return _STATE
+
+
+def disable_telemetry() -> None:
+    """Remove the global state; every hook returns to its no-op path."""
+    global _STATE
+    _STATE = None
+
+
+def telemetry_enabled() -> bool:
+    """Whether a telemetry state is currently installed."""
+    return _STATE is not None
+
+
+def get_registry() -> MetricsRegistry | None:
+    """The active registry, or ``None`` when telemetry is disabled."""
+    return _STATE.registry if _STATE is not None else None
+
+
+def get_sampler() -> TraceSampler | None:
+    """The active sampler, or ``None``."""
+    return _STATE.sampler if _STATE is not None else None
+
+
+@contextmanager
+def telemetry_session(
+    registry: MetricsRegistry | None = None,
+    sampler: TraceSampler | None = None,
+) -> Iterator[TelemetryState]:
+    """Enable telemetry for a scope, restoring the previous state after.
+
+    The isolation primitive tests and the CLI use: whatever state was
+    installed before (including none) comes back on exit.
+    """
+    global _STATE
+    previous = _STATE
+    state = TelemetryState(registry=registry, sampler=sampler)
+    _STATE = state
+    try:
+        yield state
+    finally:
+        _STATE = previous
+
+
+def should_sample() -> bool:
+    """Advance the sampler; True when the coming query is selected."""
+    state = _STATE
+    if state is None or state.sampler is None:
+        return False
+    return state.sampler.should_sample()
+
+
+def observe_query(
+    index: str,
+    ctx: QueryStats,
+    root: Span | None = None,
+    sampled: bool = False,
+) -> None:
+    """Record one executed query into the registry (and the sampler).
+
+    ``ctx`` is the query's ``ExecutionContext``; ``root`` its span tree
+    when the caller kept one; ``sampled`` the decision
+    :func:`should_sample` returned before execution.
+    """
+    state = _STATE
+    if state is None:
+        return
+    ins = state.index_instruments(index)
+    ins.inc_queries()
+    ins.observe_retrieval(ctx.retrieval_seconds)
+    ins.observe_evaluation(ctx.evaluation_seconds)
+    ins.observe_total(ctx.total_seconds)
+    ins.observe_candidates(ctx.n_candidates)
+    ins.observe_buckets(ctx.n_buckets_probed)
+    if ctx.early_stop_triggered:
+        ins.inc_early_stops()
+    if sampled and state.sampler is not None:
+        state.sampled_traces.inc()
+        state.sampler.record(
+            spans=root.to_dict() if root is not None else None,
+            stats=ctx.as_dict(),
+            bucket_sizes=ctx.bucket_sizes,
+        )
+
+
+def observe_batch(index: str, contexts: list) -> None:
+    """Record a batch of executed queries (no sampling on batch paths)."""
+    state = _STATE
+    if state is None or not contexts:
+        return
+    ins = state.index_instruments(index)
+    for ctx in contexts:
+        ins.inc_queries()
+        ins.observe_retrieval(ctx.retrieval_seconds)
+        ins.observe_evaluation(ctx.evaluation_seconds)
+        ins.observe_total(ctx.total_seconds)
+        ins.observe_candidates(ctx.n_candidates)
+        ins.observe_buckets(ctx.n_buckets_probed)
+        if ctx.early_stop_triggered:
+            ins.inc_early_stops()
+
+
+def observe_shard(worker_id: int, seconds: float) -> None:
+    """Record one shard-local search (called by ``ShardWorker``)."""
+    state = _STATE
+    if state is None:
+        return
+    state.shard_queries.labels(worker=worker_id).inc()
+    state.shard_seconds.labels(worker=worker_id).observe(seconds)
+
+
+def observe_distributed(
+    workers_contacted: int, fanout_seconds: float, merge_seconds: float
+) -> None:
+    """Record one scatter-gather query (called by the coordinator)."""
+    state = _STATE
+    if state is None:
+        return
+    state.distributed_queries.inc()
+    state.workers_contacted.observe(workers_contacted)
+    state.distributed_stage_seconds.labels(stage="fanout").observe(
+        fanout_seconds
+    )
+    state.distributed_stage_seconds.labels(stage="merge").observe(
+        merge_seconds
+    )

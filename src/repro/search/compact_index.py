@@ -107,7 +107,8 @@ class CompactHashIndex:
         self._rerank = rerank
         self._dim = data.shape[1] if data.ndim == 2 else None
         self._engine = QueryEngine(
-            CodeEvaluator(rerank_hasher, self._long_signatures, rerank)
+            CodeEvaluator(rerank_hasher, self._long_signatures, rerank),
+            name="compact",
         )
 
     @property

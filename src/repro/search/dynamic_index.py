@@ -75,7 +75,7 @@ class DynamicHashIndex:
         # The storage array is reallocated as it grows, so the evaluator
         # is wired to a live view rather than one (stale) array object.
         self._engine = QueryEngine(
-            ExactEvaluator(lambda: self._vectors, metric)
+            ExactEvaluator(lambda: self._vectors, metric), name="dynamic"
         )
 
     @property

@@ -25,13 +25,13 @@ estimates for vector-free deployments (:class:`CodeEvaluator`).
 from __future__ import annotations
 
 import heapq
-import time
 from collections.abc import Callable, Iterable, Iterator
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Protocol
 
 import numpy as np
 
+from repro import obs
 from repro.core.quantization_distance import quantization_distances
 from repro.index.codes import hamming_distance
 from repro.index.distance import METRICS, pairwise_distances
@@ -169,7 +169,12 @@ class ExecutionContext:
     early_stop_triggered:
         Whether a Theorem 2 bound terminated retrieval early.
     retrieval_seconds / evaluation_seconds / total_seconds:
-        Wall time of each stage as measured by the engine.
+        Wall time of each stage as measured by the engine's spans
+        (:mod:`repro.obs.spans`).
+    bucket_sizes:
+        Per-probed-bucket candidate counts, recorded only when the
+        trace sampler selected this query (``None`` otherwise); part of
+        the sampled-trace payload, not of :meth:`as_dict`.
     """
 
     n_buckets_probed: int = 0
@@ -178,6 +183,7 @@ class ExecutionContext:
     retrieval_seconds: float = 0.0
     evaluation_seconds: float = 0.0
     total_seconds: float = 0.0
+    bucket_sizes: list[int] | None = field(default=None, repr=False)
 
     def as_dict(self) -> dict:
         """The stats as a plain dict (JSON-friendly)."""
@@ -211,20 +217,23 @@ class CandidatePipeline:
         deadline = (
             None
             if plan.time_budget is None
-            else time.perf_counter() + plan.time_budget
+            else obs.now() + plan.time_budget
         )
         found: list[np.ndarray] = []
+        sampled_sizes = ctx.bucket_sizes
         total = 0
         buckets = 0
         for ids in stream:
             buckets += 1
             found.append(ids)
             total += len(ids)
+            if sampled_sizes is not None:
+                sampled_sizes.append(len(ids))
             if plan.n_candidates is not None and total >= plan.n_candidates:
                 break
             if plan.max_buckets is not None and buckets >= plan.max_buckets:
                 break
-            if deadline is not None and time.perf_counter() >= deadline:
+            if deadline is not None and obs.now() >= deadline:
                 break
         ctx.n_buckets_probed = buckets
         ctx.n_candidates = total
@@ -705,10 +714,13 @@ class QueryEngine:
     One engine per index: it owns the evaluator (the evaluation stage's
     scoring rule) while each call supplies the plan and the retrieval
     stream, so all indexes share a single instrumented control flow.
+    ``name`` labels this engine's series in the metrics registry
+    (``repro_queries_total{index="hash"}``, …) when telemetry is on.
     """
 
-    def __init__(self, evaluator: Evaluator) -> None:
+    def __init__(self, evaluator: Evaluator, name: str = "index") -> None:
         self.evaluator = evaluator
+        self.name = name
 
     def execute(
         self,
@@ -720,18 +732,24 @@ class QueryEngine:
         """Drain ``stream`` under ``plan`` and exactly re-rank — one query.
 
         Returns a :class:`~repro.search.results.SearchResult` whose
-        ``extras["stats"]`` carries the :class:`ExecutionContext`.
+        ``extras["stats"]`` carries the :class:`ExecutionContext` and
+        ``extras["spans"]`` the root :class:`~repro.obs.spans.Span` of
+        the plan→retrieve→evaluate tree.
         """
         ctx = ExecutionContext()
-        start = time.perf_counter()
-        candidates = CandidatePipeline.drain(stream, plan, ctx)
-        after_retrieval = time.perf_counter()
-        ids, dists = self.evaluator.evaluate(query, candidates, plan.k)
-        end = time.perf_counter()
-        ctx.retrieval_seconds = after_retrieval - start
-        ctx.evaluation_seconds = end - after_retrieval
-        ctx.total_seconds = end - start
-        all_extras = {"stats": ctx}
+        sampled = obs.should_sample()
+        if sampled:
+            ctx.bucket_sizes = []
+        with obs.span("query") as root:
+            with obs.span("retrieve") as retrieve:
+                candidates = CandidatePipeline.drain(stream, plan, ctx)
+            with obs.span("evaluate") as evaluate:
+                ids, dists = self.evaluator.evaluate(query, candidates, plan.k)
+        ctx.retrieval_seconds = retrieve.duration
+        ctx.evaluation_seconds = evaluate.duration
+        ctx.total_seconds = root.duration
+        obs.observe_query(self.name, ctx, root=root, sampled=sampled)
+        all_extras = {"stats": ctx, "spans": root}
         if extras:
             all_extras.update(extras)
         return SearchResult(
@@ -752,12 +770,11 @@ class QueryEngine:
         """
         contexts = [ExecutionContext() for _ in streams]
         per_query: list[np.ndarray] = []
-        start = time.perf_counter()
-        for stream, ctx in zip(streams, contexts):
-            per_query.append(CandidatePipeline.drain(stream, plan, ctx))
-        retrieval = time.perf_counter() - start
+        with obs.span("retrieve") as retrieve:
+            for stream, ctx in zip(streams, contexts):
+                per_query.append(CandidatePipeline.drain(stream, plan, ctx))
         for ctx in contexts:
-            ctx.retrieval_seconds = retrieval / max(len(contexts), 1)
+            ctx.retrieval_seconds = retrieve.duration / max(len(contexts), 1)
         ranked = self.evaluate_block(queries, per_query, plan.k, contexts)
         results: list[SearchResult] = []
         for ctx, (ids, dists) in zip(contexts, ranked):
@@ -771,6 +788,7 @@ class QueryEngine:
                     {"stats": ctx},
                 )
             )
+        obs.observe_batch(self.name, contexts)
         return results
 
     def execute_batch_ordered(
@@ -793,67 +811,71 @@ class QueryEngine:
         budget = plan.n_candidates
         if budget is None:
             raise ValueError("batched execution needs a candidate budget")
-        start = time.perf_counter()
         n_queries, n_buckets = scores.shape
         if n_buckets == 0:
             return [self.execute(query, plan, iter(())) for query in queries]
-        bucket_signatures = np.asarray(bucket_signatures, dtype=np.int64)
-        if np.any(np.diff(bucket_signatures) < 0):
-            resort = np.argsort(bucket_signatures, kind="stable")
-            bucket_signatures = bucket_signatures[resort]
-            scores = scores[:, resort]
-        layout_fn = getattr(table, "dense_layout", None)
-        layout = layout_fn() if layout_fn is not None else None
-        if layout is not None and np.array_equal(layout[0], bucket_signatures):
-            _, sizes, bucket_offsets, ids_flat = layout
-        else:
-            bucket_ids = [table.get(int(sig)) for sig in bucket_signatures]
-            sizes = np.fromiter(
-                (len(ids) for ids in bucket_ids),
-                dtype=np.int64,
-                count=n_buckets,
+        with obs.span("retrieve") as retrieve:
+            bucket_signatures = np.asarray(bucket_signatures, dtype=np.int64)
+            if np.any(np.diff(bucket_signatures) < 0):
+                resort = np.argsort(bucket_signatures, kind="stable")
+                bucket_signatures = bucket_signatures[resort]
+                scores = scores[:, resort]
+            layout_fn = getattr(table, "dense_layout", None)
+            layout = layout_fn() if layout_fn is not None else None
+            if layout is not None and np.array_equal(
+                layout[0], bucket_signatures
+            ):
+                _, sizes, bucket_offsets, ids_flat = layout
+            else:
+                bucket_ids = [
+                    table.get(int(sig)) for sig in bucket_signatures
+                ]
+                sizes = np.fromiter(
+                    (len(ids) for ids in bucket_ids),
+                    dtype=np.int64,
+                    count=n_buckets,
+                )
+                ids_flat = np.concatenate(bucket_ids)
+                bucket_offsets = np.concatenate(([0], np.cumsum(sizes)[:-1]))
+            order, cumulative, stops = _probe_prefix(
+                scores, bucket_signatures, sizes, budget
             )
-            ids_flat = np.concatenate(bucket_ids)
-            bucket_offsets = np.concatenate(([0], np.cumsum(sizes)[:-1]))
-        order, cumulative, stops = _probe_prefix(
-            scores, bucket_signatures, sizes, budget
-        )
-        # Ragged gather of every query's probed buckets in one shot.
-        width = order.shape[1]
-        col_mask = np.arange(width)[np.newaxis, :] <= stops[:, np.newaxis]
-        flat_buckets = order[col_mask]
-        lengths = sizes[flat_buckets]
-        ends = np.cumsum(lengths)
-        within = np.arange(int(ends[-1])) - np.repeat(ends - lengths, lengths)
-        all_candidates = ids_flat[
-            np.repeat(bucket_offsets[flat_buckets], lengths) + within
-        ]
-        counts = cumulative[np.arange(n_queries), stops]
-        contexts = [
-            ExecutionContext(
-                n_buckets_probed=int(stop) + 1, n_candidates=int(count)
+            # Ragged gather of every query's probed buckets in one shot.
+            width = order.shape[1]
+            col_mask = np.arange(width)[np.newaxis, :] <= stops[:, np.newaxis]
+            flat_buckets = order[col_mask]
+            lengths = sizes[flat_buckets]
+            ends = np.cumsum(lengths)
+            within = np.arange(int(ends[-1])) - np.repeat(
+                ends - lengths, lengths
             )
-            for stop, count in zip(stops, counts)
-        ]
-        retrieval = time.perf_counter() - start
+            all_candidates = ids_flat[
+                np.repeat(bucket_offsets[flat_buckets], lengths) + within
+            ]
+            counts = cumulative[np.arange(n_queries), stops]
+            contexts = [
+                ExecutionContext(
+                    n_buckets_probed=int(stop) + 1, n_candidates=int(count)
+                )
+                for stop, count in zip(stops, counts)
+            ]
         for ctx in contexts:
-            ctx.retrieval_seconds = retrieval / max(n_queries, 1)
+            ctx.retrieval_seconds = retrieve.duration / max(n_queries, 1)
         if (
             isinstance(self.evaluator, ExactEvaluator)
             and self.evaluator.metric in _RAGGED_METRICS
         ):
-            eval_start = time.perf_counter()
-            dists = _ragged_distances(
-                queries,
-                self.evaluator._vectors(),
-                all_candidates,
-                counts,
-                self.evaluator.metric,
-            )
-            ranked = _block_top_k(all_candidates, dists, counts, plan.k)
-            elapsed = time.perf_counter() - eval_start
+            with obs.span("evaluate") as evaluate:
+                dists = _ragged_distances(
+                    queries,
+                    self.evaluator._vectors(),
+                    all_candidates,
+                    counts,
+                    self.evaluator.metric,
+                )
+                ranked = _block_top_k(all_candidates, dists, counts, plan.k)
             for ctx in contexts:
-                ctx.evaluation_seconds = elapsed / max(n_queries, 1)
+                ctx.evaluation_seconds = evaluate.duration / max(n_queries, 1)
         else:
             per_query = np.split(all_candidates, np.cumsum(counts)[:-1])
             ranked = self.evaluate_block(queries, per_query, plan.k, contexts)
@@ -869,6 +891,7 @@ class QueryEngine:
                     {"stats": ctx},
                 )
             )
+        obs.observe_batch(self.name, contexts)
         return results
 
     def evaluate_block(
@@ -887,45 +910,48 @@ class QueryEngine:
         :class:`ExactEvaluator` over the built-in metrics; other
         evaluators fall back to per-query evaluation.
         """
-        start = time.perf_counter()
-        if not (
-            isinstance(self.evaluator, ExactEvaluator)
-            and self.evaluator.metric in _RAGGED_METRICS
-        ):
-            out = [
-                self.evaluator.evaluate(query, candidates, k)
-                for query, candidates in zip(queries, per_query_candidates)
-            ]
-            elapsed = time.perf_counter() - start
-            for ctx in contexts:
-                ctx.evaluation_seconds = elapsed / max(len(contexts), 1)
-            return out
-        counts = np.fromiter(
-            (len(c) for c in per_query_candidates),
-            dtype=np.int64,
-            count=len(per_query_candidates),
-        )
-        results: list[tuple[np.ndarray, np.ndarray]] = []
-        if counts.sum():
-            stacked = np.concatenate(per_query_candidates)
-            dists = _ragged_distances(
-                np.asarray(queries, dtype=np.float64),
-                self.evaluator._vectors(),
-                stacked,
-                counts,
-                self.evaluator.metric,
-            )
-            per_dists = np.split(dists, np.cumsum(counts)[:-1])
-            for candidates, row in zip(per_query_candidates, per_dists):
-                if len(candidates):
-                    results.append(
-                        CandidatePipeline.top_k(candidates, row, k)
+        results: list[tuple[np.ndarray, np.ndarray]]
+        with obs.span("evaluate") as evaluate:
+            if not (
+                isinstance(self.evaluator, ExactEvaluator)
+                and self.evaluator.metric in _RAGGED_METRICS
+            ):
+                results = [
+                    self.evaluator.evaluate(query, candidates, k)
+                    for query, candidates in zip(
+                        queries, per_query_candidates
                     )
+                ]
+            else:
+                counts = np.fromiter(
+                    (len(c) for c in per_query_candidates),
+                    dtype=np.int64,
+                    count=len(per_query_candidates),
+                )
+                results = []
+                if counts.sum():
+                    stacked = np.concatenate(per_query_candidates)
+                    dists = _ragged_distances(
+                        np.asarray(queries, dtype=np.float64),
+                        self.evaluator._vectors(),
+                        stacked,
+                        counts,
+                        self.evaluator.metric,
+                    )
+                    per_dists = np.split(dists, np.cumsum(counts)[:-1])
+                    for candidates, row in zip(
+                        per_query_candidates, per_dists
+                    ):
+                        if len(candidates):
+                            results.append(
+                                CandidatePipeline.top_k(candidates, row, k)
+                            )
+                        else:
+                            results.append((_EMPTY_IDS, _EMPTY_DISTS))
                 else:
-                    results.append((_EMPTY_IDS, _EMPTY_DISTS))
-        else:
-            results = [(_EMPTY_IDS, _EMPTY_DISTS)] * len(per_query_candidates)
-        elapsed = time.perf_counter() - start
+                    results = [
+                        (_EMPTY_IDS, _EMPTY_DISTS)
+                    ] * len(per_query_candidates)
         for ctx in contexts:
-            ctx.evaluation_seconds = elapsed / max(len(contexts), 1)
+            ctx.evaluation_seconds = evaluate.duration / max(len(contexts), 1)
         return results

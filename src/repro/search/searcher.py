@@ -23,11 +23,11 @@ under ``extras["stats"]``.
 
 from __future__ import annotations
 
-import time
 from collections.abc import Iterator
 
 import numpy as np
 
+from repro import obs
 from repro.core.gqr import GQR
 from repro.core.quantization_distance import theorem2_mu
 from repro.hashing.base import BinaryHasher, ProjectionHasher
@@ -141,7 +141,7 @@ class HashIndex:
         self._multi_table_strategy = multi_table_strategy
         self._dim = self._data.shape[1]
         self._evaluator = ExactEvaluator(self._data, metric)
-        self._engine = QueryEngine(self._evaluator)
+        self._engine = QueryEngine(self._evaluator, name="hash")
         # Per-table (signatures, unpacked bits), lazily built for
         # batched scoring; safe to cache because the tables are static.
         self._bucket_bits: dict[int, tuple[np.ndarray, np.ndarray]] = {}
@@ -389,29 +389,32 @@ class HashIndex:
             max_candidates = self.num_items
 
         ctx = ExecutionContext()
-        start = time.perf_counter()
         kth_distance = np.inf
         best: list[tuple[float, int]] = []
-        for bucket, qd in prober.probe_scored(table, signature, costs):
-            if mu * qd > kth_distance:
-                ctx.early_stop_triggered = True
-                break
-            ids = table.get(bucket)
-            ctx.n_buckets_probed += 1
-            if not len(ids):
-                continue
-            ctx.n_candidates += len(ids)
-            dists = self._evaluator.distances(query, ids)
-            for item_id, dist in zip(ids, dists):
-                best.append((float(dist), int(item_id)))
-            best.sort()
-            del best[k:]
-            if len(best) == k:
-                kth_distance = best[-1][0]
-            if ctx.n_candidates >= max_candidates:
-                break
-        ctx.total_seconds = time.perf_counter() - start
+        with obs.span("query") as root:
+            for bucket, qd in prober.probe_scored(table, signature, costs):
+                if mu * qd > kth_distance:
+                    ctx.early_stop_triggered = True
+                    break
+                ids = table.get(bucket)
+                ctx.n_buckets_probed += 1
+                if not len(ids):
+                    continue
+                ctx.n_candidates += len(ids)
+                dists = self._evaluator.distances(query, ids)
+                for item_id, dist in zip(ids, dists):
+                    best.append((float(dist), int(item_id)))
+                best.sort()
+                del best[k:]
+                if len(best) == k:
+                    kth_distance = best[-1][0]
+                if ctx.n_candidates >= max_candidates:
+                    break
+        # Retrieval and evaluation interleave under exact pruning, so
+        # the whole loop counts as retrieval (the stage that stopped).
+        ctx.total_seconds = root.duration
         ctx.retrieval_seconds = ctx.total_seconds
+        obs.observe_query("hash", ctx, root=root)
 
         ids = np.asarray([item for _, item in best], dtype=np.int64)
         dists = np.asarray([dist for dist, _ in best], dtype=np.float64)
@@ -440,23 +443,26 @@ class HashIndex:
         table = self._tables[0]
 
         ctx = ExecutionContext()
-        start = time.perf_counter()
         hits: list[tuple[float, int]] = []
-        for bucket, qd in prober.probe_scored(table, signature, costs):
-            if mu * qd > radius:
-                ctx.early_stop_triggered = True
-                break
-            ids = table.get(bucket)
-            ctx.n_buckets_probed += 1
-            if not len(ids):
-                continue
-            ctx.n_candidates += len(ids)
-            dists = self._evaluator.distances(query, ids)
-            hits.extend(
-                (float(d), int(i)) for i, d in zip(ids, dists) if d <= radius
-            )
-        ctx.total_seconds = time.perf_counter() - start
+        with obs.span("query") as root:
+            for bucket, qd in prober.probe_scored(table, signature, costs):
+                if mu * qd > radius:
+                    ctx.early_stop_triggered = True
+                    break
+                ids = table.get(bucket)
+                ctx.n_buckets_probed += 1
+                if not len(ids):
+                    continue
+                ctx.n_candidates += len(ids)
+                dists = self._evaluator.distances(query, ids)
+                hits.extend(
+                    (float(d), int(i))
+                    for i, d in zip(ids, dists)
+                    if d <= radius
+                )
+        ctx.total_seconds = root.duration
         ctx.retrieval_seconds = ctx.total_seconds
+        obs.observe_query("hash", ctx, root=root)
         hits.sort()
         ids = np.asarray([item for _, item in hits], dtype=np.int64)
         dists = np.asarray([dist for dist, _ in hits], dtype=np.float64)
@@ -497,7 +503,7 @@ class MIHSearchIndex:
         self._metric = metric
         self._dim = self._data.shape[1]
         self._evaluator = ExactEvaluator(self._data, metric)
-        self._engine = QueryEngine(self._evaluator)
+        self._engine = QueryEngine(self._evaluator, name="mih")
 
     @property
     def num_items(self) -> int:
@@ -557,7 +563,7 @@ class IMISearchIndex:
             evaluator = ADCEvaluator(rerank_quantizer, self._fine_codes)
         else:
             evaluator = ExactEvaluator(self._data, metric)
-        self._engine = QueryEngine(evaluator)
+        self._engine = QueryEngine(evaluator, name="imi")
 
     @property
     def num_items(self) -> int:

@@ -56,7 +56,9 @@ class StreamSearchIndex:
         self._data = np.asarray(data, dtype=np.float64)
         self._metric = metric
         self._dim = self._data.shape[1] if self._data.ndim == 2 else None
-        self._engine = QueryEngine(ExactEvaluator(self._data, metric))
+        self._engine = QueryEngine(
+            ExactEvaluator(self._data, metric), name="stream"
+        )
 
     @property
     def num_items(self) -> int:

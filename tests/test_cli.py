@@ -47,6 +47,39 @@ class TestCommands:
         assert "recall@5" in capsys.readouterr().out
 
 
+class TestObsCommand:
+    def test_table_output(self, capsys):
+        assert main(["obs", "--queries", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "repro_query_stage_seconds" in out
+        assert "index=hash" in out
+        assert "sampled traces:" in out
+
+    def test_json_output(self, capsys):
+        import json
+
+        assert main(["obs", "--queries", "20", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro.metrics/v1"
+        names = {m["name"] for m in payload["metrics"]}
+        assert "repro_queries_total" in names
+
+    def test_prometheus_output(self, capsys):
+        from repro.obs import parse_prometheus_text
+
+        code = main(["obs", "--queries", "20", "--format", "prometheus"])
+        assert code == 0
+        parsed = parse_prometheus_text(capsys.readouterr().out)
+        key = ("repro_queries_total", (("index", "hash"),))
+        assert parsed[key] >= 20
+
+    def test_telemetry_disabled_after_run(self):
+        from repro import obs
+
+        assert main(["obs", "--queries", "10"]) == 0
+        assert not obs.telemetry_enabled()
+
+
 class TestReproduceCommand:
     def test_list(self, capsys):
         assert main(["reproduce", "--list"]) == 0

@@ -1,0 +1,110 @@
+"""Tests for the Prometheus/JSON exporters (round-trip verified)."""
+
+import json
+
+from repro.obs import (
+    MetricsRegistry,
+    parse_prometheus_text,
+    snapshot_json,
+    summary_rows,
+    to_prometheus_text,
+)
+
+
+def populated_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    queries = registry.counter("repro_queries_total", "Queries",
+                               labels=("index",))
+    queries.labels(index="hash").inc(5)
+    queries.labels(index="mih").inc(2)
+    registry.gauge("repro_up", "Liveness").set(1)
+    hist = registry.histogram(
+        "repro_query_stage_seconds", "Stage latency",
+        labels=("index", "stage"), buckets=(0.001, 0.01, 0.1),
+    )
+    for value in (0.0005, 0.005, 0.05, 0.5):
+        hist.labels(index="hash", stage="total").observe(value)
+    return registry
+
+
+class TestPrometheusText:
+    def test_headers_and_samples(self):
+        text = to_prometheus_text(populated_registry())
+        assert "# HELP repro_queries_total Queries" in text
+        assert "# TYPE repro_queries_total counter" in text
+        assert '# TYPE repro_query_stage_seconds histogram' in text
+        assert 'repro_queries_total{index="hash"} 5' in text
+        assert "repro_up 1" in text
+
+    def test_histogram_series_are_cumulative_with_inf(self):
+        text = to_prometheus_text(populated_registry())
+        assert (
+            'repro_query_stage_seconds_bucket'
+            '{index="hash",stage="total",le="0.001"} 1' in text
+        )
+        assert (
+            'repro_query_stage_seconds_bucket'
+            '{index="hash",stage="total",le="+Inf"} 4' in text
+        )
+        assert (
+            'repro_query_stage_seconds_count'
+            '{index="hash",stage="total"} 4' in text
+        )
+
+    def test_round_trip_preserves_every_sample(self):
+        registry = populated_registry()
+        parsed = parse_prometheus_text(to_prometheus_text(registry))
+        assert parsed[("repro_queries_total", (("index", "hash"),))] == 5
+        assert parsed[("repro_queries_total", (("index", "mih"),))] == 2
+        assert parsed[("repro_up", ())] == 1
+        key = (
+            "repro_query_stage_seconds_bucket",
+            (("index", "hash"), ("le", "+Inf"), ("stage", "total")),
+        )
+        assert parsed[key] == 4
+        sum_key = (
+            "repro_query_stage_seconds_sum",
+            (("index", "hash"), ("stage", "total")),
+        )
+        assert parsed[sum_key] == 0.0005 + 0.005 + 0.05 + 0.5
+
+    def test_label_value_escaping_round_trips(self):
+        registry = MetricsRegistry()
+        registry.counter("c", labels=("q",)).labels(q='a"b\\c\nd').inc()
+        parsed = parse_prometheus_text(to_prometheus_text(registry))
+        assert parsed[("c", (("q", 'a"b\\c\nd'),))] == 1
+
+    def test_malformed_line_raises(self):
+        try:
+            parse_prometheus_text("this is not exposition format")
+        except ValueError as err:
+            assert "unparseable" in str(err)
+        else:
+            raise AssertionError("expected ValueError")
+
+    def test_empty_registry_renders_empty(self):
+        assert to_prometheus_text(MetricsRegistry()) == ""
+        assert parse_prometheus_text("") == {}
+
+
+class TestJsonSnapshot:
+    def test_snapshot_json_parses_back(self):
+        payload = json.loads(snapshot_json(populated_registry()))
+        assert payload["schema"] == "repro.metrics/v1"
+        names = {m["name"] for m in payload["metrics"]}
+        assert "repro_queries_total" in names
+        assert "repro_query_stage_seconds" in names
+
+
+class TestSummaryRows:
+    def test_rows_cover_populated_histograms_only(self):
+        registry = populated_registry()
+        # A histogram with no observations must not produce a row.
+        registry.histogram("repro_empty_seconds", labels=("index",))
+        rows = summary_rows(registry)
+        assert len(rows) == 1
+        metric, labels, count, mean, p50, p95 = rows[0]
+        assert metric == "repro_query_stage_seconds"
+        assert labels == "index=hash,stage=total"
+        assert count == 4
+        assert mean.endswith("ms") and p50.endswith("ms")

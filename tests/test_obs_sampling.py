@@ -1,0 +1,82 @@
+"""Tests for the deterministic trace sampler."""
+
+import pytest
+
+from repro.obs import SampledTrace, TraceSampler
+
+
+class TestDeterminism:
+    def test_same_seed_samples_same_queries(self):
+        a = TraceSampler(every_n=8, seed=42)
+        b = TraceSampler(every_n=8, seed=42)
+        picks_a = [a.should_sample() for _ in range(100)]
+        picks_b = [b.should_sample() for _ in range(100)]
+        assert picks_a == picks_b
+
+    def test_exactly_one_in_every_n(self):
+        sampler = TraceSampler(every_n=10, seed=7)
+        picks = [sampler.should_sample() for _ in range(200)]
+        assert sum(picks) == 20
+        selected = [i for i, p in enumerate(picks) if p]
+        assert all(i % 10 == selected[0] % 10 for i in selected)
+
+    def test_different_seeds_can_shift_the_phase(self):
+        def first_pick(seed):
+            sampler = TraceSampler(every_n=16, seed=seed)
+            picks = [sampler.should_sample() for _ in range(16)]
+            return picks.index(True)
+
+        assert len({first_pick(seed) for seed in range(8)}) > 1
+
+    def test_every_one_samples_everything(self):
+        sampler = TraceSampler(every_n=1, seed=0)
+        assert all(sampler.should_sample() for _ in range(10))
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError, match="every_n"):
+            TraceSampler(every_n=0)
+        with pytest.raises(ValueError, match="capacity"):
+            TraceSampler(capacity=0)
+
+
+class TestRingBuffer:
+    def test_capacity_keeps_most_recent(self):
+        sampler = TraceSampler(every_n=1, capacity=3, seed=0)
+        for _ in range(10):
+            sampler.should_sample()
+            sampler.record(spans=None, stats={"seq_check": sampler.seen})
+        traces = sampler.traces()
+        assert len(traces) == 3
+        assert [t.seq for t in traces] == [7, 8, 9]
+        assert sampler.last().seq == 9
+
+    def test_empty_sampler(self):
+        sampler = TraceSampler()
+        assert sampler.traces() == []
+        assert sampler.last() is None
+        assert sampler.seen == 0
+
+    def test_clear_restarts(self):
+        sampler = TraceSampler(every_n=1, seed=0)
+        sampler.should_sample()
+        sampler.record(spans=None, stats=None)
+        sampler.clear()
+        assert sampler.traces() == []
+        assert sampler.seen == 0
+
+
+class TestSampledTrace:
+    def test_to_dict_schema(self):
+        trace = SampledTrace(
+            seq=4,
+            spans={"name": "query", "duration_seconds": 0.1, "children": []},
+            stats={"n_candidates": 10},
+            bucket_sizes=[3, 7],
+            probe_trace={"schema": "repro.probe_trace/v1", "steps": []},
+        )
+        payload = trace.to_dict()
+        assert payload["schema"] == "repro.sampled_trace/v1"
+        assert payload["seq"] == 4
+        assert payload["spans"]["name"] == "query"
+        assert payload["bucket_sizes"] == [3, 7]
+        assert payload["probe_trace"]["schema"] == "repro.probe_trace/v1"

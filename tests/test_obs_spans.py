@@ -1,0 +1,84 @@
+"""Tests for the span timing API."""
+
+import threading
+
+from repro.obs import current_span, span
+
+
+class TestSpan:
+    def test_measures_duration(self):
+        with span("stage") as s:
+            pass
+        assert s.duration >= 0.0
+
+    def test_nesting_builds_a_tree(self):
+        with span("query") as root:
+            with span("retrieve"):
+                pass
+            with span("evaluate") as evaluate:
+                with span("topk"):
+                    pass
+        assert [c.name for c in root.children] == ["retrieve", "evaluate"]
+        assert [c.name for c in evaluate.children] == ["topk"]
+
+    def test_children_durations_bounded_by_parent(self):
+        with span("query") as root:
+            with span("retrieve"):
+                sum(range(1000))
+            with span("evaluate"):
+                sum(range(1000))
+        child_total = sum(c.duration for c in root.children)
+        assert child_total <= root.duration
+
+    def test_child_duration_sums_same_named_children(self):
+        with span("query") as root:
+            for _ in range(3):
+                with span("probe"):
+                    pass
+        assert root.child_duration("probe") == sum(
+            c.duration for c in root.children
+        )
+        assert root.child_duration("missing") == 0.0
+
+    def test_current_span_tracks_innermost(self):
+        assert current_span() is None
+        with span("outer") as outer:
+            assert current_span() is outer
+            with span("inner") as inner:
+                assert current_span() is inner
+            assert current_span() is outer
+        assert current_span() is None
+
+    def test_stack_unwinds_on_exception(self):
+        try:
+            with span("outer"):
+                with span("inner"):
+                    raise ValueError("boom")
+        except ValueError:
+            pass
+        assert current_span() is None
+
+    def test_to_dict_schema(self):
+        with span("query") as root:
+            with span("retrieve"):
+                pass
+        payload = root.to_dict()
+        assert payload["name"] == "query"
+        assert isinstance(payload["duration_seconds"], float)
+        assert payload["children"][0]["name"] == "retrieve"
+        assert payload["children"][0]["children"] == []
+
+    def test_span_stacks_are_per_thread(self):
+        seen: dict[str, object] = {}
+
+        def worker():
+            seen["before"] = current_span()
+            with span("thread-stage") as s:
+                seen["inside"] = current_span() is s
+            seen["after"] = current_span()
+
+        with span("main-stage"):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        assert seen == {"before": None, "inside": True, "after": None}

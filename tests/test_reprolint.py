@@ -34,10 +34,10 @@ def rule_ids(violations):
 
 
 class TestRegistry:
-    def test_all_eight_rules_registered(self):
+    def test_all_nine_rules_registered(self):
         ids = [rule.rule_id for rule in all_rules()]
         assert ids == sorted(ids)
-        expected = {f"RL00{n}" for n in range(1, 9)}
+        expected = {f"RL00{n}" for n in range(1, 10)}
         assert expected <= set(ids)
 
     def test_rules_have_metadata(self):
@@ -252,6 +252,57 @@ class TestDunderAllConsistencyRL008:
         assert found == []
 
 
+class TestSpanTimingRL009:
+    def test_time_perf_counter_in_search_fires(self):
+        src = "import time\nstart = time.perf_counter()\n"
+        found = check_source(src, SEARCH_PATH, [get_rule("RL009")])
+        assert rule_ids(found) == ["RL009"]
+
+    def test_bare_perf_counter_call_fires(self):
+        src = "start = perf_counter()\n"
+        found = check_source(src, HOT_PATH, [get_rule("RL009")])
+        assert rule_ids(found) == ["RL009"]
+
+    def test_from_time_import_fires(self):
+        src = "from time import perf_counter\n"
+        found = check_source(
+            src, "src/repro/distributed/worker.py", [get_rule("RL009")]
+        )
+        assert rule_ids(found) == ["RL009"]
+
+    def test_obs_package_is_exempt(self):
+        src = "from time import perf_counter\nstart = perf_counter()\n"
+        found = check_source(
+            src, "src/repro/obs/spans.py", [get_rule("RL009")]
+        )
+        assert found == []
+
+    def test_eval_harness_is_exempt(self):
+        src = "import time\nstart = time.perf_counter()\n"
+        found = check_source(
+            src, "src/repro/eval/latency.py", [get_rule("RL009")]
+        )
+        assert found == []
+
+    def test_obs_span_usage_is_clean(self):
+        src = (
+            "from repro import obs\n"
+            "with obs.span('retrieve') as retrieve:\n"
+            "    work()\n"
+            "deadline = obs.now() + 0.5\n"
+        )
+        found = check_source(src, SEARCH_PATH, [get_rule("RL009")])
+        assert found == []
+
+    def test_suppression_silences_rl009(self):
+        src = (
+            "import time\n"
+            "start = time.perf_counter()  # reprolint: disable=RL009\n"
+        )
+        found = check_source(src, SEARCH_PATH, [get_rule("RL009")])
+        assert found == []
+
+
 class TestSuppression:
     def test_trailing_directive_silences_own_line(self):
         src = "import numpy as np\na = np.asarray(x)  # reprolint: disable=RL002\n"
@@ -329,7 +380,7 @@ class TestCli:
     def test_list_rules(self, capsys):
         assert main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for n in range(1, 9):
+        for n in range(1, 10):
             assert f"RL00{n}" in out
 
 

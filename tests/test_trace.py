@@ -5,7 +5,7 @@ import pytest
 
 from repro.core.gqr import GQR
 from repro.data import gaussian_mixture, ground_truth_knn
-from repro.eval.trace import trace_query
+from repro.eval.trace import ProbeTrace, trace_query
 from repro.hashing import ITQ
 from repro.probing import HammingRanking
 from repro.search.searcher import HashIndex
@@ -86,3 +86,38 @@ class TestTraceQuery:
         )
         with pytest.raises(ValueError):
             trace_query(index, queries[0], truth[0])
+
+
+class TestSerialization:
+    def test_dict_round_trip(self, setup):
+        _, queries, truth, index = setup
+        trace = trace_query(index, queries[0], truth[0])
+        payload = trace.to_dict()
+        assert payload["schema"] == "repro.probe_trace/v1"
+        assert len(payload["steps"]) == trace.n_buckets
+        rebuilt = ProbeTrace.from_dict(payload)
+        assert rebuilt == trace
+
+    def test_json_round_trip(self, setup):
+        _, queries, truth, index = setup
+        trace = trace_query(index, queries[1], truth[1])
+        rebuilt = ProbeTrace.from_json(trace.to_json(indent=2))
+        assert rebuilt == trace
+
+    def test_wrong_schema_rejected(self):
+        with pytest.raises(ValueError, match="schema"):
+            ProbeTrace.from_dict({"schema": "bogus/v9", "steps": []})
+
+    def test_sampler_accepts_probe_trace_dict(self, setup):
+        """The offline trace schema slots into the sampler's field."""
+        from repro.obs import TraceSampler
+
+        _, queries, truth, index = setup
+        trace = trace_query(index, queries[0], truth[0])
+        sampler = TraceSampler(every_n=1, seed=0)
+        sampler.should_sample()
+        sampler.record(spans=None, stats=None,
+                       probe_trace=trace.to_dict())
+        stored = sampler.last().to_dict()
+        assert stored["probe_trace"]["schema"] == "repro.probe_trace/v1"
+        assert ProbeTrace.from_dict(stored["probe_trace"]) == trace

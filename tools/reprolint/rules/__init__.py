@@ -11,10 +11,12 @@ Rules are grouped by the contract they protect:
   default arguments.
 * :mod:`reprolint.rules.api` — RL006 public-API annotations, RL008
   ``__all__`` consistency.
+* :mod:`reprolint.rules.observability` — RL009 span timing (the PR-3
+  telemetry subsystem).
 """
 
 from __future__ import annotations
 
-from reprolint.rules import api, architecture, hygiene, numerics
+from reprolint.rules import api, architecture, hygiene, numerics, observability
 
-__all__ = ["api", "architecture", "hygiene", "numerics"]
+__all__ = ["api", "architecture", "hygiene", "numerics", "observability"]
