@@ -29,7 +29,12 @@ from repro.core import (
     quantization_distances,
     theorem2_mu,
 )
-from repro.distributed import DistributedHashIndex, NetworkModel
+from repro.distributed import (
+    DistributedHashIndex,
+    FaultPlan,
+    NetworkModel,
+    RetryPolicy,
+)
 from repro.hashing import (
     ITQ,
     AnchorGraphHashing,
@@ -87,6 +92,7 @@ __all__ = [
     "E2LSH",
     "DistributedHashIndex",
     "DynamicHashIndex",
+    "FaultPlan",
     "FlippingVectorGenerator",
     "GenerateHammingRanking",
     "HammingRanking",
@@ -112,6 +118,7 @@ __all__ = [
     "QDRanking",
     "RandomizedKDForest",
     "RandomProjectionLSH",
+    "RetryPolicy",
     "SemiSupervisedHashing",
     "SearchResult",
     "load_index",

@@ -4,16 +4,63 @@ Shards the dataset across in-process workers, broadcasts the hash
 functions, and answers queries by scatter-gather with a pluggable
 network cost model — the architecture sketched in the paper's
 conclusion for data-parallel systems (LoSHa, Husky).
+
+The cluster is fault-tolerant: :mod:`repro.distributed.faults` injects
+seeded, deterministic worker faults (crash / transient / straggler /
+corrupt payload) behind a typed taxonomy, and the coordinator answers
+through retries with backoff, hedged requests, per-worker circuit
+breakers, replicated partitions and graceful degradation (partial
+results with a ``coverage`` fraction instead of an exception).
 """
 
-from repro.distributed.cluster import DistributedHashIndex, NetworkModel
-from repro.distributed.partitioner import cluster_partition, random_partition
+from repro.distributed.cluster import (
+    BreakerPolicy,
+    DistributedHashIndex,
+    HealthTracker,
+    NetworkModel,
+    RetryPolicy,
+)
+from repro.distributed.faults import (
+    FaultOutcome,
+    FaultPlan,
+    FaultyShardWorker,
+    ShardCorruption,
+    ShardCrash,
+    ShardError,
+    ShardTimeout,
+    ShardTransientError,
+    WorkerFaultSpec,
+    corrupt_payload,
+    payload_checksum,
+    verify_payload,
+)
+from repro.distributed.partitioner import (
+    cluster_partition,
+    random_partition,
+    replicated_assignment,
+)
 from repro.distributed.worker import ShardWorker
 
 __all__ = [
+    "BreakerPolicy",
     "DistributedHashIndex",
+    "FaultOutcome",
+    "FaultPlan",
+    "FaultyShardWorker",
+    "HealthTracker",
     "NetworkModel",
+    "RetryPolicy",
+    "ShardCorruption",
+    "ShardCrash",
+    "ShardError",
+    "ShardTimeout",
+    "ShardTransientError",
     "ShardWorker",
+    "WorkerFaultSpec",
     "cluster_partition",
+    "corrupt_payload",
+    "payload_checksum",
     "random_partition",
+    "replicated_assignment",
+    "verify_payload",
 ]

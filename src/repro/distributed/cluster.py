@@ -5,14 +5,45 @@ architecture the paper's conclusion sketches for data-parallel systems:
 
 1. the coordinator computes the query's code and flip costs once
    (hash functions are broadcast, so they are identical on every worker);
-2. the query fans out to all workers — or, with cluster sharding, only
-   to the shards whose centroids are nearest;
-3. each worker returns its local top-k; the coordinator merges.
+2. the query fans out to all partitions — or, with cluster sharding,
+   only to the partitions whose centroids are nearest;
+3. each partition returns its local top-k; the coordinator merges.
 
 Workers run in-process; a :class:`NetworkModel` converts the measured
 per-worker compute times and message sizes into an estimated
 *makespan* (slowest worker + two network hops), which is what a real
 deployment's latency would follow.
+
+Fault tolerance
+---------------
+The coordinator survives the faults a
+:class:`~repro.distributed.faults.FaultPlan` injects:
+
+* **retries** — failed attempts (crash, transient, timeout, corrupt)
+  are retried up to :attr:`RetryPolicy.max_attempts` times with
+  exponential backoff plus seeded jitter, rotating through the
+  partition's replicas;
+* **timeouts & deadlines** — attempts and whole queries are bounded on
+  a *simulated* clock (network hops + injected straggler latency +
+  backoff, never measured wall time), so timeout/deadline decisions are
+  deterministic per seed;
+* **hedging** — when an attempt's injected latency crosses
+  :attr:`RetryPolicy.hedge_threshold_seconds` and a replica is
+  available, a hedged request races it in parallel and the faster
+  branch wins;
+* **circuit breaking** — a :class:`HealthTracker` opens a per-worker
+  breaker after repeated failures, routes traffic to replicas during
+  the cooldown, and closes it again after a successful half-open trial;
+* **graceful degradation** — partitions that stay unreachable are
+  dropped from the merge instead of failing the query: the result
+  carries ``extras['coverage']`` (reachable fraction of the routed
+  items) and ``extras['degraded']`` plus the classified
+  ``extras['fault_events']``.
+
+Replication (``replication_factor``) places full copies of every
+partition on distinct worker ids (see
+:func:`~repro.distributed.partitioner.replicated_assignment`), which is
+what gives retries and hedges somewhere to go.
 """
 
 from __future__ import annotations
@@ -25,40 +56,287 @@ import numpy as np
 from repro import obs
 from repro.core.gqr import GQR
 from repro.core.prober import BucketProber
-from repro.distributed.partitioner import cluster_partition, random_partition
+from repro.distributed.faults import (
+    FaultPlan,
+    FaultyShardWorker,
+    ShardError,
+    ShardTimeout,
+    verify_payload,
+)
+from repro.distributed.partitioner import (
+    cluster_partition,
+    random_partition,
+    replicated_assignment,
+)
 from repro.distributed.worker import ShardWorker
 from repro.hashing.base import BinaryHasher
 from repro.search.results import SearchResult
 
-__all__ = ["NetworkModel", "DistributedHashIndex"]
+__all__ = [
+    "BreakerPolicy",
+    "DistributedHashIndex",
+    "HealthTracker",
+    "NetworkModel",
+    "RetryPolicy",
+]
 
 
 @dataclass(frozen=True)
 class NetworkModel:
     """Simple scatter-gather cost model.
 
-    ``makespan = 2 · latency + max(worker compute) + result_bytes / bandwidth``
+    Fault-free::
+
+        makespan = 2·latency + max(worker compute) + result_bytes / bandwidth
+
     — one hop to scatter (the query fits in one packet), parallel local
     work, one hop to gather the concatenated partial results.
+
+    Under faults, per-partition completion accounts for retries and
+    hedges (see :meth:`makespan`): a retried attempt's time is *serial*
+    (the coordinator waits for the failure, backs off, then re-sends),
+    while a hedged attempt runs in *parallel* with the original and the
+    partition completes at the earlier of the two branches.
     """
 
     latency_seconds: float = 0.5e-3
     bandwidth_bytes_per_second: float = 1e9
 
     def makespan(
-        self, worker_seconds: list[float], result_bytes: int
+        self,
+        worker_seconds: list[float],
+        result_bytes: int,
+        retry_seconds: list[float] | None = None,
+        hedge_seconds: list[float | None] | None = None,
     ) -> float:
+        """Estimated wall time of one scatter-gather query.
+
+        Parameters
+        ----------
+        worker_seconds:
+            Winning attempt's compute time per responding partition.
+        retry_seconds:
+            Serial overhead per partition that *preceded* the winning
+            attempt: failed attempts' simulated durations, backoff
+            waits, and the winner's own injected straggler latency.
+            Defaults to all zeros (the fault-free case).
+        hedge_seconds:
+            Per partition, the simulated completion time of the
+            *parallel* hedge branch that raced the serial chain, or
+            ``None`` when no hedge was issued.
+
+        Formula::
+
+            T_i       = retry_i + worker_i              (serial chain)
+            T_i       = min(T_i, hedge_i)               (hedge races it)
+            makespan  = 2·latency + max_i T_i + result_bytes / bandwidth
+
+        Retries extend a partition's completion time because they are
+        sequential; a hedge can only shorten it because both branches
+        run concurrently and the first response wins.
+        """
         if not worker_seconds:
             return 2 * self.latency_seconds
+        if retry_seconds is None:
+            retry_seconds = [0.0] * len(worker_seconds)
+        if hedge_seconds is None:
+            hedge_seconds = [None] * len(worker_seconds)
+        completions = []
+        for compute, retry, hedge in zip(
+            worker_seconds, retry_seconds, hedge_seconds
+        ):
+            serial = retry + compute
+            completions.append(
+                serial if hedge is None else min(serial, hedge)
+            )
         return (
             2 * self.latency_seconds
-            + max(worker_seconds)
+            + max(completions)
             + result_bytes / self.bandwidth_bytes_per_second
         )
 
 
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Per-partition retry / hedge / deadline policy.
+
+    All durations are on the coordinator's *simulated* clock (network
+    hops + injected slowdowns + backoff).  Measured compute time never
+    feeds a control decision, which is what keeps chaos runs
+    deterministic per seed.
+
+    Attributes
+    ----------
+    max_attempts:
+        Total attempts per partition per query (first try + retries),
+        rotated across the partition's replicas.
+    backoff_base_seconds / backoff_multiplier:
+        Exponential backoff between attempts (simulated, never slept).
+    jitter_fraction:
+        Backoff jitter amplitude; drawn from a seeded RNG keyed by
+        ``(plan seed, worker, attempt)`` so it is deterministic.
+    attempt_timeout_seconds:
+        An attempt whose injected straggler latency reaches this bound
+        is classified :class:`~repro.distributed.faults.ShardTimeout`
+        and retried; ``None`` disables timeouts.
+    hedge_threshold_seconds:
+        Injected latency at which a hedged request is sent to a replica
+        (the two race; first response wins); ``None`` disables hedging.
+    deadline_seconds:
+        Default per-query deadline budget; a partition whose serial
+        chain would exceed it stops retrying and degrades.  ``None``
+        means no deadline.  ``DistributedHashIndex.search`` can
+        override per query.
+    """
+
+    max_attempts: int = 3
+    backoff_base_seconds: float = 1e-3
+    backoff_multiplier: float = 2.0
+    jitter_fraction: float = 0.1
+    attempt_timeout_seconds: float | None = 50e-3
+    hedge_threshold_seconds: float | None = 20e-3
+    deadline_seconds: float | None = None
+
+    def backoff_seconds(self, retry: int, worker_id: int, seed: int) -> float:
+        """Simulated wait before retry number ``retry`` (0-based)."""
+        base = self.backoff_base_seconds * self.backoff_multiplier**retry
+        if self.jitter_fraction <= 0.0:
+            return base
+        rng = np.random.default_rng([abs(seed), worker_id, retry])
+        return base * (1.0 + self.jitter_fraction * (2.0 * rng.random() - 1.0))
+
+
+@dataclass(frozen=True)
+class BreakerPolicy:
+    """Circuit-breaker tuning for the per-worker :class:`HealthTracker`.
+
+    ``failure_threshold`` consecutive failures open a worker's breaker;
+    while open, the router skips the worker for ``cooldown_queries``
+    coordinator queries, after which one half-open trial is allowed —
+    success closes the breaker, failure re-opens it.
+    """
+
+    failure_threshold: int = 3
+    cooldown_queries: int = 8
+
+
+class _WorkerHealth:
+    __slots__ = ("consecutive_failures", "state", "opened_at_query")
+
+    def __init__(self) -> None:
+        self.consecutive_failures = 0
+        self.state = "closed"
+        self.opened_at_query = -1
+
+
+class HealthTracker:
+    """Per-worker consecutive-failure tracking + circuit breaker.
+
+    States follow the classic breaker automaton: ``closed`` (healthy,
+    traffic flows) → ``open`` (skipped by the router) → ``half_open``
+    (one trial request) → ``closed`` or back to ``open``.  State
+    changes are mirrored to the ``repro_breaker_state`` gauge.
+    """
+
+    def __init__(self, policy: BreakerPolicy | None = None) -> None:
+        self._policy = policy if policy is not None else BreakerPolicy()
+        self._health: dict[int, _WorkerHealth] = {}
+
+    def _entry(self, worker_id: int) -> _WorkerHealth:
+        entry = self._health.get(worker_id)
+        if entry is None:
+            entry = _WorkerHealth()
+            self._health[worker_id] = entry
+        return entry
+
+    def usable(self, worker_id: int, query_no: int) -> bool:
+        """Whether the router may send this worker traffic now."""
+        entry = self._health.get(worker_id)
+        if entry is None or entry.state == "closed":
+            return True
+        if entry.state == "open":
+            elapsed = query_no - entry.opened_at_query
+            if elapsed >= self._policy.cooldown_queries:
+                entry.state = "half_open"
+                obs.observe_breaker(worker_id, "half_open")
+                return True
+            return False
+        return True  # half_open: the trial request is allowed
+
+    def on_success(self, worker_id: int) -> None:
+        entry = self._health.get(worker_id)
+        if entry is None:
+            return
+        if entry.state != "closed" or entry.consecutive_failures:
+            entry.consecutive_failures = 0
+            if entry.state != "closed":
+                entry.state = "closed"
+                obs.observe_breaker(worker_id, "closed")
+
+    def on_failure(self, worker_id: int, query_no: int) -> None:
+        entry = self._entry(worker_id)
+        entry.consecutive_failures += 1
+        should_open = (
+            entry.state == "half_open"
+            or entry.consecutive_failures >= self._policy.failure_threshold
+        )
+        if should_open and entry.state != "open":
+            entry.state = "open"
+            entry.opened_at_query = query_no
+            obs.observe_breaker(worker_id, "open")
+        elif entry.state == "open":
+            entry.opened_at_query = query_no
+
+    def state(self, worker_id: int) -> str:
+        entry = self._health.get(worker_id)
+        return "closed" if entry is None else entry.state
+
+    def states(self) -> dict[int, str]:
+        """Non-closed workers and their breaker state."""
+        return {
+            worker: entry.state
+            for worker, entry in sorted(self._health.items())
+            if entry.state != "closed"
+        }
+
+
+class _PartitionOutcome:
+    """One partition's fate within a query (coordinator-internal)."""
+
+    __slots__ = (
+        "partial",
+        "retries",
+        "hedges",
+        "serial_seconds",
+        "hedge_seconds",
+        "events",
+    )
+
+    def __init__(self) -> None:
+        self.partial: SearchResult | None = None
+        self.retries = 0
+        self.hedges = 0
+        self.serial_seconds = 0.0
+        self.hedge_seconds: float | None = None
+        self.events: list[dict] = []
+
+
+def _split_budget(n_candidates: int, n_targets: int) -> list[int]:
+    """Per-partition candidate budgets summing to ``n_candidates``.
+
+    The remainder of the division lands on the first
+    ``n_candidates % n_targets`` partitions, so no budget is silently
+    dropped (100 candidates over 8 workers probes all 100, not 96).
+    Every partition gets at least 1.
+    """
+    base, remainder = divmod(n_candidates, n_targets)
+    return [
+        max(1, base + (1 if i < remainder else 0)) for i in range(n_targets)
+    ]
+
+
 class DistributedHashIndex:
-    """Sharded L2H index with scatter-gather kNN queries.
+    """Sharded L2H index with fault-tolerant scatter-gather kNN queries.
 
     Parameters
     ----------
@@ -68,7 +346,8 @@ class DistributedHashIndex:
     data:
         The ``(n, d)`` dataset to shard.
     num_workers:
-        Cluster size.
+        Number of *partitions* (primary shards).  With replication the
+        cluster holds ``num_workers * replication_factor`` workers.
     partitioning:
         ``"random"`` (every query fans out everywhere) or ``"cluster"``
         (k-means shards; queries can be routed to the nearest shards).
@@ -76,6 +355,16 @@ class DistributedHashIndex:
         Zero-arg callable building each worker's prober (default GQR).
     network:
         Cost model used to estimate query makespan.
+    replication_factor:
+        Full copies of each partition, on distinct worker ids (striped
+        layout, primary first).  1 reproduces the unreplicated cluster
+        exactly.
+    fault_plan:
+        Scripted faults to inject (default: none).
+    retry_policy / breaker_policy:
+        Coordinator hardening knobs; defaults retry 3×, time out 50 ms
+        attempts, hedge 20 ms stragglers, trip breakers after 3
+        consecutive failures.
     """
 
     def __init__(
@@ -88,28 +377,48 @@ class DistributedHashIndex:
         metric: str = "euclidean",
         network: NetworkModel | None = None,
         seed: int | None = 0,
+        replication_factor: int = 1,
+        fault_plan: FaultPlan | None = None,
+        retry_policy: RetryPolicy | None = None,
+        breaker_policy: BreakerPolicy | None = None,
     ) -> None:
         data = np.asarray(data, dtype=np.float64)
         if data.ndim != 2:
             raise ValueError("data must be a (n, d) array")
         if partitioning not in ("random", "cluster"):
             raise ValueError("partitioning must be 'random' or 'cluster'")
+        if replication_factor < 1:
+            raise ValueError("replication_factor must be positive")
         if not hasher.is_fitted:
             hasher.fit(data)
         self._hasher = hasher
         self._network = network if network is not None else NetworkModel()
         self._metric = metric
         self._centroids: np.ndarray | None = None
+        self._plan = fault_plan if fault_plan is not None else FaultPlan.none()
+        self._retry = retry_policy if retry_policy is not None else RetryPolicy()
+        self._health = HealthTracker(breaker_policy)
+        self._query_no = 0
 
         if partitioning == "cluster":
             shards, centroids = cluster_partition(data, num_workers, seed)
             self._centroids = centroids
         else:
             shards = random_partition(len(data), num_workers, seed)
-        self._workers = [
-            ShardWorker(i, shard, data, hasher, prober_factory(), metric)
-            for i, shard in enumerate(shards)
-        ]
+        assignment = replicated_assignment(len(shards), replication_factor)
+        self._workers: list[ShardWorker] = []
+        self._groups: list[list[FaultyShardWorker]] = []
+        for shard, worker_ids in zip(shards, assignment):
+            group = []
+            for worker_id in worker_ids:
+                worker = ShardWorker(
+                    worker_id, shard, data, hasher, prober_factory(), metric
+                )
+                self._workers.append(worker)
+                group.append(FaultyShardWorker(worker, self._plan))
+            self._groups.append(group)
+        self._workers.sort(key=lambda w: w.worker_id)
+        self._partition_sizes = [len(shard) for shard in shards]
         self._n = len(data)
 
     @property
@@ -117,27 +426,241 @@ class DistributedHashIndex:
         return self._n
 
     @property
+    def num_partitions(self) -> int:
+        """Primary shard count (the fan-out width)."""
+        return len(self._groups)
+
+    @property
+    def replication_factor(self) -> int:
+        return len(self._groups[0])
+
+    @property
     def num_workers(self) -> int:
+        """Total workers in the cluster (partitions × replicas)."""
         return len(self._workers)
 
     @property
     def workers(self) -> list[ShardWorker]:
         return list(self._workers)
 
-    def shard_sizes(self) -> list[int]:
-        return [worker.num_items for worker in self._workers]
+    @property
+    def health(self) -> HealthTracker:
+        """The coordinator's per-worker health / breaker tracker."""
+        return self._health
 
-    def _route(self, query: np.ndarray, fanout: int | None) -> list[ShardWorker]:
-        if fanout is None or fanout >= len(self._workers):
-            return self._workers
+    def breaker_states(self) -> dict[int, str]:
+        """Workers whose breaker is currently not ``closed``."""
+        return self._health.states()
+
+    def shard_sizes(self) -> list[int]:
+        """Primary partition sizes (sums to ``num_items``)."""
+        return list(self._partition_sizes)
+
+    def _route(self, query: np.ndarray, fanout: int | None) -> list[int]:
+        if fanout is None or fanout >= len(self._groups):
+            return list(range(len(self._groups)))
         if self._centroids is None:
             raise ValueError(
                 "partial fanout requires partitioning='cluster' "
                 "(random shards are indistinguishable)"
             )
         dists = np.linalg.norm(self._centroids - query, axis=1)
-        nearest = np.argsort(dists)[:fanout]
-        return [self._workers[i] for i in nearest]
+        return [int(i) for i in np.argsort(dists)[:fanout]]
+
+    def _pick_replica(
+        self,
+        group: list[FaultyShardWorker],
+        attempt: int,
+        query_no: int,
+        exclude: int | None = None,
+    ) -> FaultyShardWorker | None:
+        """Round-robin replica choice, skipping open breakers.
+
+        Attempt ``a`` prefers replica ``a % r`` so retries rotate away
+        from a replica that just failed (with ``r == 1`` every attempt
+        goes back to the only worker, which is what heals transients).
+        """
+        for offset in range(len(group)):
+            candidate = group[(attempt + offset) % len(group)]
+            if candidate.worker_id == exclude:
+                continue
+            if self._health.usable(candidate.worker_id, query_no):
+                return candidate
+        return None
+
+    def _query_partition(
+        self,
+        partition: int,
+        query: np.ndarray,
+        k: int,
+        budget: int,
+        probe_info: tuple[int, np.ndarray],
+        deadline: float | None,
+        query_no: int,
+    ) -> _PartitionOutcome:
+        """Serial retry chain (with hedging) over one replica group."""
+        group = self._groups[partition]
+        policy = self._retry
+        hop = 2 * self._network.latency_seconds
+        outcome = _PartitionOutcome()
+        attempts_of: dict[int, int] = {}
+
+        for attempt in range(policy.max_attempts):
+            worker = self._pick_replica(group, attempt, query_no)
+            if worker is None:
+                outcome.events.append(
+                    {
+                        "partition": partition,
+                        "kind": "unavailable",
+                        "detail": "all replicas breaker-open",
+                    }
+                )
+                break
+            worker_id = worker.worker_id
+            worker_attempt = attempts_of.get(worker_id, 0)
+            scripted = worker.peek(worker_attempt)
+            slowdown = scripted.slowdown_seconds
+            timeout = policy.attempt_timeout_seconds
+            timed_out = timeout is not None and slowdown >= timeout
+            cost = hop + (timeout if timed_out else slowdown)
+
+            if (
+                deadline is not None
+                and outcome.serial_seconds + cost > deadline
+            ):
+                outcome.events.append(
+                    {
+                        "partition": partition,
+                        "worker": worker_id,
+                        "kind": "deadline",
+                        "attempt": attempt,
+                        "simulated_seconds": outcome.serial_seconds,
+                    }
+                )
+                break
+
+            # Hedge: a straggler below the timeout bound races a replica.
+            if (
+                not timed_out
+                and policy.hedge_threshold_seconds is not None
+                and scripted.kind in ("ok", "slow")
+                and slowdown >= policy.hedge_threshold_seconds
+            ):
+                hedge = self._pick_replica(
+                    group, attempt + 1, query_no, exclude=worker_id
+                )
+                if hedge is not None:
+                    hedge_attempt = attempts_of.get(hedge.worker_id, 0)
+                    hedge_scripted = hedge.peek(hedge_attempt)
+                    hedge_cost = (
+                        policy.hedge_threshold_seconds
+                        + hop
+                        + hedge_scripted.slowdown_seconds
+                    )
+                    outcome.hedges += 1
+                    outcome.events.append(
+                        {
+                            "partition": partition,
+                            "worker": worker_id,
+                            "hedge_worker": hedge.worker_id,
+                            "kind": "hedge",
+                            "attempt": attempt,
+                            "simulated_seconds": min(cost, hedge_cost),
+                        }
+                    )
+                    if (
+                        hedge_scripted.kind in ("ok", "slow")
+                        and hedge_cost < cost
+                    ):
+                        # The hedge wins the race: its result is used;
+                        # the straggler branch keeps running in parallel
+                        # and only matters for the makespan min().
+                        attempts_of[hedge.worker_id] = hedge_attempt + 1
+                        try:
+                            partial = hedge.search_local(
+                                query,
+                                k,
+                                budget,
+                                probe_info,
+                                attempt=hedge_attempt,
+                            )
+                            partial = verify_payload(
+                                partial, hedge.worker_id
+                            )
+                        except ShardError as err:
+                            self._record_failure(
+                                outcome, err, partition, attempt, query_no
+                            )
+                            outcome.serial_seconds += hedge_cost
+                            continue
+                        self._health.on_success(hedge.worker_id)
+                        outcome.hedge_seconds = (
+                            outcome.serial_seconds + cost - hop
+                        )
+                        outcome.serial_seconds += hedge_cost
+                        outcome.partial = partial
+                        return outcome
+                    # The hedge lost; remember its parallel branch so
+                    # the makespan can still take the min.
+                    outcome.hedge_seconds = (
+                        outcome.serial_seconds + hedge_cost - hop
+                    )
+
+            if timed_out:
+                attempts_of[worker_id] = worker_attempt + 1
+                error: ShardError = ShardTimeout(
+                    worker_id,
+                    f"attempt exceeded {timeout * 1e3:.1f}ms "
+                    f"(injected slowdown {slowdown * 1e3:.1f}ms)",
+                )
+                self._record_failure(
+                    outcome, error, partition, attempt, query_no
+                )
+                outcome.serial_seconds += cost + policy.backoff_seconds(
+                    attempt, worker_id, self._plan.seed
+                )
+                continue
+
+            attempts_of[worker_id] = worker_attempt + 1
+            try:
+                partial = worker.search_local(
+                    query, k, budget, probe_info, attempt=worker_attempt
+                )
+                partial = verify_payload(partial, worker_id)
+            except ShardError as err:
+                self._record_failure(
+                    outcome, err, partition, attempt, query_no
+                )
+                outcome.serial_seconds += cost + policy.backoff_seconds(
+                    attempt, worker_id, self._plan.seed
+                )
+                continue
+            self._health.on_success(worker_id)
+            outcome.serial_seconds += cost
+            outcome.partial = partial
+            return outcome
+        return outcome
+
+    def _record_failure(
+        self,
+        outcome: _PartitionOutcome,
+        error: ShardError,
+        partition: int,
+        attempt: int,
+        query_no: int,
+    ) -> None:
+        self._health.on_failure(error.worker_id, query_no)
+        obs.observe_fault(error.worker_id, error.kind)
+        outcome.retries += 1
+        outcome.events.append(
+            {
+                "partition": partition,
+                "worker": error.worker_id,
+                "kind": error.kind,
+                "attempt": attempt,
+                "message": str(error),
+            }
+        )
 
     def search(
         self,
@@ -145,37 +668,102 @@ class DistributedHashIndex:
         k: int,
         n_candidates: int,
         fanout: int | None = None,
+        deadline_seconds: float | None = None,
     ) -> SearchResult:
-        """Scatter-gather kNN.
+        """Fault-tolerant scatter-gather kNN.
 
-        ``n_candidates`` is the *total* candidate budget, split evenly
-        across the contacted workers.  ``fanout`` (cluster sharding
-        only) contacts just the nearest shards, trading recall for
-        network traffic and tail latency.
+        ``n_candidates`` is the *total* candidate budget, split across
+        the contacted partitions (remainder spread over the first
+        partitions so the full budget is spent).  ``fanout`` (cluster
+        sharding only) contacts just the nearest shards, trading recall
+        for network traffic and tail latency.  ``deadline_seconds``
+        overrides the policy's per-query deadline budget, checked
+        against the simulated clock.
+
+        Never raises on worker failure: partitions that stay
+        unreachable after retries, hedges and replica failover are
+        dropped from the merge, and the result reports
+        ``extras['coverage']`` (< 1.0) with ``extras['degraded']``.
         """
         query = np.asarray(query, dtype=np.float64)
-        with obs.span("fanout") as fanout_span:
-            probe_info = self._hasher.probe_info(query)
-            targets = self._route(query, fanout)
-            per_worker = max(1, n_candidates // len(targets))
-            partials = [
-                worker.search_local(query, k, per_worker, probe_info)
-                for worker in targets
-            ]
-        with obs.span("merge") as merge_span:
-            merged: list[tuple[float, int]] = []
-            for partial in partials:
-                merged.extend(
-                    (float(d), int(i))
-                    for d, i in zip(partial.distances, partial.ids)
-                )
-            merged.sort()
-            del merged[k:]
+        query_no = self._query_no
+        self._query_no += 1
+        deadline = (
+            deadline_seconds
+            if deadline_seconds is not None
+            else self._retry.deadline_seconds
+        )
+        sampled = obs.should_sample()
+        with obs.span("distributed_query") as root:
+            with obs.span("fanout") as fanout_span:
+                probe_info = self._hasher.probe_info(query)
+                targets = self._route(query, fanout)
+                budgets = _split_budget(n_candidates, len(targets))
+                outcomes = [
+                    self._query_partition(
+                        partition,
+                        query,
+                        k,
+                        budget,
+                        probe_info,
+                        deadline,
+                        query_no,
+                    )
+                    for partition, budget in zip(targets, budgets)
+                ]
+            with obs.span("merge") as merge_span:
+                partials = [
+                    o.partial for o in outcomes if o.partial is not None
+                ]
+                merged: list[tuple[float, int]] = []
+                for partial in partials:
+                    merged.extend(
+                        (float(d), int(i))
+                        for d, i in zip(partial.distances, partial.ids)
+                    )
+                merged.sort()
+                del merged[k:]
+
+        routed_items = sum(self._partition_sizes[p] for p in targets)
+        reachable_items = sum(
+            self._partition_sizes[p]
+            for p, o in zip(targets, outcomes)
+            if o.partial is not None
+        )
+        coverage = (
+            reachable_items / routed_items if routed_items else 1.0
+        )
+        degraded = reachable_items < routed_items
+        retries = sum(o.retries for o in outcomes)
+        hedges = sum(o.hedges for o in outcomes)
+        fault_events = [e for o in outcomes for e in o.events]
         obs.observe_distributed(
-            len(targets), fanout_span.duration, merge_span.duration
+            len(targets),
+            fanout_span.duration,
+            merge_span.duration,
+            retries=retries,
+            hedges=hedges,
+            coverage=coverage,
+            degraded=degraded,
+            root=root,
+            sampled=sampled,
+            fault_events=fault_events,
         )
 
         worker_seconds = [p.extras["worker_seconds"] for p in partials]
+        # The makespan formula already charges one scatter-gather hop
+        # globally; per-partition serial overhead beyond that first hop
+        # (failed attempts, backoff, the winner's injected slowdown) is
+        # what the retry term carries.  Fault-free it is exactly 0.
+        hop = 2 * self._network.latency_seconds
+        retry_seconds = [
+            max(0.0, o.serial_seconds - hop)
+            for o in outcomes
+            if o.partial is not None
+        ]
+        hedge_seconds = [
+            o.hedge_seconds for o in outcomes if o.partial is not None
+        ]
         result_bytes = sum(16 * len(p.ids) for p in partials)  # (id, dist)
         return SearchResult(
             np.asarray([i for _, i in merged], dtype=np.int64),
@@ -184,11 +772,22 @@ class DistributedHashIndex:
             sum(p.n_buckets_probed for p in partials),
             extras={
                 "makespan_seconds": self._network.makespan(
-                    worker_seconds, result_bytes
+                    worker_seconds,
+                    result_bytes,
+                    retry_seconds=retry_seconds,
+                    hedge_seconds=hedge_seconds,
                 ),
                 "worker_seconds": worker_seconds,
                 "workers_contacted": len(targets),
                 "fanout_seconds": fanout_span.duration,
                 "merge_seconds": merge_span.duration,
+                "coverage": coverage,
+                "degraded": degraded,
+                "retries": retries,
+                "hedges": hedges,
+                "fault_events": fault_events,
+                "partitions_lost": sum(
+                    1 for o in outcomes if o.partial is None
+                ),
             },
         )

@@ -1,0 +1,455 @@
+"""Deterministic fault injection for the simulated cluster.
+
+A real deployment of the paper's distributed design (LoSHa/Husky
+scatter-gather) meets crashed workers, transient RPC errors, stragglers
+and corrupted payloads.  The simulator reproduces all four as a
+*seeded, deterministic* :class:`FaultPlan`: given the same plan, every
+chaos run injects exactly the same faults in exactly the same order, so
+the coordinator's recovery behaviour — retries, hedges, breaker trips,
+degraded merges — is bit-reproducible and testable.
+
+Two layers:
+
+* the **taxonomy** (:class:`ShardError` and subclasses) — every failure
+  the distributed layer can observe is one of these, never a silently
+  swallowed ``Exception`` (reprolint RL010 enforces this in
+  ``repro/distributed``);
+* the **injection** — :class:`WorkerFaultSpec` describes one worker's
+  misbehaviour, :class:`FaultPlan` maps worker ids to specs, and
+  :class:`FaultyShardWorker` wraps ``ShardWorker.search_local`` to act
+  the specs out (raise, slow down, or corrupt the payload).
+
+Corruption is modelled end-to-end: every honest partial result carries
+a :func:`payload_checksum` over its ids and distances (attached by the
+worker), the injector perturbs the payload *without* updating the
+checksum, and the coordinator's :func:`verify_payload` turns the
+mismatch into a :class:`ShardCorruption` — detection lives where it
+would in a real system, on the receiving side.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.search.results import SearchResult
+
+if TYPE_CHECKING:
+    from repro.distributed.worker import ShardWorker
+
+__all__ = [
+    "FaultOutcome",
+    "FaultPlan",
+    "FaultyShardWorker",
+    "ShardCorruption",
+    "ShardCrash",
+    "ShardError",
+    "ShardTimeout",
+    "ShardTransientError",
+    "WorkerFaultSpec",
+    "corrupt_payload",
+    "payload_checksum",
+    "verify_payload",
+]
+
+#: Fault kinds a :class:`WorkerFaultSpec` can produce, in the order the
+#: chaos CLI reports them.
+FAULT_KINDS = ("crash", "transient", "slow", "corrupt")
+
+
+class ShardError(RuntimeError):
+    """Base of the fault taxonomy: any classified shard-level failure.
+
+    Every failure the coordinator handles is an instance of this type;
+    ``worker_id`` names the shard replica that failed and ``kind`` is a
+    short slug used as the telemetry label
+    (``repro_shard_faults_total{worker, kind}``).
+    """
+
+    kind = "error"
+
+    def __init__(self, worker_id: int, message: str) -> None:
+        super().__init__(f"worker {worker_id}: {message}")
+        self.worker_id = worker_id
+
+
+class ShardCrash(ShardError):
+    """The worker is gone (process death / machine loss); not retryable
+    on the same worker, only on a replica."""
+
+    kind = "crash"
+
+
+class ShardTransientError(ShardError):
+    """A retryable failure (dropped RPC, brief overload); the same
+    worker may well answer the next attempt."""
+
+    kind = "transient"
+
+
+class ShardTimeout(ShardError):
+    """The attempt's simulated duration exceeded the per-attempt
+    timeout; raised by the coordinator, counted against the worker."""
+
+    kind = "timeout"
+
+
+class ShardCorruption(ShardError):
+    """The partial result failed checksum verification; the payload is
+    discarded and the attempt counted as failed."""
+
+    kind = "corrupt"
+
+
+def payload_checksum(ids: np.ndarray, distances: np.ndarray) -> int:
+    """Checksum of a partial result's payload (ids + distances).
+
+    Stable across runs and platforms: both arrays are normalised to
+    fixed dtypes and little-endian byte order before hashing.
+    """
+    digest = hashlib.blake2b(digest_size=8)
+    digest.update(np.ascontiguousarray(ids, dtype="<i8").tobytes())
+    digest.update(np.ascontiguousarray(distances, dtype="<f8").tobytes())
+    return int.from_bytes(digest.digest(), "little")
+
+
+def verify_payload(result: SearchResult, worker_id: int) -> SearchResult:
+    """Validate a partial result's checksum; the receive-side check.
+
+    Returns ``result`` unchanged when the checksum matches (or when the
+    payload carries none — results built outside the distributed layer).
+    Raises :class:`ShardCorruption` on mismatch.
+    """
+    expected = result.extras.get("checksum")
+    if expected is None:
+        return result
+    actual = payload_checksum(result.ids, result.distances)
+    if actual != expected:
+        raise ShardCorruption(
+            worker_id,
+            f"payload checksum mismatch (got {actual:#x}, "
+            f"expected {expected:#x})",
+        )
+    return result
+
+
+def corrupt_payload(result: SearchResult, seed: int) -> SearchResult:
+    """Deterministically damage a partial result, keeping its checksum.
+
+    Models bit-rot / truncation in flight: distances are perturbed and
+    the id order scrambled, while ``extras['checksum']`` still describes
+    the honest payload — so :func:`verify_payload` rejects it.
+    """
+    rng = np.random.default_rng(seed)
+    n = len(result.ids)
+    if n == 0:
+        # An empty payload cannot be detectably corrupted; flip the
+        # checksum itself (a garbage header) instead.
+        extras = dict(result.extras)
+        extras["checksum"] = extras.get("checksum", 0) ^ 0xDEAD
+        return SearchResult(
+            result.ids,
+            result.distances,
+            result.n_candidates,
+            result.n_buckets_probed,
+            extras,
+        )
+    order = rng.permutation(n)
+    distances = result.distances[order] + rng.uniform(0.0, 1.0, size=n)
+    return SearchResult(
+        result.ids[order],
+        distances,
+        result.n_candidates,
+        result.n_buckets_probed,
+        dict(result.extras),
+    )
+
+
+@dataclass(frozen=True)
+class FaultOutcome:
+    """What one attempt against one worker will do.
+
+    ``kind`` is ``"ok"``, ``"crash"``, ``"transient"`` or ``"corrupt"``;
+    ``slowdown_seconds`` is injected straggler latency added to the
+    attempt's *simulated* duration (the coordinator classifies a large
+    enough slowdown as ``"slow"`` — timeout / hedge trigger).
+    """
+
+    kind: str
+    slowdown_seconds: float = 0.0
+
+
+_OK = FaultOutcome("ok")
+
+
+@dataclass(frozen=True)
+class WorkerFaultSpec:
+    """One worker's scripted misbehaviour.
+
+    Attributes
+    ----------
+    crashed:
+        Permanently down: every attempt raises :class:`ShardCrash`.
+    transient_failures:
+        The first this-many attempts raise :class:`ShardTransientError`;
+        later attempts succeed (models a brief outage).
+    corrupt_attempts:
+        The first this-many *successful* attempts return a corrupted
+        payload (detected by the coordinator's checksum).
+    slowdown_seconds:
+        Straggler latency added to every attempt's simulated duration.
+    """
+
+    crashed: bool = False
+    transient_failures: int = 0
+    corrupt_attempts: int = 0
+    slowdown_seconds: float = 0.0
+
+    def outcome(self, attempt: int) -> FaultOutcome:
+        """The scripted outcome of the ``attempt``-th call (0-based).
+
+        Pure function of ``(spec, attempt)`` — determinism falls out of
+        statelessness.
+        """
+        if self.crashed:
+            return FaultOutcome("crash", self.slowdown_seconds)
+        if attempt < self.transient_failures:
+            return FaultOutcome("transient", self.slowdown_seconds)
+        if attempt < self.corrupt_attempts:
+            return FaultOutcome("corrupt", self.slowdown_seconds)
+        if self.slowdown_seconds > 0.0:
+            return FaultOutcome("slow", self.slowdown_seconds)
+        return _OK
+
+    @property
+    def is_clean(self) -> bool:
+        return (
+            not self.crashed
+            and self.transient_failures == 0
+            and self.corrupt_attempts == 0
+            and self.slowdown_seconds == 0.0
+        )
+
+
+_CLEAN = WorkerFaultSpec()
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Seeded, deterministic per-worker fault script.
+
+    Maps worker ids to :class:`WorkerFaultSpec`s; workers without an
+    entry behave normally.  ``seed`` also derives the deterministic
+    sub-seeds for payload corruption and retry-backoff jitter, so two
+    runs of the same workload under the same plan are bit-identical.
+    """
+
+    specs: dict[int, WorkerFaultSpec] = field(default_factory=dict)
+    seed: int = 0
+
+    @classmethod
+    def none(cls, seed: int = 0) -> FaultPlan:
+        """The fault-free plan (useful as an explicit baseline)."""
+        return cls({}, seed=seed)
+
+    @classmethod
+    def crash(cls, *worker_ids: int, seed: int = 0) -> FaultPlan:
+        """Permanently crash the given workers."""
+        return cls(
+            {w: WorkerFaultSpec(crashed=True) for w in worker_ids}, seed=seed
+        )
+
+    @classmethod
+    def transient(
+        cls, worker_id: int, failures: int = 1, seed: int = 0
+    ) -> FaultPlan:
+        """Fail ``worker_id``'s first ``failures`` attempts, then heal."""
+        return cls(
+            {worker_id: WorkerFaultSpec(transient_failures=failures)},
+            seed=seed,
+        )
+
+    @classmethod
+    def slow(
+        cls, worker_id: int, slowdown_seconds: float, seed: int = 0
+    ) -> FaultPlan:
+        """Turn ``worker_id`` into a straggler."""
+        return cls(
+            {worker_id: WorkerFaultSpec(slowdown_seconds=slowdown_seconds)},
+            seed=seed,
+        )
+
+    @classmethod
+    def corrupt(
+        cls, worker_id: int, attempts: int = 1, seed: int = 0
+    ) -> FaultPlan:
+        """Corrupt ``worker_id``'s first ``attempts`` payloads."""
+        return cls(
+            {worker_id: WorkerFaultSpec(corrupt_attempts=attempts)},
+            seed=seed,
+        )
+
+    @classmethod
+    def random(
+        cls,
+        num_workers: int,
+        seed: int = 0,
+        p_crash: float = 0.1,
+        p_transient: float = 0.15,
+        p_slow: float = 0.15,
+        p_corrupt: float = 0.1,
+        max_transient: int = 2,
+        slowdown_range: tuple[float, float] = (5e-3, 100e-3),
+    ) -> FaultPlan:
+        """Draw a per-worker fault mix from seeded categorical draws.
+
+        Each worker independently becomes crashed / transient / slow /
+        corrupt / clean; the draw order is fixed (worker id ascending),
+        so the same ``(num_workers, seed, probabilities)`` always builds
+        the same plan.
+        """
+        if min(p_crash, p_transient, p_slow, p_corrupt) < 0:
+            raise ValueError("fault probabilities must be non-negative")
+        if p_crash + p_transient + p_slow + p_corrupt > 1.0 + 1e-12:
+            raise ValueError("fault probabilities must sum to at most 1")
+        rng = np.random.default_rng(seed)
+        specs: dict[int, WorkerFaultSpec] = {}
+        for worker in range(num_workers):
+            draw = rng.random()
+            slow_s = float(rng.uniform(*slowdown_range))
+            transient_n = int(rng.integers(1, max_transient + 1))
+            if draw < p_crash:
+                specs[worker] = WorkerFaultSpec(crashed=True)
+            elif draw < p_crash + p_transient:
+                specs[worker] = WorkerFaultSpec(
+                    transient_failures=transient_n
+                )
+            elif draw < p_crash + p_transient + p_slow:
+                specs[worker] = WorkerFaultSpec(slowdown_seconds=slow_s)
+            elif draw < p_crash + p_transient + p_slow + p_corrupt:
+                specs[worker] = WorkerFaultSpec(corrupt_attempts=1)
+        return cls(specs, seed=seed)
+
+    def spec(self, worker_id: int) -> WorkerFaultSpec:
+        """The worker's scripted spec (clean if the plan omits it)."""
+        return self.specs.get(worker_id, _CLEAN)
+
+    def faulty_workers(self) -> list[int]:
+        """Ids of workers with a non-clean spec, ascending."""
+        return sorted(w for w, s in self.specs.items() if not s.is_clean)
+
+    def corruption_seed(self, worker_id: int, attempt: int) -> int:
+        """Deterministic sub-seed for one attempt's payload corruption.
+
+        Plain integer mixing (no ``hash()``, whose string salting varies
+        per process) so the damage pattern is stable across runs.
+        """
+        return (
+            self.seed * 1_000_003 + worker_id * 10_007 + attempt * 101
+        ) & 0x7FFFFFFF
+
+    def describe(self) -> str:
+        """One-line human summary (used by the chaos CLI)."""
+        if not self.faulty_workers():
+            return "fault-free"
+        parts = []
+        for worker in self.faulty_workers():
+            spec = self.spec(worker)
+            if spec.crashed:
+                parts.append(f"w{worker}:crash")
+            elif spec.transient_failures:
+                parts.append(f"w{worker}:transient×{spec.transient_failures}")
+            elif spec.corrupt_attempts:
+                parts.append(f"w{worker}:corrupt×{spec.corrupt_attempts}")
+            else:
+                parts.append(f"w{worker}:slow+{spec.slowdown_seconds * 1e3:.0f}ms")
+        return " ".join(parts)
+
+
+class FaultyShardWorker:
+    """Wraps one ``ShardWorker`` with plan-driven fault injection.
+
+    ``search_local`` either raises the scripted taxonomy error, or
+    executes the real local search and (for corrupt attempts) damages
+    the payload before returning it.  Injected straggler latency is
+    attached as ``extras['simulated_slowdown_seconds']`` — the
+    coordinator folds it into its simulated clock for timeout, hedge
+    and deadline decisions, keeping those decisions independent of real
+    wall time (and therefore deterministic).
+    """
+
+    def __init__(
+        self, worker: ShardWorker, plan: FaultPlan
+    ) -> None:
+        self._worker = worker
+        self._plan = plan
+        self._spec = plan.spec(worker.worker_id)
+        self._attempts = 0
+
+    @property
+    def worker_id(self) -> int:
+        return self._worker.worker_id
+
+    @property
+    def worker(self) -> ShardWorker:
+        """The wrapped, honest worker."""
+        return self._worker
+
+    @property
+    def num_items(self) -> int:
+        return self._worker.num_items
+
+    def peek(self, attempt: int | None = None) -> FaultOutcome:
+        """The outcome the next (or given) attempt will have.
+
+        The coordinator uses this to price an attempt on the simulated
+        clock *before* spending real compute on it (timeout and hedge
+        decisions happen up front, like a request deadline would).
+        """
+        index = self._attempts if attempt is None else attempt
+        return self._spec.outcome(index)
+
+    def search_local(
+        self,
+        query: np.ndarray,
+        k: int,
+        n_candidates: int,
+        probe_info: tuple[int, np.ndarray] | None = None,
+        attempt: int | None = None,
+    ) -> SearchResult:
+        """``ShardWorker.search_local`` with the scripted fault applied.
+
+        ``attempt`` overrides the internal attempt counter (the
+        coordinator passes its own per-query counters; standalone use
+        just calls repeatedly).
+        """
+        if attempt is None:
+            attempt = self._attempts
+        self._attempts = attempt + 1
+        outcome = self._spec.outcome(attempt)
+        if outcome.kind == "crash":
+            raise ShardCrash(self.worker_id, "worker crashed (injected)")
+        if outcome.kind == "transient":
+            raise ShardTransientError(
+                self.worker_id,
+                f"transient failure on attempt {attempt} (injected)",
+            )
+        result = self._worker.search_local(query, k, n_candidates, probe_info)
+        if outcome.kind == "corrupt":
+            result = corrupt_payload(
+                result, self._plan.corruption_seed(self.worker_id, attempt)
+            )
+        if outcome.slowdown_seconds > 0.0:
+            extras = dict(result.extras)
+            extras["simulated_slowdown_seconds"] = outcome.slowdown_seconds
+            result = SearchResult(
+                result.ids,
+                result.distances,
+                result.n_candidates,
+                result.n_buckets_probed,
+                extras,
+            )
+        return result

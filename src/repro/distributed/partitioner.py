@@ -9,6 +9,12 @@ the dataset across workers; two standard shardings are provided:
 * **cluster** — k-means sharding; shards are spatially coherent, which
   enables routing a query to only the few shards whose centroids are
   close (at some recall risk near shard boundaries).
+
+Either sharding can be **replicated**: :func:`replicated_assignment`
+places ``replication_factor`` copies of every partition on distinct
+worker ids, so a crashed worker loses at most one replica of any
+partition and the items stay reachable — the precondition for the
+coordinator's fault tolerance (retries, hedging, degradation).
 """
 
 from __future__ import annotations
@@ -17,7 +23,7 @@ import numpy as np
 
 from repro.quantization.kmeans import KMeans
 
-__all__ = ["random_partition", "cluster_partition"]
+__all__ = ["random_partition", "cluster_partition", "replicated_assignment"]
 
 
 def random_partition(
@@ -55,3 +61,32 @@ def cluster_partition(
         np.flatnonzero(labels == worker) for worker in range(num_workers)
     ]
     return shards, km.centers
+
+
+def replicated_assignment(
+    num_partitions: int, replication_factor: int
+) -> list[list[int]]:
+    """Worker ids serving each partition, primary first.
+
+    Replica ``j`` of partition ``p`` lives on worker id
+    ``p + j * num_partitions`` — a striped layout with two properties
+    the coordinator relies on:
+
+    * replicas of a partition never share a worker id, so one crashed
+      worker removes at most one replica of any partition;
+    * with ``replication_factor == 1`` the layout is exactly the
+      unreplicated one (worker ids ``0 .. P-1``), so fault-free
+      behaviour, worker ids in telemetry, and existing
+      :class:`~repro.distributed.faults.FaultPlan`\\ s are unchanged.
+
+    Returns a list of ``num_partitions`` lists, each of length
+    ``replication_factor``.
+    """
+    if num_partitions < 1:
+        raise ValueError("num_partitions must be positive")
+    if replication_factor < 1:
+        raise ValueError("replication_factor must be positive")
+    return [
+        [p + j * num_partitions for j in range(replication_factor)]
+        for p in range(num_partitions)
+    ]

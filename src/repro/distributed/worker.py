@@ -15,6 +15,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro import obs
+from repro.distributed.faults import payload_checksum
 from repro.hashing.base import BinaryHasher
 from repro.index.hash_table import HashTable
 from repro.probing.base import BucketProber
@@ -108,15 +109,19 @@ class ShardWorker:
                 query, plan, self._bucket_stream(signature, costs)
             )
         obs.observe_shard(self.worker_id, local_span.duration)
+        global_ids = self._global_ids[local.ids]
         extras = dict(local.extras)
         extras.update(
             {
                 "worker_seconds": local_span.duration,
                 "worker_id": self.worker_id,
+                # Receive-side integrity check: the coordinator recomputes
+                # this over the payload it got (see faults.verify_payload).
+                "checksum": payload_checksum(global_ids, local.distances),
             }
         )
         return SearchResult(
-            self._global_ids[local.ids],
+            global_ids,
             local.distances,
             local.n_candidates,
             local.n_buckets_probed,

@@ -28,6 +28,7 @@ prints the top-line table.
 """
 
 from repro.obs.export import (
+    counter_rows,
     parse_prometheus_text,
     snapshot_json,
     summary_rows,
@@ -51,7 +52,9 @@ from repro.obs.telemetry import (
     get_registry,
     get_sampler,
     observe_batch,
+    observe_breaker,
     observe_distributed,
+    observe_fault,
     observe_query,
     observe_shard,
     should_sample,
@@ -71,6 +74,7 @@ __all__ = [
     "Span",
     "TelemetryState",
     "TraceSampler",
+    "counter_rows",
     "current_span",
     "disable_telemetry",
     "enable_telemetry",
@@ -78,7 +82,9 @@ __all__ = [
     "get_sampler",
     "now",
     "observe_batch",
+    "observe_breaker",
     "observe_distributed",
+    "observe_fault",
     "observe_query",
     "observe_shard",
     "parse_prometheus_text",

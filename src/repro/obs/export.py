@@ -29,6 +29,7 @@ from repro.obs.metrics import (
 )
 
 __all__ = [
+    "counter_rows",
     "parse_prometheus_text",
     "snapshot_json",
     "summary_rows",
@@ -145,6 +146,28 @@ def parse_prometheus_text(
 def snapshot_json(registry: MetricsRegistry, indent: int = 2) -> str:
     """The registry snapshot as a JSON document."""
     return json.dumps(registry.snapshot(), indent=indent, sort_keys=True)
+
+
+def counter_rows(registry: MetricsRegistry) -> list[list[object]]:
+    """Totals table rows: one per counter / gauge series.
+
+    Each row is ``[metric, labels, value]``.  Zero-valued counter
+    series are dropped (they carry no signal in a summary); gauges are
+    always shown because 0 is a meaningful state (e.g. a closed
+    breaker).  Renders the fault-tolerance series behind
+    ``python -m repro obs``.
+    """
+    rows: list[list[object]] = []
+    for family in registry.collect():
+        if not isinstance(family, (Counter, Gauge)):
+            continue
+        for labels, child in family.samples():
+            value = child.value  # type: ignore[attr-defined]
+            if value == 0 and isinstance(family, Counter):
+                continue
+            label_text = ",".join(f"{k}={v}" for k, v in labels.items())
+            rows.append([family.name, label_text or "-", _format_value(value)])
+    return rows
 
 
 def summary_rows(registry: MetricsRegistry) -> list[list[object]]:

@@ -27,12 +27,23 @@ metric                                    kind       labels
 ``repro_distributed_queries_total``       counter    —
 ``repro_distributed_workers_contacted``   histogram  —
 ``repro_distributed_stage_seconds``       histogram  ``stage``
+``repro_distributed_retries_total``       counter    —
+``repro_distributed_hedges_total``        counter    —
+``repro_distributed_degraded_total``      counter    —
+``repro_distributed_coverage``            histogram  —
+``repro_shard_faults_total``              counter    ``worker``, ``kind``
+``repro_breaker_state``                   gauge      ``worker``
 ========================================  =========  =====================
 
 ``index`` is the engine's name ("hash", "mih", "imi", "compact",
 "dynamic", "stream", "shard"), ``stage`` one of ``retrieval`` /
 ``evaluation`` / ``total`` (or ``fanout`` / ``merge`` for the
-distributed coordinator).
+distributed coordinator).  The fault-tolerance series (PR 4) are fed
+by the coordinator: ``kind`` is a fault-taxonomy slug (``crash`` /
+``transient`` / ``timeout`` / ``corrupt``), and ``repro_breaker_state``
+encodes the circuit-breaker automaton as 0 = closed, 1 = half-open,
+2 = open.  When a trace sampler is installed, sampled distributed
+queries embed their classified fault events in the trace's ``stats``.
 """
 
 from __future__ import annotations
@@ -45,6 +56,7 @@ from repro.obs.metrics import (
     DEFAULT_COUNT_BUCKETS,
     Counter,
     CounterChild,
+    Gauge,
     Histogram,
     HistogramChild,
     MetricsRegistry,
@@ -62,7 +74,9 @@ __all__ = [
     "get_registry",
     "get_sampler",
     "observe_batch",
+    "observe_breaker",
     "observe_distributed",
+    "observe_fault",
     "observe_query",
     "observe_shard",
     "should_sample",
@@ -71,6 +85,10 @@ __all__ = [
 ]
 
 _WORKERS_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128)
+_COVERAGE_BUCKETS = (0.25, 0.5, 0.75, 0.9, 0.99, 1.0)
+
+#: Circuit-breaker automaton states encoded for the gauge.
+_BREAKER_STATES = {"closed": 0.0, "half_open": 1.0, "open": 2.0}
 
 
 class QueryStats(Protocol):
@@ -192,6 +210,34 @@ class TelemetryState:
             "Coordinator stage latency (fanout = scatter + local work, "
             "merge = gather + global top-k)",
             labels=("stage",),
+        )
+        self.distributed_retries: Counter = reg.counter(
+            "repro_distributed_retries_total",
+            "Failed shard attempts that were retried or degraded",
+        )
+        self.distributed_hedges: Counter = reg.counter(
+            "repro_distributed_hedges_total",
+            "Hedged requests issued to replicas for straggler attempts",
+        )
+        self.distributed_degraded: Counter = reg.counter(
+            "repro_distributed_degraded_total",
+            "Distributed queries answered with partial coverage",
+        )
+        self.distributed_coverage: Histogram = reg.histogram(
+            "repro_distributed_coverage",
+            "Reachable fraction of routed items per distributed query",
+            buckets=_COVERAGE_BUCKETS,
+        )
+        self.shard_faults: Counter = reg.counter(
+            "repro_shard_faults_total",
+            "Classified shard failures by fault-taxonomy kind",
+            labels=("worker", "kind"),
+        )
+        self.breaker_state: Gauge = reg.gauge(
+            "repro_breaker_state",
+            "Per-worker circuit-breaker state "
+            "(0 = closed, 1 = half-open, 2 = open)",
+            labels=("worker",),
         )
         self._per_index: dict[str, _IndexInstruments] = {}
 
@@ -338,9 +384,27 @@ def observe_shard(worker_id: int, seconds: float) -> None:
 
 
 def observe_distributed(
-    workers_contacted: int, fanout_seconds: float, merge_seconds: float
+    workers_contacted: int,
+    fanout_seconds: float,
+    merge_seconds: float,
+    retries: int = 0,
+    hedges: int = 0,
+    coverage: float = 1.0,
+    degraded: bool = False,
+    root: Span | None = None,
+    sampled: bool = False,
+    fault_events: list[dict] | None = None,
 ) -> None:
-    """Record one scatter-gather query (called by the coordinator)."""
+    """Record one scatter-gather query (called by the coordinator).
+
+    Beyond the stage latencies, the coordinator reports its
+    fault-tolerance activity: ``retries`` failed attempts, ``hedges``
+    issued, the query's ``coverage`` fraction and whether it was
+    ``degraded``.  When ``sampled`` (decided by :func:`should_sample`
+    before execution) the query's span tree and classified
+    ``fault_events`` are stored as a sampled trace, so "why was this
+    query degraded" is answerable post hoc.
+    """
     state = _STATE
     if state is None:
         return
@@ -351,4 +415,43 @@ def observe_distributed(
     )
     state.distributed_stage_seconds.labels(stage="merge").observe(
         merge_seconds
+    )
+    if retries:
+        state.distributed_retries.inc(retries)
+    if hedges:
+        state.distributed_hedges.inc(hedges)
+    state.distributed_coverage.observe(coverage)
+    if degraded:
+        state.distributed_degraded.inc()
+    if sampled and state.sampler is not None:
+        state.sampled_traces.inc()
+        state.sampler.record(
+            spans=root.to_dict() if root is not None else None,
+            stats={
+                "type": "distributed",
+                "workers_contacted": workers_contacted,
+                "retries": retries,
+                "hedges": hedges,
+                "coverage": coverage,
+                "degraded": degraded,
+                "fault_events": list(fault_events or ()),
+            },
+        )
+
+
+def observe_fault(worker_id: int, kind: str) -> None:
+    """Record one classified shard failure (fault-taxonomy ``kind``)."""
+    state = _STATE
+    if state is None:
+        return
+    state.shard_faults.labels(worker=worker_id, kind=kind).inc()
+
+
+def observe_breaker(worker_id: int, breaker_state: str) -> None:
+    """Mirror a circuit-breaker transition into the state gauge."""
+    state = _STATE
+    if state is None:
+        return
+    state.breaker_state.labels(worker=worker_id).set(
+        _BREAKER_STATES.get(breaker_state, 2.0)
     )

@@ -1,0 +1,495 @@
+"""Chaos tests: the coordinator's behaviour under injected faults.
+
+The invariants under test:
+
+* **replication masks faults** — with ``replication_factor=2`` and any
+  single-worker crash, results are bit-identical to fault-free search
+  and ``coverage == 1.0``;
+* **degradation is exact** — an unreplicated crash *returns* (never
+  raises) the exact top-k of the reachable partitions, with
+  ``coverage`` equal to the reachable item fraction;
+* **determinism** — every chaos run is bit-identical given the same
+  seeded :class:`FaultPlan` (all timeout / hedge / deadline / backoff
+  decisions live on the simulated clock).
+
+``REPRO_CHAOS_SEED`` (CI's chaos matrix) shifts the seeds the
+randomised scenarios draw from.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.data import gaussian_mixture
+from repro.distributed.cluster import (
+    BreakerPolicy,
+    DistributedHashIndex,
+    HealthTracker,
+    NetworkModel,
+    RetryPolicy,
+    _split_budget,
+)
+from repro.distributed.faults import FaultPlan, WorkerFaultSpec
+from repro.hashing import ITQ
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+#: CI's chaos job sweeps this (see .github/workflows/ci.yml).
+CHAOS_SEED = int(os.environ.get("REPRO_CHAOS_SEED", "0"))
+
+K = 10
+BUDGET = 200
+
+
+@pytest.fixture(scope="module")
+def data():
+    return gaussian_mixture(900, 12, n_clusters=6, seed=29)
+
+
+@pytest.fixture(scope="module")
+def hasher(data):
+    return ITQ(code_length=6, seed=0).fit(data)
+
+
+def make_index(hasher, data, plan=None, replication=1, workers=4, **kwargs):
+    return DistributedHashIndex(
+        hasher,
+        data,
+        num_workers=workers,
+        seed=0,
+        replication_factor=replication,
+        fault_plan=plan,
+        **kwargs,
+    )
+
+
+def expected_reachable_merge(index, hasher, query, reachable):
+    """The fault-free merge restricted to ``reachable`` partitions.
+
+    Recomputed from the honest primary workers with the same budget
+    split the coordinator uses — the ground truth the degraded result
+    must match exactly.
+    """
+    probe_info = hasher.probe_info(query)
+    budgets = _split_budget(BUDGET, index.num_partitions)
+    merged = []
+    for p in reachable:
+        partial = index.workers[p].search_local(
+            query, K, budgets[p], probe_info
+        )
+        merged.extend(
+            (float(d), int(i))
+            for d, i in zip(partial.distances, partial.ids)
+        )
+    merged.sort()
+    del merged[K:]
+    ids = np.asarray([i for _, i in merged], dtype=np.int64)
+    distances = np.asarray([d for d, _ in merged], dtype=np.float64)
+    return ids, distances
+
+
+def assert_same_answer(a, b):
+    assert np.array_equal(a.ids, b.ids)
+    assert np.array_equal(a.distances, b.distances)
+
+
+class TestReplicationMasksFaults:
+    def test_replicated_layout_is_bit_identical_fault_free(
+        self, data, hasher
+    ):
+        base = make_index(hasher, data).search(data[3], K, BUDGET)
+        replicated = make_index(hasher, data, replication=2).search(
+            data[3], K, BUDGET
+        )
+        assert_same_answer(base, replicated)
+        assert replicated.extras["coverage"] == 1.0
+        assert not replicated.extras["degraded"]
+        assert replicated.extras["retries"] == 0
+        assert replicated.extras["hedges"] == 0
+
+    @pytest.mark.parametrize("crashed", [0, 1, 2, 3])
+    def test_single_crash_with_replication_masks(
+        self, data, hasher, crashed
+    ):
+        baseline = make_index(hasher, data).search(data[7], K, BUDGET)
+        plan = FaultPlan.crash(crashed, seed=CHAOS_SEED)
+        index = make_index(hasher, data, plan=plan, replication=2)
+        result = index.search(data[7], K, BUDGET)
+        assert_same_answer(baseline, result)
+        assert result.extras["coverage"] == 1.0
+        assert not result.extras["degraded"]
+        assert result.extras["retries"] >= 1  # the crash was seen
+        assert result.extras["partitions_lost"] == 0
+
+    def test_replica_crash_is_invisible(self, data, hasher):
+        # Worker 4 is partition 0's *replica* (striped layout); the
+        # primary answers first, so the fault never even fires.
+        plan = FaultPlan.crash(4, seed=CHAOS_SEED)
+        index = make_index(hasher, data, plan=plan, replication=2)
+        result = index.search(data[7], K, BUDGET)
+        assert result.extras["retries"] == 0
+        assert result.extras["coverage"] == 1.0
+
+
+class TestGracefulDegradation:
+    def test_unreplicated_crash_returns_exact_reachable_topk(
+        self, data, hasher
+    ):
+        plan = FaultPlan.crash(1, seed=CHAOS_SEED)
+        index = make_index(hasher, data, plan=plan)
+        result = index.search(data[11], K, BUDGET)  # returns, no raise
+        assert result.extras["degraded"]
+        sizes = index.shard_sizes()
+        expected_cov = (sum(sizes) - sizes[1]) / sum(sizes)
+        assert result.extras["coverage"] == pytest.approx(expected_cov)
+        assert result.extras["partitions_lost"] == 1
+        ids, distances = expected_reachable_merge(
+            index, hasher, data[11], [0, 2, 3]
+        )
+        assert np.array_equal(result.ids, ids)
+        assert np.array_equal(result.distances, distances)
+        kinds = {e["kind"] for e in result.extras["fault_events"]}
+        assert kinds == {"crash"}
+
+    def test_straggler_beyond_timeout_degrades(self, data, hasher):
+        plan = FaultPlan.slow(2, 0.2, seed=CHAOS_SEED)  # >> 50ms timeout
+        index = make_index(hasher, data, plan=plan)
+        result = index.search(data[0], K, BUDGET)
+        assert result.extras["degraded"]
+        kinds = {e["kind"] for e in result.extras["fault_events"]}
+        assert kinds == {"timeout"}
+
+    def test_deadline_stops_retry_chain(self, data, hasher):
+        plan = FaultPlan.slow(0, 0.03, seed=CHAOS_SEED)  # below timeout
+        index = make_index(hasher, data, plan=plan)
+        tight = index.search(data[0], K, BUDGET, deadline_seconds=0.01)
+        assert tight.extras["degraded"]
+        kinds = {e["kind"] for e in tight.extras["fault_events"]}
+        assert "deadline" in kinds
+        loose = index.search(data[0], K, BUDGET, deadline_seconds=10.0)
+        assert not loose.extras["degraded"]
+
+    def test_policy_default_deadline_applies(self, data, hasher):
+        plan = FaultPlan.slow(0, 0.03, seed=CHAOS_SEED)
+        index = make_index(
+            hasher,
+            data,
+            plan=plan,
+            retry_policy=RetryPolicy(deadline_seconds=0.01),
+        )
+        result = index.search(data[0], K, BUDGET)
+        assert result.extras["degraded"]
+
+    def test_transient_fault_heals_within_query(self, data, hasher):
+        baseline = make_index(hasher, data).search(data[5], K, BUDGET)
+        plan = FaultPlan.transient(3, failures=1, seed=CHAOS_SEED)
+        index = make_index(hasher, data, plan=plan)
+        result = index.search(data[5], K, BUDGET)
+        assert_same_answer(baseline, result)
+        assert result.extras["retries"] == 1
+        assert not result.extras["degraded"]
+
+    def test_corruption_detected_and_retried(self, data, hasher):
+        baseline = make_index(hasher, data).search(data[5], K, BUDGET)
+        plan = FaultPlan.corrupt(2, seed=CHAOS_SEED)
+        index = make_index(hasher, data, plan=plan)
+        result = index.search(data[5], K, BUDGET)
+        assert_same_answer(baseline, result)
+        kinds = {e["kind"] for e in result.extras["fault_events"]}
+        assert kinds == {"corrupt"}
+        assert not result.extras["degraded"]
+
+
+class TestHedging:
+    def test_straggler_with_replica_is_hedged(self, data, hasher):
+        baseline = make_index(hasher, data).search(data[9], K, BUDGET)
+        plan = FaultPlan.slow(0, 0.03, seed=CHAOS_SEED)  # > 20ms hedge
+        index = make_index(hasher, data, plan=plan, replication=2)
+        result = index.search(data[9], K, BUDGET)
+        assert result.extras["hedges"] == 1
+        assert_same_answer(baseline, result)  # replicas hold same data
+        assert not result.extras["degraded"]
+        events = [
+            e for e in result.extras["fault_events"] if e["kind"] == "hedge"
+        ]
+        assert events and events[0]["worker"] == 0
+
+    def test_no_hedge_without_replica(self, data, hasher):
+        plan = FaultPlan.slow(0, 0.03, seed=CHAOS_SEED)
+        index = make_index(hasher, data, plan=plan)
+        result = index.search(data[9], K, BUDGET)
+        assert result.extras["hedges"] == 0
+        assert not result.extras["degraded"]  # slow but under timeout
+
+    def test_hedging_can_be_disabled(self, data, hasher):
+        plan = FaultPlan.slow(0, 0.03, seed=CHAOS_SEED)
+        index = make_index(
+            hasher,
+            data,
+            plan=plan,
+            replication=2,
+            retry_policy=RetryPolicy(hedge_threshold_seconds=None),
+        )
+        result = index.search(data[9], K, BUDGET)
+        assert result.extras["hedges"] == 0
+
+
+class TestCircuitBreaker:
+    def test_tracker_automaton(self):
+        tracker = HealthTracker(
+            BreakerPolicy(failure_threshold=2, cooldown_queries=3)
+        )
+        assert tracker.usable(0, 0)
+        tracker.on_failure(0, 0)
+        assert tracker.state(0) == "closed"
+        tracker.on_failure(0, 0)
+        assert tracker.state(0) == "open"
+        assert not tracker.usable(0, 1)
+        assert tracker.usable(0, 3)  # cooldown elapsed -> half-open trial
+        assert tracker.state(0) == "half_open"
+        tracker.on_success(0)
+        assert tracker.state(0) == "closed"
+        assert tracker.states() == {}
+
+    def test_half_open_failure_reopens(self):
+        tracker = HealthTracker(
+            BreakerPolicy(failure_threshold=2, cooldown_queries=3)
+        )
+        tracker.on_failure(0, 0)
+        tracker.on_failure(0, 0)
+        assert tracker.usable(0, 3)
+        tracker.on_failure(0, 3)  # the trial fails
+        assert tracker.state(0) == "open"
+        assert not tracker.usable(0, 4)
+
+    def test_breaker_diverts_traffic_from_crashed_worker(
+        self, data, hasher
+    ):
+        baseline_index = make_index(hasher, data)
+        plan = FaultPlan.crash(0, seed=CHAOS_SEED)
+        index = make_index(
+            hasher,
+            data,
+            plan=plan,
+            replication=2,
+            breaker_policy=BreakerPolicy(
+                failure_threshold=3, cooldown_queries=50
+            ),
+        )
+        retries = []
+        for q in range(6):
+            baseline = baseline_index.search(data[q], K, BUDGET)
+            result = index.search(data[q], K, BUDGET)
+            assert_same_answer(baseline, result)
+            retries.append(result.extras["retries"])
+        # Three failures trip the breaker; after that the router goes
+        # straight to the replica and the crash costs nothing.
+        assert retries[:3] == [1, 1, 1]
+        assert retries[3:] == [0, 0, 0]
+        assert index.breaker_states() == {0: "open"}
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize(
+        "seed", [CHAOS_SEED, CHAOS_SEED + 1, CHAOS_SEED + 2]
+    )
+    def test_random_plan_runs_are_bit_identical(self, data, hasher, seed):
+        plan = FaultPlan.random(6, seed=seed, p_crash=0.2, p_slow=0.2)
+        runs = []
+        for _ in range(2):
+            index = make_index(hasher, data, plan=plan, workers=6)
+            results = [index.search(data[q], K, BUDGET) for q in range(4)]
+            runs.append(results)
+        for a, b in zip(*runs):
+            assert_same_answer(a, b)
+            for key in ("coverage", "degraded", "retries", "hedges",
+                        "fault_events", "partitions_lost"):
+                assert a.extras[key] == b.extras[key], key
+
+
+# The spec vocabulary the property test draws from: every fault kind,
+# both below and beyond what the default policy can recover from
+# (max_attempts=3, attempt timeout 50ms).
+_SPEC_OPTIONS = (
+    WorkerFaultSpec(),
+    WorkerFaultSpec(crashed=True),
+    WorkerFaultSpec(transient_failures=1),
+    WorkerFaultSpec(transient_failures=2),
+    WorkerFaultSpec(transient_failures=3),  # never heals in-budget
+    WorkerFaultSpec(corrupt_attempts=1),
+    WorkerFaultSpec(corrupt_attempts=3),  # never clean in-budget
+    WorkerFaultSpec(slowdown_seconds=0.01),
+    WorkerFaultSpec(slowdown_seconds=0.08),  # beyond attempt timeout
+)
+
+
+def _reachable(spec, policy=RetryPolicy()):
+    """Independent prediction of whether an unreplicated partition
+    survives the retry chain under the default policy."""
+    if spec.crashed:
+        return False
+    if (
+        policy.attempt_timeout_seconds is not None
+        and spec.slowdown_seconds >= policy.attempt_timeout_seconds
+    ):
+        return False
+    first_clean = max(spec.transient_failures, spec.corrupt_attempts)
+    return first_clean < policy.max_attempts
+
+
+class TestDegradedMergeProperty:
+    @given(
+        specs=st.lists(
+            st.sampled_from(_SPEC_OPTIONS), min_size=3, max_size=3
+        ),
+        seed=st.integers(0, 9999),
+        query_idx=st.integers(0, 49),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_degraded_merge_is_exact_reachable_topk(
+        self, data, hasher, specs, seed, query_idx
+    ):
+        """For any seeded plan: the merge equals the fault-free top-k
+        restricted to reachable partitions, coverage matches the
+        reachable item fraction, and reruns are bit-identical."""
+        plan = FaultPlan(
+            {w: s for w, s in enumerate(specs)}, seed=CHAOS_SEED + seed
+        )
+        query = data[query_idx]
+        index = make_index(hasher, data, plan=plan, workers=3)
+        result = index.search(query, K, BUDGET)
+
+        reachable = [
+            p for p in range(3) if _reachable(plan.spec(p))
+        ]
+        ids, distances = expected_reachable_merge(
+            index, hasher, query, reachable
+        )
+        assert np.array_equal(result.ids, ids)
+        assert np.array_equal(result.distances, distances)
+
+        sizes = index.shard_sizes()
+        expected_cov = sum(sizes[p] for p in reachable) / sum(sizes)
+        assert result.extras["coverage"] == pytest.approx(expected_cov)
+        assert result.extras["degraded"] == (len(reachable) < 3)
+
+        rerun = make_index(hasher, data, plan=plan, workers=3).search(
+            query, K, BUDGET
+        )
+        assert_same_answer(result, rerun)
+        assert rerun.extras["fault_events"] == result.extras["fault_events"]
+
+
+class TestMakespanUnderFaults:
+    def test_retry_overhead_is_serial(self):
+        model = NetworkModel(
+            latency_seconds=1.0, bandwidth_bytes_per_second=100.0
+        )
+        span = model.makespan([1.0], 100, retry_seconds=[2.0])
+        assert span == pytest.approx(2 * 1.0 + (2.0 + 1.0) + 1.0)
+
+    def test_hedge_branch_races_in_parallel(self):
+        model = NetworkModel(latency_seconds=1.0)
+        span = model.makespan(
+            [5.0], 0, retry_seconds=[0.0], hedge_seconds=[2.0]
+        )
+        assert span == pytest.approx(2 * 1.0 + 2.0)
+
+    def test_hedge_none_means_serial_chain(self):
+        model = NetworkModel(latency_seconds=1.0)
+        a = model.makespan([3.0], 0, hedge_seconds=[None])
+        b = model.makespan([3.0], 0)
+        assert a == b == pytest.approx(2 * 1.0 + 3.0)
+
+    def test_slowest_partition_dominates(self):
+        model = NetworkModel(latency_seconds=0.0)
+        span = model.makespan(
+            [1.0, 1.0],
+            0,
+            retry_seconds=[0.0, 4.0],
+            hedge_seconds=[None, None],
+        )
+        assert span == pytest.approx(5.0)
+
+    def test_fault_free_defaults_unchanged(self):
+        model = NetworkModel(
+            latency_seconds=1.0, bandwidth_bytes_per_second=100.0
+        )
+        assert model.makespan([0.5, 2.0], 200) == pytest.approx(
+            2 * 1.0 + 2.0 + 2.0
+        )
+
+
+class TestBudgetSplit:
+    def test_remainder_lands_on_first_partitions(self):
+        assert _split_budget(100, 8) == [13, 13, 13, 13, 12, 12, 12, 12]
+        assert _split_budget(7, 3) == [3, 2, 2]
+
+    def test_totals_preserved(self):
+        for n in (8, 97, 100, 1000):
+            for targets in (1, 3, 7, 8):
+                split = _split_budget(n, targets)
+                assert sum(split) == n
+                assert len(split) == targets
+                assert max(split) - min(split) <= 1
+
+    def test_minimum_one_per_partition(self):
+        assert _split_budget(2, 4) == [1, 1, 1, 1]
+
+
+class TestChaosTelemetry:
+    def test_fault_counters_and_coverage_visible(self, data, hasher):
+        plan = FaultPlan.crash(0, seed=CHAOS_SEED)
+        index = make_index(hasher, data, plan=plan)
+        with obs.telemetry_session(
+            sampler=obs.TraceSampler(every_n=1)
+        ) as state:
+            index.search(data[0], K, BUDGET)
+            parsed = obs.parse_prometheus_text(
+                obs.to_prometheus_text(state.registry)
+            )
+        assert parsed[("repro_distributed_retries_total", ())] == 3
+        assert parsed[("repro_distributed_degraded_total", ())] == 1
+        faults = sum(
+            v
+            for (name, labels), v in parsed.items()
+            if name == "repro_shard_faults_total"
+            and ("kind", "crash") in labels
+        )
+        assert faults == 3
+
+    def test_breaker_gauge_reflects_open_state(self, data, hasher):
+        plan = FaultPlan.crash(0, seed=CHAOS_SEED)
+        index = make_index(
+            hasher,
+            data,
+            plan=plan,
+            replication=2,
+            breaker_policy=BreakerPolicy(
+                failure_threshold=1, cooldown_queries=50
+            ),
+        )
+        with obs.telemetry_session() as state:
+            index.search(data[0], K, BUDGET)
+            parsed = obs.parse_prometheus_text(
+                obs.to_prometheus_text(state.registry)
+            )
+        key = ("repro_breaker_state", (("worker", "0"),))
+        assert parsed[key] == 2.0  # open
+
+    def test_sampled_trace_embeds_fault_events(self, data, hasher):
+        plan = FaultPlan.transient(1, failures=1, seed=CHAOS_SEED)
+        index = make_index(hasher, data, plan=plan)
+        with obs.telemetry_session(
+            sampler=obs.TraceSampler(every_n=1)
+        ) as state:
+            index.search(data[0], K, BUDGET)
+            trace = state.sampler.last()
+        assert trace is not None
+        assert trace.stats["type"] == "distributed"
+        assert trace.stats["retries"] == 1
+        assert trace.stats["fault_events"][0]["kind"] == "transient"

@@ -55,6 +55,14 @@ class TestObsCommand:
         assert "index=hash" in out
         assert "sampled traces:" in out
 
+    def test_fault_tolerance_series_visible(self, capsys):
+        assert main(["obs", "--queries", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "repro_distributed_retries_total" in out
+        assert "repro_distributed_hedges_total" in out
+        assert "repro_breaker_state" in out
+        assert "repro_shard_faults_total" in out
+
     def test_json_output(self, capsys):
         import json
 
@@ -78,6 +86,39 @@ class TestObsCommand:
 
         assert main(["obs", "--queries", "10"]) == 0
         assert not obs.telemetry_enabled()
+
+
+class TestChaosCommand:
+    def test_runs_all_scenarios(self, capsys):
+        code = main(["chaos", "--queries", "4", "--budget", "100"])
+        assert code == 0
+        out = capsys.readouterr().out
+        for scenario in ("fault-free", "crash", "transient", "slow",
+                         "corrupt", "random"):
+            assert scenario in out
+        assert "recall@10" in out
+        assert "coverage" in out
+        assert "makespan" in out
+
+    def test_replicated_drill(self, capsys):
+        code = main([
+            "chaos", "--queries", "3", "--budget", "100",
+            "--replication", "2", "--seed", "7",
+        ])
+        assert code == 0
+        assert "x 2 replicas" in capsys.readouterr().out
+
+    def test_deterministic_per_seed(self, capsys):
+        args = ["chaos", "--queries", "3", "--budget", "100", "--seed", "5"]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        # recall/coverage/degraded/retries columns are simulated and
+        # must replay exactly; only measured makespan may drift.
+        strip = [line.rsplit("  ", 1)[0] for line in first.splitlines()]
+        strip2 = [line.rsplit("  ", 1)[0] for line in second.splitlines()]
+        assert strip == strip2
 
 
 class TestReproduceCommand:

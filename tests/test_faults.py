@@ -1,0 +1,243 @@
+"""Tests for the deterministic fault-injection layer."""
+
+import numpy as np
+import pytest
+
+from repro.core.gqr import GQR
+from repro.data import gaussian_mixture
+from repro.distributed.faults import (
+    FAULT_KINDS,
+    FaultPlan,
+    FaultyShardWorker,
+    ShardCorruption,
+    ShardCrash,
+    ShardError,
+    ShardTimeout,
+    ShardTransientError,
+    WorkerFaultSpec,
+    corrupt_payload,
+    payload_checksum,
+    verify_payload,
+)
+from repro.distributed.worker import ShardWorker
+from repro.hashing import ITQ
+from repro.search.results import SearchResult
+
+
+@pytest.fixture(scope="module")
+def data():
+    return gaussian_mixture(800, 12, n_clusters=6, seed=7)
+
+
+@pytest.fixture(scope="module")
+def hasher(data):
+    return ITQ(code_length=6, seed=0).fit(data)
+
+
+@pytest.fixture(scope="module")
+def worker(data, hasher):
+    return ShardWorker(3, np.arange(200), data, hasher, GQR())
+
+
+class TestTaxonomy:
+    def test_hierarchy(self):
+        for cls in (ShardCrash, ShardTransientError, ShardTimeout,
+                    ShardCorruption):
+            assert issubclass(cls, ShardError)
+        assert issubclass(ShardError, RuntimeError)
+
+    def test_kinds_are_telemetry_slugs(self):
+        kinds = {
+            ShardCrash(0, "x").kind,
+            ShardTransientError(0, "x").kind,
+            ShardCorruption(0, "x").kind,
+        }
+        assert kinds <= set(FAULT_KINDS)
+
+    def test_carries_worker_id_and_message(self):
+        err = ShardCrash(7, "gone")
+        assert err.worker_id == 7
+        assert "worker 7" in str(err) and "gone" in str(err)
+
+
+class TestWorkerFaultSpec:
+    def test_clean_spec_always_ok(self):
+        spec = WorkerFaultSpec()
+        assert spec.is_clean
+        assert all(spec.outcome(a).kind == "ok" for a in range(5))
+
+    def test_crash_dominates(self):
+        spec = WorkerFaultSpec(crashed=True, transient_failures=2)
+        assert all(spec.outcome(a).kind == "crash" for a in range(5))
+
+    def test_transient_heals(self):
+        spec = WorkerFaultSpec(transient_failures=2)
+        kinds = [spec.outcome(a).kind for a in range(4)]
+        assert kinds == ["transient", "transient", "ok", "ok"]
+
+    def test_corrupt_then_clean(self):
+        spec = WorkerFaultSpec(corrupt_attempts=1)
+        assert spec.outcome(0).kind == "corrupt"
+        assert spec.outcome(1).kind == "ok"
+
+    def test_slowdown_classified_slow(self):
+        spec = WorkerFaultSpec(slowdown_seconds=0.03)
+        out = spec.outcome(0)
+        assert out.kind == "slow"
+        assert out.slowdown_seconds == pytest.approx(0.03)
+
+    def test_outcome_is_pure(self):
+        spec = WorkerFaultSpec(transient_failures=1)
+        assert spec.outcome(0) == spec.outcome(0)
+        assert spec.outcome(3) == spec.outcome(3)
+
+
+class TestFaultPlan:
+    def test_constructors(self):
+        assert FaultPlan.none().faulty_workers() == []
+        assert FaultPlan.crash(2, 0).faulty_workers() == [0, 2]
+        assert FaultPlan.transient(1, failures=2).spec(1).transient_failures == 2
+        assert FaultPlan.slow(4, 0.05).spec(4).slowdown_seconds == 0.05
+        assert FaultPlan.corrupt(3).spec(3).corrupt_attempts == 1
+
+    def test_unlisted_worker_is_clean(self):
+        assert FaultPlan.crash(0).spec(99).is_clean
+
+    def test_random_is_deterministic(self):
+        a = FaultPlan.random(16, seed=5)
+        b = FaultPlan.random(16, seed=5)
+        assert a == b
+        assert a != FaultPlan.random(16, seed=6)
+
+    def test_random_validates_probabilities(self):
+        with pytest.raises(ValueError):
+            FaultPlan.random(4, p_crash=-0.1)
+        with pytest.raises(ValueError):
+            FaultPlan.random(4, p_crash=0.6, p_transient=0.6)
+
+    def test_corruption_seed_is_stable_integer_mix(self):
+        plan = FaultPlan.crash(0, seed=11)
+        a = plan.corruption_seed(3, 1)
+        assert a == plan.corruption_seed(3, 1)
+        assert a != plan.corruption_seed(3, 2)
+        assert a != plan.corruption_seed(4, 1)
+        assert 0 <= a < 2**31
+
+    def test_describe(self):
+        assert FaultPlan.none().describe() == "fault-free"
+        text = FaultPlan.crash(1).describe()
+        assert "w1:crash" in text
+        assert "slow" in FaultPlan.slow(0, 0.02).describe()
+
+
+class TestChecksum:
+    def test_roundtrip(self):
+        ids = np.array([5, 2, 9], dtype=np.int64)
+        dists = np.array([0.1, 0.4, 0.9])
+        result = SearchResult(
+            ids, dists, extras={"checksum": payload_checksum(ids, dists)}
+        )
+        assert verify_payload(result, 0) is result
+
+    def test_detects_tampering(self):
+        ids = np.array([5, 2, 9], dtype=np.int64)
+        dists = np.array([0.1, 0.4, 0.9])
+        checksum = payload_checksum(ids, dists)
+        tampered = SearchResult(
+            ids, dists + 1e-9, extras={"checksum": checksum}
+        )
+        with pytest.raises(ShardCorruption):
+            verify_payload(tampered, 2)
+
+    def test_missing_checksum_passes_through(self):
+        result = SearchResult(np.array([1]), np.array([0.5]))
+        assert verify_payload(result, 0) is result
+
+    def test_corrupt_payload_fails_verification(self):
+        ids = np.arange(10, dtype=np.int64)
+        dists = np.linspace(0.0, 1.0, 10)
+        honest = SearchResult(
+            ids, dists, extras={"checksum": payload_checksum(ids, dists)}
+        )
+        damaged = corrupt_payload(honest, seed=3)
+        with pytest.raises(ShardCorruption):
+            verify_payload(damaged, 1)
+
+    def test_corrupt_payload_is_deterministic(self):
+        ids = np.arange(10, dtype=np.int64)
+        dists = np.linspace(0.0, 1.0, 10)
+        honest = SearchResult(
+            ids, dists, extras={"checksum": payload_checksum(ids, dists)}
+        )
+        a = corrupt_payload(honest, seed=3)
+        b = corrupt_payload(honest, seed=3)
+        assert np.array_equal(a.ids, b.ids)
+        assert np.array_equal(a.distances, b.distances)
+
+    def test_empty_payload_still_detectable(self):
+        ids = np.array([], dtype=np.int64)
+        dists = np.array([], dtype=np.float64)
+        honest = SearchResult(
+            ids, dists, extras={"checksum": payload_checksum(ids, dists)}
+        )
+        damaged = corrupt_payload(honest, seed=0)
+        with pytest.raises(ShardCorruption):
+            verify_payload(damaged, 0)
+
+
+class TestFaultyShardWorker:
+    def test_clean_plan_is_transparent(self, data, worker):
+        faulty = FaultyShardWorker(worker, FaultPlan.none())
+        honest = worker.search_local(data[10], 5, 50)
+        wrapped = faulty.search_local(data[10], 5, 50)
+        assert np.array_equal(honest.ids, wrapped.ids)
+        assert np.array_equal(honest.distances, wrapped.distances)
+        assert verify_payload(wrapped, worker.worker_id) is wrapped
+
+    def test_crash_raises_every_attempt(self, data, worker):
+        faulty = FaultyShardWorker(worker, FaultPlan.crash(worker.worker_id))
+        for _ in range(3):
+            with pytest.raises(ShardCrash):
+                faulty.search_local(data[0], 5, 50)
+
+    def test_transient_heals_on_retry(self, data, worker):
+        plan = FaultPlan.transient(worker.worker_id, failures=1)
+        faulty = FaultyShardWorker(worker, plan)
+        with pytest.raises(ShardTransientError):
+            faulty.search_local(data[0], 5, 50)
+        result = faulty.search_local(data[0], 5, 50)
+        assert len(result.ids)
+
+    def test_corrupt_payload_detected_receive_side(self, data, worker):
+        plan = FaultPlan.corrupt(worker.worker_id)
+        faulty = FaultyShardWorker(worker, plan)
+        bad = faulty.search_local(data[0], 5, 50)
+        with pytest.raises(ShardCorruption):
+            verify_payload(bad, worker.worker_id)
+        good = faulty.search_local(data[0], 5, 50)
+        assert verify_payload(good, worker.worker_id) is good
+
+    def test_slowdown_attached_not_slept(self, data, worker):
+        plan = FaultPlan.slow(worker.worker_id, 0.04)
+        faulty = FaultyShardWorker(worker, plan)
+        result = faulty.search_local(data[0], 5, 50)
+        assert result.extras["simulated_slowdown_seconds"] == pytest.approx(
+            0.04
+        )
+        # Simulated: the measured compute time is NOT inflated.
+        assert result.extras["worker_seconds"] < 0.04
+
+    def test_peek_prices_without_executing(self, data, worker):
+        plan = FaultPlan.transient(worker.worker_id, failures=1)
+        faulty = FaultyShardWorker(worker, plan)
+        assert faulty.peek(0).kind == "transient"
+        assert faulty.peek(1).kind == "ok"
+        # peeking consumed no attempts
+        with pytest.raises(ShardTransientError):
+            faulty.search_local(data[0], 5, 50)
+
+    def test_explicit_attempt_overrides_counter(self, data, worker):
+        plan = FaultPlan.transient(worker.worker_id, failures=2)
+        faulty = FaultyShardWorker(worker, plan)
+        result = faulty.search_local(data[0], 5, 50, attempt=2)
+        assert len(result.ids)

@@ -13,10 +13,26 @@ Rules are grouped by the contract they protect:
   ``__all__`` consistency.
 * :mod:`reprolint.rules.observability` — RL009 span timing (the PR-3
   telemetry subsystem).
+* :mod:`reprolint.rules.resilience` — RL010 fault-taxonomy routing
+  (the PR-4 distributed fault-tolerance layer).
 """
 
 from __future__ import annotations
 
-from reprolint.rules import api, architecture, hygiene, numerics, observability
+from reprolint.rules import (
+    api,
+    architecture,
+    hygiene,
+    numerics,
+    observability,
+    resilience,
+)
 
-__all__ = ["api", "architecture", "hygiene", "numerics", "observability"]
+__all__ = [
+    "api",
+    "architecture",
+    "hygiene",
+    "numerics",
+    "observability",
+    "resilience",
+]

@@ -1,0 +1,97 @@
+"""Rules protecting the distributed fault-tolerance contract (PR 4).
+
+The coordinator's whole value is that failures are *classified, never
+swallowed*: every shard-level error becomes a ``ShardError`` subclass
+that feeds retries, breaker state and the degradation accounting.  A
+``except Exception: pass`` in ``repro/distributed`` silently converts a
+classified fault into wrong merges — the exact failure mode the fault
+taxonomy exists to prevent.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from reprolint.core import ModuleContext, Rule, Violation, register
+
+__all__ = ["FaultTaxonomyRule"]
+
+#: The distributed fault taxonomy: a broad handler may convert into one
+#: of these (or re-raise); anything else is swallowing.
+_TAXONOMY = (
+    "ShardError",
+    "ShardCrash",
+    "ShardTransientError",
+    "ShardTimeout",
+    "ShardCorruption",
+)
+
+_BROAD = ("Exception", "BaseException")
+
+
+@register
+class FaultTaxonomyRule(Rule):
+    """RL010: broad excepts in ``repro/distributed`` must route through
+    the fault taxonomy.
+
+    ``except Exception`` / bare ``except`` handlers in the distributed
+    package must either re-raise or raise a ``ShardError`` subclass —
+    classifying the failure so the coordinator's retry, breaker and
+    degradation machinery sees it.  Silent catch-and-continue in the
+    coordinator is forbidden.
+    """
+
+    rule_id = "RL010"
+    name = "fault-taxonomy"
+    description = (
+        "broad/bare except in repro/distributed must re-raise or raise a "
+        "ShardError subclass (classify, never swallow)"
+    )
+
+    def applies(self, module: ModuleContext) -> bool:
+        return module.within("repro/distributed")
+
+    def check(self, module: ModuleContext) -> Iterator[Violation]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                if not _routes_through_taxonomy(node):
+                    yield self.violation(
+                        module,
+                        node,
+                        "bare except in the distributed layer swallows "
+                        "failures; re-raise or raise a ShardError "
+                        "subclass so the fault is classified",
+                    )
+            elif (
+                isinstance(node.type, ast.Name)
+                and node.type.id in _BROAD
+                and not _routes_through_taxonomy(node)
+            ):
+                yield self.violation(
+                    module,
+                    node,
+                    f"except {node.type.id} in the distributed layer "
+                    "must re-raise or raise a ShardError subclass "
+                    "(classified faults feed retries, breakers and "
+                    "degradation accounting)",
+                )
+
+
+def _routes_through_taxonomy(handler: ast.ExceptHandler) -> bool:
+    """Whether the handler re-raises or raises a taxonomy error."""
+    for node in ast.walk(handler):
+        if not isinstance(node, ast.Raise):
+            continue
+        if node.exc is None:
+            return True  # bare re-raise
+        raised = node.exc
+        if isinstance(raised, ast.Call):
+            raised = raised.func
+        if isinstance(raised, ast.Attribute) and raised.attr in _TAXONOMY:
+            return True
+        if isinstance(raised, ast.Name) and raised.id in _TAXONOMY:
+            return True
+    return False
