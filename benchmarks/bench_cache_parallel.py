@@ -1,0 +1,173 @@
+"""Serving-layer bench: result caching + thread-pooled batch execution.
+
+Two claims, measured on one synthetic GQR workload:
+
+* under a skewed (Zipfian) repeated-query stream — the shape of real
+  serving traffic — the query-result cache lifts throughput by at
+  least 2x, because the popular head of the distribution is answered
+  from the LRU instead of re-probed;
+* the thread-pooled batch executor's results are **bit-identical** to
+  serial execution at every batch size, and its throughput scales with
+  batch size when more than one core is available (on a single-core
+  runner the curve is still recorded, but no speedup is asserted —
+  threads cannot beat serial there).
+
+Writes ``benchmarks/results/BENCH_cache_parallel.json``.
+``REPRO_BENCH_SMOKE=1`` shrinks the workload for CI and relaxes the
+assertion bars; the committed JSON comes from a full local run.
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+
+from repro.core.gqr import GQR
+from repro.data import gaussian_mixture, sample_queries
+from repro.eval.reporting import format_table
+from repro.hashing import ITQ
+from repro.search import HashIndex, ParallelBatchExecutor, QueryResultCache
+from repro_bench import RESULTS_DIR, save_report
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+N_POINTS = 4_000 if SMOKE else 60_000
+N_DISTINCT = 64 if SMOKE else 512       # distinct queries in the pool
+N_REQUESTS = 512 if SMOKE else 8_192    # total requests in the stream
+ZIPF_EXPONENT = 1.1                     # rank-frequency skew of the stream
+K = 10
+BUDGET = 400 if SMOKE else 1_000
+N_WORKERS = 4
+BATCH_SIZES = (16, 64, 256) if SMOKE else (16, 64, 256, 1024)
+
+MIN_CACHE_SPEEDUP = 1.2 if SMOKE else 2.0
+#: Thread speedup is only a contract when the hardware can deliver it.
+ASSERT_PARALLEL = os.cpu_count() is not None and os.cpu_count() >= 2
+MIN_PARALLEL_SPEEDUP = 1.1
+
+
+def zipfian_stream(n_distinct, n_requests, seed):
+    """Request indices drawn with a 1/rank^s popularity profile."""
+    rng = np.random.default_rng(seed)
+    ranks = np.arange(1, n_distinct + 1, dtype=np.float64)
+    weights = ranks ** -ZIPF_EXPONENT
+    return rng.choice(n_distinct, size=n_requests, p=weights / weights.sum())
+
+
+def throughput(index, queries, request_ids):
+    start = time.perf_counter()
+    for qi in request_ids:
+        index.search(queries[qi], K, BUDGET)
+    return len(request_ids) / (time.perf_counter() - start)
+
+
+def test_cache_parallel(benchmark):
+    data = gaussian_mixture(N_POINTS, 32, n_clusters=40,
+                            cluster_spread=1.0, seed=0)
+    queries = sample_queries(data, max(N_DISTINCT, max(BATCH_SIZES)), seed=1)
+    hasher = ITQ(code_length=10, seed=0)
+    plain = HashIndex(hasher, data, prober=GQR())
+    cached = HashIndex(
+        hasher, data, prober=GQR(),
+        cache=QueryResultCache(capacity=N_DISTINCT, name="bench"),
+    )
+    parallel = HashIndex(
+        hasher, data, prober=GQR(),
+        parallel=ParallelBatchExecutor(n_workers=N_WORKERS, min_batch_size=8),
+    )
+    stream = zipfian_stream(N_DISTINCT, N_REQUESTS, seed=2)
+
+    # Warm every path (and the cache's first-miss pass) before timing.
+    warm = stream[:32]
+    throughput(plain, queries, warm)
+    throughput(cached, queries, warm)
+    parallel.search_batch(queries[:16], K, BUDGET)
+
+    measured = {}
+
+    def run_all():
+        measured["uncached_qps"] = throughput(plain, queries, stream)
+        measured["cached_qps"] = throughput(cached, queries, stream)
+        measured["batch"] = []
+        for size in BATCH_SIZES:
+            block = queries[:size]
+            start = time.perf_counter()
+            serial_results = plain.search_batch(block, K, BUDGET)
+            serial_seconds = time.perf_counter() - start
+            start = time.perf_counter()
+            parallel_results = parallel.search_batch(block, K, BUDGET)
+            parallel_seconds = time.perf_counter() - start
+            for a, b in zip(serial_results, parallel_results):
+                assert np.array_equal(a.ids, b.ids)
+                assert np.array_equal(a.distances, b.distances)
+            measured["batch"].append({
+                "batch_size": size,
+                "serial_qps": size / serial_seconds,
+                "parallel_qps": size / parallel_seconds,
+                "speedup": serial_seconds / parallel_seconds,
+            })
+        return measured
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    # The cached stream must return exactly what the plain index does.
+    for qi in stream[:64]:
+        a = plain.search(queries[qi], K, BUDGET)
+        b = cached.search(queries[qi], K, BUDGET)
+        assert np.array_equal(a.ids, b.ids)
+        assert np.array_equal(a.distances, b.distances)
+
+    cache_speedup = measured["cached_qps"] / measured["uncached_qps"]
+    stats = cached.cache.stats
+    hit_rate = stats["hits"] / max(1, stats["hits"] + stats["misses"])
+    best_parallel = max(row["speedup"] for row in measured["batch"])
+
+    report = {
+        "smoke": SMOKE,
+        "n_points": N_POINTS,
+        "n_distinct_queries": N_DISTINCT,
+        "n_requests": N_REQUESTS,
+        "zipf_exponent": ZIPF_EXPONENT,
+        "k": K,
+        "budget": BUDGET,
+        "cpu_count": os.cpu_count(),
+        "uncached_qps": measured["uncached_qps"],
+        "cached_qps": measured["cached_qps"],
+        "cache_speedup": cache_speedup,
+        "min_cache_speedup": MIN_CACHE_SPEEDUP,
+        "cache_hit_rate": hit_rate,
+        "cache_stats": stats,
+        "n_workers": N_WORKERS,
+        "batch_scaling": measured["batch"],
+        "best_parallel_speedup": best_parallel,
+        "parallel_speedup_asserted": ASSERT_PARALLEL,
+        "results_bit_identical": True,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_cache_parallel.json").write_text(
+        json.dumps(report, indent=2) + "\n"
+    )
+
+    rows = [
+        ["uncached", f"{measured['uncached_qps']:.0f}", "-"],
+        ["cached", f"{measured['cached_qps']:.0f}",
+         f"{cache_speedup:.2f}x"],
+    ] + [
+        [f"batch={row['batch_size']}",
+         f"{row['parallel_qps']:.0f}",
+         f"{row['speedup']:.2f}x vs serial"]
+        for row in measured["batch"]
+    ]
+    save_report(
+        "cache_parallel",
+        f"Zipf(s={ZIPF_EXPONENT}) stream of {N_REQUESTS} requests over "
+        f"{N_DISTINCT} distinct queries (hit rate "
+        f"{hit_rate * 100:.0f}%); batches on {N_WORKERS} workers, "
+        f"{os.cpu_count()} core(s):\n"
+        + format_table(["mode", "qps", "speedup"], rows),
+    )
+
+    assert cache_speedup >= MIN_CACHE_SPEEDUP
+    if ASSERT_PARALLEL and not SMOKE:
+        assert best_parallel >= MIN_PARALLEL_SPEEDUP

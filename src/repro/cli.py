@@ -142,10 +142,15 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     from repro import obs
     from repro.data import gaussian_mixture, sample_queries
 
+    from repro.search.cache import QueryResultCache
+
     data = gaussian_mixture(10_000, 32, n_clusters=40,
                             cluster_spread=1.0, seed=0)
     queries = sample_queries(data, args.queries, seed=1)
-    index = HashIndex(ITQ(code_length=10, seed=0), data, prober=GQR())
+    index = HashIndex(
+        ITQ(code_length=10, seed=0), data, prober=GQR(),
+        cache=QueryResultCache(capacity=256, name="hash"),
+    )
 
     # A small faulted, replicated cluster so the fault-tolerance
     # series (retries, hedges, breaker state, coverage) have data.
@@ -174,6 +179,10 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     sampler = obs.TraceSampler(every_n=args.sample_every, seed=0)
     with obs.telemetry_session(sampler=sampler) as telemetry:
         for query in queries:
+            index.search(query, k=10, n_candidates=400)
+        # Re-issue a slice of the workload so the cache hit/miss series
+        # have data (the first pass populated the cache).
+        for query in queries[:16]:
             index.search(query, k=10, n_candidates=400)
         batch = index.search_batch(queries[:32], k=10, n_candidates=400)
         assert len(batch) == min(32, len(queries))
@@ -346,7 +355,12 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    Internal failures (bad parameter combinations, workload errors)
+    exit nonzero with a one-line diagnostic instead of a traceback, so
+    shell pipelines and CI steps see the failure.
+    """
     args = build_parser().parse_args(argv)
     handlers = {
         "datasets": _cmd_datasets,
@@ -356,7 +370,11 @@ def main(argv: list[str] | None = None) -> int:
         "chaos": _cmd_chaos,
         "reproduce": _cmd_reproduce,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except Exception as err:  # reprolint: disable=RL005
+        print(f"repro: error: {err}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

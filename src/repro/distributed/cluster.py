@@ -70,6 +70,12 @@ from repro.distributed.partitioner import (
 )
 from repro.distributed.worker import ShardWorker
 from repro.hashing.base import BinaryHasher
+from repro.search.cache import (
+    CacheKey,
+    QueryResultCache,
+    cache_token,
+    query_fingerprint,
+)
 from repro.search.results import SearchResult
 
 __all__ = [
@@ -310,6 +316,7 @@ class _PartitionOutcome:
         "serial_seconds",
         "hedge_seconds",
         "events",
+        "from_cache",
     )
 
     def __init__(self) -> None:
@@ -319,6 +326,7 @@ class _PartitionOutcome:
         self.serial_seconds = 0.0
         self.hedge_seconds: float | None = None
         self.events: list[dict] = []
+        self.from_cache = False
 
 
 def _split_budget(n_candidates: int, n_targets: int) -> list[int]:
@@ -365,6 +373,14 @@ class DistributedHashIndex:
         Coordinator hardening knobs; defaults retry 3×, time out 50 ms
         attempts, hedge 20 ms stragglers, trip breakers after 3
         consecutive failures.
+    shard_cache:
+        Optional :class:`~repro.search.cache.QueryResultCache` of
+        per-partition sub-results.  A hit answers the partition from
+        the coordinator without contacting any replica — it skips the
+        retry/hedge chain entirely (and therefore does not advance a
+        fault plan's scripted attempts), and contributes zero compute
+        and zero serial overhead to the makespan.  The sharded data is
+        immutable, so shard entries never go stale.
     """
 
     def __init__(
@@ -381,6 +397,7 @@ class DistributedHashIndex:
         fault_plan: FaultPlan | None = None,
         retry_policy: RetryPolicy | None = None,
         breaker_policy: BreakerPolicy | None = None,
+        shard_cache: QueryResultCache | None = None,
     ) -> None:
         data = np.asarray(data, dtype=np.float64)
         if data.ndim != 2:
@@ -399,6 +416,8 @@ class DistributedHashIndex:
         self._retry = retry_policy if retry_policy is not None else RetryPolicy()
         self._health = HealthTracker(breaker_policy)
         self._query_no = 0
+        self._shard_cache = shard_cache
+        self._shard_cache_token = cache_token("cluster")
 
         if partitioning == "cluster":
             shards, centroids = cluster_partition(data, num_workers, seed)
@@ -488,6 +507,28 @@ class DistributedHashIndex:
                 return candidate
         return None
 
+    def _shard_cache_key(
+        self, partition: int, query: np.ndarray, k: int, budget: int
+    ) -> CacheKey:
+        """Key for one partition's sub-result.
+
+        Reuses the :data:`~repro.search.cache.CacheKey` shape: the
+        partition index rides in the ``max_buckets`` slot and the
+        constant ``"shard"`` tag in the strategy slot; the generation is
+        0 because the sharded data is immutable.
+        """
+        assert self._shard_cache is not None
+        return (
+            self._shard_cache_token,
+            0,
+            k,
+            budget,
+            partition,
+            self._metric,
+            "shard",
+            query_fingerprint(query, self._shard_cache.decimals),
+        )
+
     def _query_partition(
         self,
         partition: int,
@@ -504,6 +545,16 @@ class DistributedHashIndex:
         hop = 2 * self._network.latency_seconds
         outcome = _PartitionOutcome()
         attempts_of: dict[int, int] = {}
+
+        cache = self._shard_cache
+        key: CacheKey | None = None
+        if cache is not None:
+            key = self._shard_cache_key(partition, query, k, budget)
+            cached = cache.lookup(key)
+            if cached is not None:
+                outcome.partial = cached
+                outcome.from_cache = True
+                return outcome
 
         for attempt in range(policy.max_attempts):
             worker = self._pick_replica(group, attempt, query_no)
@@ -599,6 +650,8 @@ class DistributedHashIndex:
                         )
                         outcome.serial_seconds += hedge_cost
                         outcome.partial = partial
+                        if cache is not None and key is not None:
+                            cache.store(key, partial)
                         return outcome
                     # The hedge lost; remember its parallel branch so
                     # the makespan can still take the min.
@@ -638,6 +691,8 @@ class DistributedHashIndex:
             self._health.on_success(worker_id)
             outcome.serial_seconds += cost
             outcome.partial = partial
+            if cache is not None and key is not None:
+                cache.store(key, partial)
             return outcome
         return outcome
 
@@ -750,7 +805,13 @@ class DistributedHashIndex:
             fault_events=fault_events,
         )
 
-        worker_seconds = [p.extras["worker_seconds"] for p in partials]
+        successful = [o for o in outcomes if o.partial is not None]
+        # A cached partition costs the coordinator nothing: no compute,
+        # no hops beyond the globally charged scatter-gather pair.
+        worker_seconds = [
+            0.0 if o.from_cache else o.partial.extras["worker_seconds"]
+            for o in successful
+        ]
         # The makespan formula already charges one scatter-gather hop
         # globally; per-partition serial overhead beyond that first hop
         # (failed attempts, backoff, the winner's injected slowdown) is
@@ -785,6 +846,9 @@ class DistributedHashIndex:
                 "degraded": degraded,
                 "retries": retries,
                 "hedges": hedges,
+                "shard_cache_hits": sum(
+                    1 for o in outcomes if o.from_cache
+                ),
                 "fault_events": fault_events,
                 "partitions_lost": sum(
                     1 for o in outcomes if o.partial is None

@@ -50,8 +50,15 @@ class DynamicHashTable:
 
     @property
     def num_buckets(self) -> int:
-        """Occupied buckets, counting only live items."""
-        return sum(1 for sig in self._buckets if len(self.get(sig)))
+        """Occupied buckets, counting only live items.
+
+        Iterates a snapshot of the bucket keys: ``get`` compacts lazily
+        and deletes a bucket whose members are all tombstoned, which
+        would otherwise mutate the dict mid-iteration and raise
+        ``RuntimeError`` (crashing any search whose prober asks for the
+        bucket count after removals emptied a bucket).
+        """
+        return sum(1 for sig in list(self._buckets) if len(self.get(sig)))
 
     def add(self, item_id: int, code: np.ndarray | int) -> None:
         """Insert one item under its bit-array or signature code."""

@@ -31,9 +31,13 @@ from repro.probing.hamming_ranking import HammingRanking
 from repro.probing.multiprobe_lsh import MultiProbeLSH
 from repro.search.searcher import HashIndex
 
-__all__ = ["save_index", "load_index"]
+__all__ = ["save_index", "load_index", "FORMAT_VERSION", "SUPPORTED_VERSIONS"]
 
-FORMAT_VERSION = 1
+#: Version 2 added ``multi_table_strategy`` to the manifest; version 1
+#: archives load with the constructor default (``"round_robin"``), which
+#: is what they were silently given before the field was persisted.
+FORMAT_VERSION = 2
+SUPPORTED_VERSIONS = (1, 2)
 
 _PROBERS = {
     "gqr": GQR,
@@ -150,6 +154,7 @@ def save_index(index: HashIndex, path: str | Path) -> Path:
         "format_version": FORMAT_VERSION,
         "metric": index.metric,
         "prober": _prober_name(index.prober),
+        "multi_table_strategy": index.multi_table_strategy,
         "hashers": [],
     }
     arrays: dict[str, np.ndarray] = {"data": index.data}
@@ -170,9 +175,12 @@ def load_index(path: str | Path) -> HashIndex:
     """Rebuild a :class:`HashIndex` saved by :func:`save_index`."""
     with np.load(Path(path)) as archive:
         manifest = json.loads(bytes(archive["manifest"]).decode("utf-8"))
-        if manifest.get("format_version") != FORMAT_VERSION:
+        version = manifest.get("format_version")
+        if version not in SUPPORTED_VERSIONS:
             raise ValueError(
-                f"unsupported index format {manifest.get('format_version')}"
+                f"unsupported index format version {version!r}; this "
+                f"build reads versions {SUPPORTED_VERSIONS} — refusing "
+                "to guess at newer metadata"
             )
         data = archive["data"]
         hashers = [
@@ -185,4 +193,7 @@ def load_index(path: str | Path) -> HashIndex:
         data,
         prober=prober,
         metric=manifest["metric"],
+        multi_table_strategy=manifest.get(
+            "multi_table_strategy", "round_robin"
+        ),
     )

@@ -53,6 +53,9 @@ from repro.obs.telemetry import (
     get_sampler,
     observe_batch,
     observe_breaker,
+    observe_cache,
+    observe_cache_evictions,
+    observe_cache_occupancy,
     observe_distributed,
     observe_fault,
     observe_query,
@@ -83,6 +86,9 @@ __all__ = [
     "now",
     "observe_batch",
     "observe_breaker",
+    "observe_cache",
+    "observe_cache_evictions",
+    "observe_cache_occupancy",
     "observe_distributed",
     "observe_fault",
     "observe_query",

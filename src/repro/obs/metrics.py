@@ -65,13 +65,20 @@ class MetricError(RuntimeError):
 
 
 class CounterChild:
-    """A monotonically increasing value cell."""
+    """A monotonically increasing value cell.
 
-    __slots__ = ("_registry", "_value")
+    Updates take a per-child lock: the parallel batch executor records
+    from several threads at once, and an unlocked ``+=`` is a
+    read-modify-write race that silently drops increments.  The
+    disabled fast path stays lock-free.
+    """
+
+    __slots__ = ("_registry", "_value", "_lock")
 
     def __init__(self, registry: MetricsRegistry) -> None:
         self._registry = registry
         self._value = 0.0
+        self._lock = threading.Lock()
 
     @property
     def value(self) -> float:
@@ -82,20 +89,22 @@ class CounterChild:
         if amount < 0:
             raise MetricError("counters only go up; inc() needs amount >= 0")
         if self._registry.enabled:
-            self._value += amount
+            with self._lock:
+                self._value += amount
 
     def sample_dict(self) -> dict[str, object]:
         return {"value": self._value}
 
 
 class GaugeChild:
-    """A value cell that can go up and down."""
+    """A value cell that can go up and down (thread-safe updates)."""
 
-    __slots__ = ("_registry", "_value")
+    __slots__ = ("_registry", "_value", "_lock")
 
     def __init__(self, registry: MetricsRegistry) -> None:
         self._registry = registry
         self._value = 0.0
+        self._lock = threading.Lock()
 
     @property
     def value(self) -> float:
@@ -103,15 +112,18 @@ class GaugeChild:
 
     def set(self, value: float) -> None:
         if self._registry.enabled:
-            self._value = float(value)
+            with self._lock:
+                self._value = float(value)
 
     def inc(self, amount: float = 1.0) -> None:
         if self._registry.enabled:
-            self._value += amount
+            with self._lock:
+                self._value += amount
 
     def dec(self, amount: float = 1.0) -> None:
         if self._registry.enabled:
-            self._value -= amount
+            with self._lock:
+                self._value -= amount
 
     def sample_dict(self) -> dict[str, object]:
         return {"value": self._value}
@@ -121,12 +133,16 @@ class HistogramChild:
     """Fixed-bucket distribution cell.
 
     ``observe(v)`` lands ``v`` in the first bucket whose upper bound is
-    ``>= v`` (Prometheus ``le`` semantics); values beyond the last bound
-    go to the implicit ``+Inf`` overflow bucket.  Invariant (tested):
-    ``sum(bucket_counts) == count`` after any sequence of observations.
+    ``>= v`` (Prometheus ``le`` semantics) — in particular a value
+    exactly equal to the top finite bound lands in that bucket, not
+    ``+Inf``; only values strictly beyond the last bound go to the
+    implicit overflow bucket.  Invariant (tested):
+    ``sum(bucket_counts) == count`` after any sequence of observations,
+    including concurrent ones — ``observe`` takes a per-child lock like
+    the other cells.
     """
 
-    __slots__ = ("_registry", "_uppers", "_counts", "_sum", "_count")
+    __slots__ = ("_registry", "_uppers", "_counts", "_sum", "_count", "_lock")
 
     def __init__(
         self, registry: MetricsRegistry, uppers: tuple[float, ...]
@@ -137,6 +153,7 @@ class HistogramChild:
         self._counts = [0] * (len(uppers) + 1)
         self._sum = 0.0
         self._count = 0
+        self._lock = threading.Lock()
 
     @property
     def count(self) -> int:
@@ -159,9 +176,11 @@ class HistogramChild:
     def observe(self, value: float) -> None:
         if not self._registry.enabled:
             return
-        self._counts[bisect_left(self._uppers, value)] += 1
-        self._sum += value
-        self._count += 1
+        slot = bisect_left(self._uppers, value)
+        with self._lock:
+            self._counts[slot] += 1
+            self._sum += value
+            self._count += 1
 
     def cumulative_counts(self) -> list[int]:
         """Prometheus-style running totals, ending at ``count``."""

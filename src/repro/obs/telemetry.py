@@ -33,6 +33,11 @@ metric                                    kind       labels
 ``repro_distributed_coverage``            histogram  —
 ``repro_shard_faults_total``              counter    ``worker``, ``kind``
 ``repro_breaker_state``                   gauge      ``worker``
+``repro_cache_hits_total``                counter    ``cache``
+``repro_cache_misses_total``              counter    ``cache``
+``repro_cache_evictions_total``           counter    ``cache``
+``repro_cache_occupancy``                 gauge      ``cache``
+``repro_cache_hit_seconds``               histogram  ``cache``
 ========================================  =========  =====================
 
 ``index`` is the engine's name ("hash", "mih", "imi", "compact",
@@ -44,6 +49,9 @@ by the coordinator: ``kind`` is a fault-taxonomy slug (``crash`` /
 encodes the circuit-breaker automaton as 0 = closed, 1 = half-open,
 2 = open.  When a trace sampler is installed, sampled distributed
 queries embed their classified fault events in the trace's ``stats``.
+The cache series (PR 5) are fed by
+:class:`~repro.search.cache.QueryResultCache`; ``cache`` is the cache's
+name ("hash", "shard", …).
 """
 
 from __future__ import annotations
@@ -75,6 +83,9 @@ __all__ = [
     "get_sampler",
     "observe_batch",
     "observe_breaker",
+    "observe_cache",
+    "observe_cache_evictions",
+    "observe_cache_occupancy",
     "observe_distributed",
     "observe_fault",
     "observe_query",
@@ -238,6 +249,31 @@ class TelemetryState:
             "Per-worker circuit-breaker state "
             "(0 = closed, 1 = half-open, 2 = open)",
             labels=("worker",),
+        )
+        self.cache_hits: Counter = reg.counter(
+            "repro_cache_hits_total",
+            "Query-result cache lookups answered from the cache",
+            labels=("cache",),
+        )
+        self.cache_misses: Counter = reg.counter(
+            "repro_cache_misses_total",
+            "Query-result cache lookups that fell through to execution",
+            labels=("cache",),
+        )
+        self.cache_evictions: Counter = reg.counter(
+            "repro_cache_evictions_total",
+            "Entries dropped by LRU pressure, TTL expiry or invalidation",
+            labels=("cache",),
+        )
+        self.cache_occupancy: Gauge = reg.gauge(
+            "repro_cache_occupancy",
+            "Entries currently held by the query-result cache",
+            labels=("cache",),
+        )
+        self.cache_hit_seconds: Histogram = reg.histogram(
+            "repro_cache_hit_seconds",
+            "Lookup latency of cache hits (key build excluded)",
+            labels=("cache",),
         )
         self._per_index: dict[str, _IndexInstruments] = {}
 
@@ -437,6 +473,37 @@ def observe_distributed(
                 "fault_events": list(fault_events or ()),
             },
         )
+
+
+def observe_cache(
+    cache: str, hit: bool, seconds: float | None = None
+) -> None:
+    """Record one cache lookup; ``seconds`` is a hit's lookup latency."""
+    state = _STATE
+    if state is None:
+        return
+    if hit:
+        state.cache_hits.labels(cache=cache).inc()
+        if seconds is not None:
+            state.cache_hit_seconds.labels(cache=cache).observe(seconds)
+    else:
+        state.cache_misses.labels(cache=cache).inc()
+
+
+def observe_cache_evictions(cache: str, count: int) -> None:
+    """Record entries dropped by LRU pressure, TTL or invalidation."""
+    state = _STATE
+    if state is None:
+        return
+    state.cache_evictions.labels(cache=cache).inc(count)
+
+
+def observe_cache_occupancy(cache: str, occupancy: int) -> None:
+    """Mirror the cache's current entry count into the gauge."""
+    state = _STATE
+    if state is None:
+        return
+    state.cache_occupancy.labels(cache=cache).set(float(occupancy))
 
 
 def observe_fault(worker_id: int, kind: str) -> None:

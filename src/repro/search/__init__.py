@@ -1,5 +1,10 @@
 """High-level search APIs over the hashing and probing substrates."""
 
+from repro.search.cache import (
+    QueryResultCache,
+    cache_token,
+    query_fingerprint,
+)
 from repro.search.compact_index import CompactHashIndex
 from repro.search.dynamic_index import DynamicHashIndex
 from repro.search.engine import (
@@ -13,6 +18,7 @@ from repro.search.engine import (
     validate_query,
     validate_query_batch,
 )
+from repro.search.parallel import ParallelBatchExecutor
 from repro.search.results import SearchResult
 from repro.search.searcher import (
     HashIndex,
@@ -33,11 +39,15 @@ __all__ = [
     "HashIndex",
     "IMISearchIndex",
     "MIHSearchIndex",
+    "ParallelBatchExecutor",
     "QueryEngine",
     "QueryPlan",
+    "QueryResultCache",
     "SearchResult",
     "StreamSearchIndex",
+    "cache_token",
     "evaluate_candidates",
+    "query_fingerprint",
     "validate_query",
     "validate_query_batch",
 ]

@@ -48,6 +48,7 @@ from repro.hashing.base import BinaryHasher
 from repro.index.codes import pack_bits
 from repro.index.hash_table import HashTable
 from repro.probing.base import BucketProber
+from repro.search.cache import QueryResultCache
 from repro.search.engine import (
     CodeEvaluator,
     QueryEngine,
@@ -77,6 +78,9 @@ class CompactHashIndex:
     rerank:
         ``"asymmetric"`` (QD against each candidate's long code,
         default) or ``"symmetric"`` (Hamming between long codes).
+    cache:
+        Optional :class:`~repro.search.cache.QueryResultCache`; the
+        table is immutable, so cached results never go stale.
     """
 
     def __init__(
@@ -86,6 +90,7 @@ class CompactHashIndex:
         data: np.ndarray,
         prober: BucketProber | None = None,
         rerank: str = "asymmetric",
+        cache: QueryResultCache | None = None,
     ) -> None:
         for hasher in (probe_hasher, rerank_hasher):
             if not hasher.is_fitted:
@@ -109,6 +114,7 @@ class CompactHashIndex:
         self._engine = QueryEngine(
             CodeEvaluator(rerank_hasher, self._long_signatures, rerank),
             name="compact",
+            cache=cache,
         )
 
     @property

@@ -19,6 +19,7 @@ from repro.hashing.base import BinaryHasher
 from repro.index.distance import METRICS
 from repro.index.dynamic import DynamicHashTable
 from repro.probing.base import BucketProber
+from repro.search.cache import QueryResultCache
 from repro.search.engine import (
     ExactEvaluator,
     QueryEngine,
@@ -43,6 +44,10 @@ class DynamicHashIndex:
         Dimensionality of the vectors to be indexed.
     prober, metric:
         As in :class:`~repro.search.searcher.HashIndex`.
+    cache:
+        Optional :class:`~repro.search.cache.QueryResultCache`.  Every
+        ``add``/``remove`` bumps the engine's generation number, so a
+        mutation can never serve a stale cached result.
     """
 
     def __init__(
@@ -51,6 +56,7 @@ class DynamicHashIndex:
         dim: int,
         prober: BucketProber | None = None,
         metric: str = "euclidean",
+        cache: QueryResultCache | None = None,
     ) -> None:
         if not hasher.is_fitted:
             raise ValueError(
@@ -75,7 +81,9 @@ class DynamicHashIndex:
         # The storage array is reallocated as it grows, so the evaluator
         # is wired to a live view rather than one (stale) array object.
         self._engine = QueryEngine(
-            ExactEvaluator(lambda: self._vectors, metric), name="dynamic"
+            ExactEvaluator(lambda: self._vectors, metric),
+            name="dynamic",
+            cache=cache,
         )
 
     @property
@@ -121,6 +129,7 @@ class DynamicHashIndex:
             self._vectors[item_id] = item
             self._table.add(item_id, code)
             ids[row] = item_id
+        self._engine.bump_generation()
         return ids
 
     def remove(self, item_ids: np.ndarray | int) -> None:
@@ -128,6 +137,7 @@ class DynamicHashIndex:
         for item_id in np.atleast_1d(np.asarray(item_ids, dtype=np.int64)):
             self._table.remove(int(item_id))
             self._free_ids.append(int(item_id))
+        self._engine.bump_generation()
 
     def candidate_stream(self, query: np.ndarray) -> Iterator[np.ndarray]:
         query = validate_query(query, self._dim)

@@ -35,6 +35,8 @@ from repro import obs
 from repro.core.quantization_distance import quantization_distances
 from repro.index.codes import hamming_distance
 from repro.index.distance import METRICS, pairwise_distances
+from repro.search.cache import QueryResultCache, cache_token
+from repro.search.parallel import ParallelBatchExecutor
 from repro.search.results import SearchResult
 
 __all__ = [
@@ -213,6 +215,14 @@ class CandidatePipeline:
         Mirrors the retrieval loop of Algorithms 1 and 2: each yielded
         array is one probed non-empty bucket; the final bucket is taken
         whole, so slightly more than ``n_candidates`` ids may return.
+
+        Candidates are deduplicated across (and within) buckets: an id
+        the stream already yielded is dropped, so ``ctx.n_candidates``
+        counts each retrieved item exactly once — the evaluation cost
+        actually paid — and the candidate budget is spent on *distinct*
+        items.  The built-in multi-table streams already suppress
+        duplicates, and for them this pass changes nothing; it protects
+        the accounting against streams that do not.
         """
         deadline = (
             None
@@ -221,10 +231,18 @@ class CandidatePipeline:
         )
         found: list[np.ndarray] = []
         sampled_sizes = ctx.bucket_sizes
+        seen: set[int] = set()
         total = 0
         buckets = 0
         for ids in stream:
             buckets += 1
+            if len(ids):
+                fresh = [
+                    i for i in dict.fromkeys(ids.tolist()) if i not in seen
+                ]
+                if len(fresh) != len(ids):
+                    ids = np.asarray(fresh, dtype=np.int64)
+                seen.update(fresh)
             found.append(ids)
             total += len(ids)
             if sampled_sizes is not None:
@@ -716,11 +734,44 @@ class QueryEngine:
     stream, so all indexes share a single instrumented control flow.
     ``name`` labels this engine's series in the metrics registry
     (``repro_queries_total{index="hash"}``, …) when telemetry is on.
+
+    Serving-layer hooks (both optional, both off by default):
+
+    * ``cache`` — a :class:`~repro.search.cache.QueryResultCache`;
+      :meth:`execute` consults it before running a cacheable plan and
+      stores the result after.  Keys include this engine's identity
+      token and :attr:`generation`, which mutating indexes bump via
+      :meth:`bump_generation` on every add/remove/append — entries from
+      an older generation can never be returned again.
+    * ``parallel`` — a
+      :class:`~repro.search.parallel.ParallelBatchExecutor`; both batch
+      entry points shard large batches across its thread pool, with
+      results bit-identical to serial execution.
     """
 
-    def __init__(self, evaluator: Evaluator, name: str = "index") -> None:
+    def __init__(
+        self,
+        evaluator: Evaluator,
+        name: str = "index",
+        cache: QueryResultCache | None = None,
+        parallel: ParallelBatchExecutor | None = None,
+    ) -> None:
         self.evaluator = evaluator
         self.name = name
+        self.cache = cache
+        self.parallel = parallel
+        self.generation = 0
+        self._cache_token = cache_token(name)
+
+    def bump_generation(self) -> None:
+        """Invalidate every cached result produced by this engine.
+
+        Called by mutable indexes after any change to the indexed items;
+        the generation number participates in every cache key, so prior
+        entries become unreachable (and age out of the LRU) rather than
+        ever being served stale.
+        """
+        self.generation += 1
 
     def execute(
         self,
@@ -734,8 +785,28 @@ class QueryEngine:
         Returns a :class:`~repro.search.results.SearchResult` whose
         ``extras["stats"]`` carries the :class:`ExecutionContext` and
         ``extras["spans"]`` the root :class:`~repro.obs.spans.Span` of
-        the plan→retrieve→evaluate tree.
+        the plan→retrieve→evaluate tree.  With a :attr:`cache` attached
+        and a cacheable plan, a hit returns the stored result without
+        touching the stream.
         """
+        cache = self.cache
+        if cache is None or not QueryResultCache.cacheable(plan):
+            return self._execute_uncached(query, plan, stream, extras)
+        key = cache.key_for(self._cache_token, self.generation, plan, query)
+        hit = cache.lookup(key)
+        if hit is not None:
+            return hit
+        result = self._execute_uncached(query, plan, stream, extras)
+        cache.store(key, result)
+        return result
+
+    def _execute_uncached(
+        self,
+        query: np.ndarray,
+        plan: QueryPlan,
+        stream: Iterable[np.ndarray],
+        extras: dict | None = None,
+    ) -> SearchResult:
         ctx = ExecutionContext()
         sampled = obs.should_sample()
         if sampled:
@@ -766,8 +837,24 @@ class QueryEngine:
 
         Retrieval stays per-query (each stream's probe order is exactly
         the per-query path's), but evaluation is amortised across the
-        whole block via :meth:`evaluate_block`.
+        whole block via :meth:`evaluate_block`.  With a
+        :attr:`parallel` executor attached, large batches shard across
+        its thread pool (each shard draining only its own streams),
+        bit-identical to serial execution.
         """
+        streams = list(streams)
+        if self.parallel is not None and self.parallel.should_split(
+            len(streams)
+        ):
+            return self.parallel.run_streams(self, queries, plan, streams)
+        return self._execute_batch_streams_serial(queries, plan, streams)
+
+    def _execute_batch_streams_serial(
+        self,
+        queries: np.ndarray,
+        plan: QueryPlan,
+        streams: list[Iterable[np.ndarray]],
+    ) -> list[SearchResult]:
         contexts = [ExecutionContext() for _ in streams]
         per_query: list[np.ndarray] = []
         with obs.span("retrieve") as retrieve:
@@ -806,8 +893,29 @@ class QueryEngine:
         sorting probers (and, over occupied buckets, GQR) produce — so
         the whole batch's bucket orders come from one vectorised stable
         argsort and the candidate gather from one cumulative-sum drain,
-        instead of B generator walks.
+        instead of B generator walks.  With a :attr:`parallel` executor
+        attached, large batches shard by contiguous query ranges across
+        its thread pool, bit-identical to serial execution (the probe
+        orders and ragged kernels are per-row independent).
         """
+        if self.parallel is not None and self.parallel.should_split(
+            len(queries)
+        ):
+            return self.parallel.run_ordered(
+                self, queries, plan, table, scores, bucket_signatures
+            )
+        return self._execute_batch_ordered_serial(
+            queries, plan, table, scores, bucket_signatures
+        )
+
+    def _execute_batch_ordered_serial(
+        self,
+        queries: np.ndarray,
+        plan: QueryPlan,
+        table: BucketTable,
+        scores: np.ndarray,
+        bucket_signatures: np.ndarray,
+    ) -> list[SearchResult]:
         budget = plan.n_candidates
         if budget is None:
             raise ValueError("batched execution needs a candidate budget")

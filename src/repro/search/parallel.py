@@ -1,0 +1,155 @@
+"""Thread-pooled batch execution for the serving layer.
+
+Large batches shard across a persistent thread pool: numpy releases the
+GIL inside the vectorized scoring and evaluation kernels (the einsum /
+BLAS calls where batch time is actually spent), so worker threads
+overlap on real cores without multiprocessing's serialisation cost.
+
+Determinism is non-negotiable: a shard is a *contiguous* slice of the
+query batch, each shard runs the exact serial batch path over its
+slice, and shard results are concatenated in slice order.  Both serial
+batch paths are per-row independent —
+
+* the ordered path's probe orders, ``_probe_prefix`` widths and ragged
+  gathers depend only on each row's scores and the shared bucket
+  layout, and :func:`repro.search.engine._ragged_distances` is
+  chunk-invariant by construction;
+* the streams path drains each query's own iterator;
+
+so the merged output is **bit-identical** to running the whole batch
+serially (enforced by tests).  The one shared mutable structure, a
+table's lazily cached ``dense_layout``, is materialised on the caller's
+thread before any worker starts.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Iterable
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:
+    from repro.search.engine import BucketTable, QueryEngine, QueryPlan
+    from repro.search.results import SearchResult
+
+__all__ = ["ParallelBatchExecutor"]
+
+
+class ParallelBatchExecutor:
+    """Shard batch execution across a persistent thread pool.
+
+    Parameters
+    ----------
+    n_workers:
+        Worker threads (and the maximum shard count).  ``1`` degrades
+        to serial execution.
+    min_batch_size:
+        Batches smaller than this run serially — thread dispatch costs
+        more than it saves on small blocks.
+    """
+
+    def __init__(self, n_workers: int, min_batch_size: int = 64) -> None:
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be positive, got {n_workers}")
+        if min_batch_size < 2:
+            raise ValueError(
+                f"min_batch_size must be at least 2, got {min_batch_size}"
+            )
+        self.n_workers = n_workers
+        self.min_batch_size = min_batch_size
+        self._pool: ThreadPoolExecutor | None = None
+        self._pool_lock = threading.Lock()
+
+    def should_split(self, n_queries: int) -> bool:
+        """Whether a batch of this size is worth sharding."""
+        return self.n_workers > 1 and n_queries >= self.min_batch_size
+
+    def _bounds(self, n_queries: int) -> list[tuple[int, int]]:
+        """Contiguous, near-equal ``[lo, hi)`` shard bounds."""
+        shards = min(self.n_workers, n_queries)
+        edges = np.linspace(0, n_queries, shards + 1).astype(np.int64)
+        return [
+            (int(lo), int(hi))
+            for lo, hi in zip(edges[:-1], edges[1:])
+            if hi > lo
+        ]
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.n_workers,
+                    thread_name_prefix="repro-batch",
+                )
+            return self._pool
+
+    def run_ordered(
+        self,
+        engine: QueryEngine,
+        queries: np.ndarray,
+        plan: QueryPlan,
+        table: BucketTable,
+        scores: np.ndarray,
+        bucket_signatures: np.ndarray,
+    ) -> list[SearchResult]:
+        """Sharded ordered-path execution; results in batch order."""
+        layout_fn = getattr(table, "dense_layout", None)
+        if layout_fn is not None:
+            # Materialise the lazily cached layout before workers race
+            # to build it.
+            layout_fn()
+        pool = self._ensure_pool()
+        futures: list[Future[list[SearchResult]]] = [
+            pool.submit(
+                engine._execute_batch_ordered_serial,
+                queries[lo:hi],
+                plan,
+                table,
+                scores[lo:hi],
+                bucket_signatures,
+            )
+            for lo, hi in self._bounds(len(queries))
+        ]
+        merged: list[SearchResult] = []
+        for future in futures:
+            merged.extend(future.result())
+        return merged
+
+    def run_streams(
+        self,
+        engine: QueryEngine,
+        queries: np.ndarray,
+        plan: QueryPlan,
+        streams: list[Iterable[np.ndarray]],
+    ) -> list[SearchResult]:
+        """Sharded streams-path execution; results in batch order."""
+        pool = self._ensure_pool()
+        futures: list[Future[list[SearchResult]]] = [
+            pool.submit(
+                engine._execute_batch_streams_serial,
+                queries[lo:hi],
+                plan,
+                streams[lo:hi],
+            )
+            for lo, hi in self._bounds(len(streams))
+        ]
+        merged: list[SearchResult] = []
+        for future in futures:
+            merged.extend(future.result())
+        return merged
+
+    def shutdown(self) -> None:
+        """Tear the pool down; a later batch lazily rebuilds it."""
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __repr__(self) -> str:
+        return (
+            f"ParallelBatchExecutor(n_workers={self.n_workers}, "
+            f"min_batch_size={self.min_batch_size})"
+        )

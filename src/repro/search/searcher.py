@@ -39,6 +39,7 @@ from repro.probing.base import BucketProber
 from repro.quantization.imi import InvertedMultiIndex
 from repro.quantization.opq import OptimizedProductQuantizer
 from repro.quantization.pq import ProductQuantizer
+from repro.search.cache import QueryResultCache
 from repro.search.engine import (
     ADCEvaluator,
     CandidatePipeline,
@@ -52,6 +53,7 @@ from repro.search.engine import (
     validate_query,
     validate_query_batch,
 )
+from repro.search.parallel import ParallelBatchExecutor
 from repro.search.results import SearchResult
 
 __all__ = [
@@ -104,6 +106,12 @@ class HashIndex:
         ``"qd_merge"`` (a heap-merge of the tables' scored streams into
         one globally ascending-QD order; requires a prober with
         ``probe_scored``, i.e. GQR).
+    cache:
+        Optional :class:`~repro.search.cache.QueryResultCache`; repeated
+        queries under the same plan return the cached result.
+    parallel:
+        Optional :class:`~repro.search.parallel.ParallelBatchExecutor`;
+        ``search_batch`` shards large batches across its thread pool.
     """
 
     def __init__(
@@ -113,6 +121,8 @@ class HashIndex:
         prober: BucketProber | None = None,
         metric: str = "euclidean",
         multi_table_strategy: str = "round_robin",
+        cache: QueryResultCache | None = None,
+        parallel: ParallelBatchExecutor | None = None,
     ) -> None:
         self._data = np.asarray(data, dtype=np.float64)
         if self._data.ndim != 2:
@@ -141,7 +151,9 @@ class HashIndex:
         self._multi_table_strategy = multi_table_strategy
         self._dim = self._data.shape[1]
         self._evaluator = ExactEvaluator(self._data, metric)
-        self._engine = QueryEngine(self._evaluator, name="hash")
+        self._engine = QueryEngine(
+            self._evaluator, name="hash", cache=cache, parallel=parallel
+        )
         # Per-table (signatures, unpacked bits), lazily built for
         # batched scoring; safe to cache because the tables are static.
         self._bucket_bits: dict[int, tuple[np.ndarray, np.ndarray]] = {}
@@ -165,6 +177,16 @@ class HashIndex:
     @property
     def metric(self) -> str:
         return self._metric
+
+    @property
+    def multi_table_strategy(self) -> str:
+        """How probe orders interleave across tables (see ``__init__``)."""
+        return self._multi_table_strategy
+
+    @property
+    def cache(self) -> QueryResultCache | None:
+        """The engine's result cache, if one is attached."""
+        return self._engine.cache
 
     @property
     def tables(self) -> list[HashTable]:
@@ -494,6 +516,7 @@ class MIHSearchIndex:
         data: np.ndarray,
         num_blocks: int = 2,
         metric: str = "euclidean",
+        cache: QueryResultCache | None = None,
     ) -> None:
         self._data = np.asarray(data, dtype=np.float64)
         if not hasher.is_fitted:
@@ -503,7 +526,7 @@ class MIHSearchIndex:
         self._metric = metric
         self._dim = self._data.shape[1]
         self._evaluator = ExactEvaluator(self._data, metric)
-        self._engine = QueryEngine(self._evaluator, name="mih")
+        self._engine = QueryEngine(self._evaluator, name="mih", cache=cache)
 
     @property
     def num_items(self) -> int:
@@ -549,6 +572,7 @@ class IMISearchIndex:
         data: np.ndarray,
         metric: str = "euclidean",
         rerank_quantizer: ProductQuantizer | None = None,
+        cache: QueryResultCache | None = None,
     ) -> None:
         self._data = np.asarray(data, dtype=np.float64)
         self._imi = InvertedMultiIndex(quantizer, self._data)
@@ -563,7 +587,7 @@ class IMISearchIndex:
             evaluator = ADCEvaluator(rerank_quantizer, self._fine_codes)
         else:
             evaluator = ExactEvaluator(self._data, metric)
-        self._engine = QueryEngine(evaluator, name="imi")
+        self._engine = QueryEngine(evaluator, name="imi", cache=cache)
 
     @property
     def num_items(self) -> int:

@@ -13,6 +13,7 @@ from typing import Protocol
 
 import numpy as np
 
+from repro.search.cache import QueryResultCache
 from repro.search.engine import (
     ExactEvaluator,
     QueryEngine,
@@ -44,6 +45,12 @@ class StreamSearchIndex:
         :class:`~repro.index.c2lsh.C2LSH`).
     data:
         The ``(n, d)`` raw vectors for evaluation.
+    cache:
+        Optional :class:`~repro.search.cache.QueryResultCache`.  The
+        wrapped index has no mutation hooks to intercept, so each
+        ``search`` compares ``num_items`` against the last-seen value
+        and bumps the engine generation when the stream grew — an
+        append invalidates every cached result before it can be served.
     """
 
     def __init__(
@@ -51,14 +58,16 @@ class StreamSearchIndex:
         stream_index: CandidateStreamSource,
         data: np.ndarray,
         metric: str = "euclidean",
+        cache: QueryResultCache | None = None,
     ) -> None:
         self._inner = stream_index
         self._data = np.asarray(data, dtype=np.float64)
         self._metric = metric
         self._dim = self._data.shape[1] if self._data.ndim == 2 else None
         self._engine = QueryEngine(
-            ExactEvaluator(self._data, metric), name="stream"
+            ExactEvaluator(self._data, metric), name="stream", cache=cache
         )
+        self._known_items = stream_index.num_items
 
     @property
     def num_items(self) -> int:
@@ -71,7 +80,14 @@ class StreamSearchIndex:
     def candidate_stream(self, query: np.ndarray) -> Iterator[np.ndarray]:
         yield from self._inner.candidate_stream(query)
 
+    def _sync_generation(self) -> None:
+        current = self._inner.num_items
+        if current != self._known_items:
+            self._known_items = current
+            self._engine.bump_generation()
+
     def search(self, query: np.ndarray, k: int, n_candidates: int) -> SearchResult:
         query = validate_query(query, self._dim)
+        self._sync_generation()
         plan = QueryPlan(k=k, n_candidates=n_candidates, metric=self._metric)
         return self._engine.execute(query, plan, self.candidate_stream(query))

@@ -1,0 +1,285 @@
+"""Query-result cache: identity, invalidation, eviction, telemetry.
+
+The serving-layer guarantees under test:
+
+* a hit returns the *same* ``SearchResult`` object the uncached
+  execution produced — bit-identical ids and distances by construction;
+* mutation (dynamic add/remove, stream append) can never serve a stale
+  entry — generation numbers participate in every key;
+* time-budgeted plans are never cached;
+* hit/miss/eviction counters and the occupancy gauge are visible
+  through :mod:`repro.obs`.
+"""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.core.gqr import GQR
+from repro.data import gaussian_mixture, sample_queries
+from repro.hashing import ITQ
+from repro.search import (
+    DynamicHashIndex,
+    HashIndex,
+    QueryPlan,
+    QueryResultCache,
+    StreamSearchIndex,
+    cache_token,
+    query_fingerprint,
+)
+
+
+@pytest.fixture(scope="module")
+def data():
+    return gaussian_mixture(600, 16, n_clusters=6, seed=11)
+
+
+@pytest.fixture(scope="module")
+def queries(data):
+    return sample_queries(data, 8, seed=3)
+
+
+def make_index(data, cache=None):
+    return HashIndex(ITQ(code_length=8, seed=0), data, prober=GQR(), cache=cache)
+
+
+class TestFingerprint:
+    def test_signed_zero_collapses(self):
+        a = query_fingerprint(np.array([-0.0, 1.0]))
+        b = query_fingerprint(np.array([0.0, 1.0]))
+        assert a == b
+
+    def test_sub_precision_noise_collapses(self):
+        base = np.array([0.25, 0.5, 0.75])
+        noisy = base + 1e-14
+        assert query_fingerprint(base) == query_fingerprint(noisy)
+
+    def test_distinct_values_differ(self):
+        assert query_fingerprint(np.array([1.0, 2.0])) != query_fingerprint(
+            np.array([1.0, 2.5])
+        )
+
+    def test_shape_participates(self):
+        flat = np.array([1.0, 2.0])
+        assert query_fingerprint(flat) != query_fingerprint(
+            flat.reshape(1, 2)
+        )
+
+    def test_decimals_control_granularity(self):
+        a, b = np.array([0.123456]), np.array([0.123457])
+        assert query_fingerprint(a, decimals=4) == query_fingerprint(
+            b, decimals=4
+        )
+        assert query_fingerprint(a, decimals=8) != query_fingerprint(
+            b, decimals=8
+        )
+
+
+class TestCacheCore:
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError, match="capacity"):
+            QueryResultCache(capacity=0)
+        with pytest.raises(ValueError, match="ttl_seconds"):
+            QueryResultCache(ttl_seconds=0.0)
+
+    def test_time_budget_plans_not_cacheable(self):
+        assert not QueryResultCache.cacheable(QueryPlan(k=1, time_budget=0.1))
+        assert QueryResultCache.cacheable(QueryPlan(k=1, n_candidates=10))
+
+    def test_tokens_are_process_unique(self):
+        assert cache_token("hash") != cache_token("hash")
+
+    def test_generation_changes_the_key(self):
+        cache = QueryResultCache()
+        plan = QueryPlan(k=2, n_candidates=10)
+        query = np.array([1.0, 2.0])
+        old = cache.key_for("t#0", 0, plan, query)
+        new = cache.key_for("t#0", 1, plan, query)
+        assert old != new
+
+    def test_lru_eviction_order(self):
+        cache = QueryResultCache(capacity=2)
+        a, b, c = (("t", 0, 1, n, None, "euclidean", "round_robin", b"f")
+                   for n in (1, 2, 3))
+        cache.store(a, "ra")
+        cache.store(b, "rb")
+        assert cache.lookup(a) == "ra"  # refresh a; b is now LRU
+        cache.store(c, "rc")
+        assert cache.lookup(b) is None
+        assert cache.lookup(a) == "ra"
+        assert cache.lookup(c) == "rc"
+        assert cache.stats["evictions"] == 1
+
+    def test_ttl_expiry_with_injected_clock(self):
+        clock = [0.0]
+        cache = QueryResultCache(ttl_seconds=5.0, clock=lambda: clock[0])
+        key = ("t", 0, 1, 1, None, "euclidean", "round_robin", b"f")
+        cache.store(key, "r")
+        clock[0] = 4.9
+        assert cache.lookup(key) == "r"
+        clock[0] = 10.0
+        assert cache.lookup(key) is None
+        stats = cache.stats
+        assert stats["evictions"] == 1 and stats["occupancy"] == 0
+
+    def test_invalidate_drops_everything(self):
+        cache = QueryResultCache()
+        for n in range(4):
+            cache.store(("t", 0, 1, n, None, "e", "r", b"f"), n)
+        assert cache.invalidate() == 4
+        assert len(cache) == 0
+
+
+class TestIndexIntegration:
+    def test_hit_returns_the_stored_object(self, data, queries):
+        index = make_index(data, cache=QueryResultCache())
+        first = index.search(queries[0], k=5, n_candidates=100)
+        second = index.search(queries[0], k=5, n_candidates=100)
+        assert second is first
+        assert index.cache.stats["hits"] == 1
+
+    def test_cached_results_bit_identical_to_uncached(self, data, queries):
+        cached = make_index(data, cache=QueryResultCache())
+        plain = make_index(data)
+        for query in queries:
+            for _ in range(2):  # second pass is all cache hits
+                got = cached.search(query, k=10, n_candidates=200)
+                want = plain.search(query, k=10, n_candidates=200)
+                assert np.array_equal(got.ids, want.ids)
+                assert np.array_equal(got.distances, want.distances)
+        assert cached.cache.stats["hits"] == len(queries)
+
+    def test_different_plans_do_not_collide(self, data, queries):
+        index = make_index(data, cache=QueryResultCache())
+        a = index.search(queries[0], k=5, n_candidates=50)
+        b = index.search(queries[0], k=5, n_candidates=400)
+        assert index.cache.stats["hits"] == 0
+        assert b.n_candidates >= a.n_candidates
+
+    def test_time_budget_searches_bypass_the_cache(self, data, queries):
+        index = make_index(data, cache=QueryResultCache())
+        index.search(queries[0], k=5, time_budget=10.0)
+        index.search(queries[0], k=5, time_budget=10.0)
+        stats = index.cache.stats
+        assert stats["hits"] == stats["misses"] == stats["occupancy"] == 0
+
+
+class TestMutationInvalidation:
+    def build(self, data, cache):
+        hasher = ITQ(code_length=8, seed=0).fit(data)
+        index = DynamicHashIndex(hasher, dim=data.shape[1], cache=cache)
+        index.add(data)
+        return index
+
+    def test_add_invalidates(self, data):
+        cache = QueryResultCache()
+        index = self.build(data[:-1], cache)
+        query = data[-1]
+        stale = index.search(query, k=3, n_candidates=600)
+        # Insert the query point itself: it must show up immediately.
+        (new_id,) = index.add(query[None, :])
+        fresh = index.search(query, k=3, n_candidates=600)
+        assert fresh is not stale
+        assert fresh.ids[0] == new_id
+        assert fresh.distances[0] == 0.0
+
+    def test_remove_invalidates(self, data):
+        cache = QueryResultCache()
+        index = self.build(data, cache)
+        query = data[0]
+        before = index.search(query, k=3, n_candidates=600)
+        nearest = int(before.ids[0])
+        index.remove(nearest)
+        after = index.search(query, k=3, n_candidates=600)
+        assert nearest not in after.ids
+
+    def test_unmutated_repeat_still_hits(self, data):
+        cache = QueryResultCache()
+        index = self.build(data, cache)
+        first = index.search(data[0], k=3, n_candidates=100)
+        assert index.search(data[0], k=3, n_candidates=100) is first
+
+    def test_stream_append_invalidates(self, data):
+        class GrowingSource:
+            def __init__(self, n):
+                self.n = n
+
+            @property
+            def num_items(self):
+                return self.n
+
+            def candidate_stream(self, query):
+                yield np.arange(self.n, dtype=np.int64)
+
+        source = GrowingSource(len(data) - 1)
+        index = StreamSearchIndex(source, data, cache=QueryResultCache())
+        query = data[-1]
+        stale = index.search(query, k=1, n_candidates=len(data))
+        source.n = len(data)  # append: the query point itself is now indexed
+        fresh = index.search(query, k=1, n_candidates=len(data))
+        assert fresh is not stale
+        assert fresh.ids[0] == len(data) - 1
+        assert fresh.distances[0] == 0.0
+
+
+class TestTelemetry:
+    def test_counters_and_gauge_exported(self, data, queries):
+        index = make_index(data, cache=QueryResultCache(name="hash"))
+        with obs.telemetry_session() as t:
+            index.search(queries[0], k=5, n_candidates=100)
+            index.search(queries[0], k=5, n_candidates=100)
+            hits = t.registry.get("repro_cache_hits_total")
+            misses = t.registry.get("repro_cache_misses_total")
+            occupancy = t.registry.get("repro_cache_occupancy")
+            latency = t.registry.get("repro_cache_hit_seconds")
+            assert hits.labels(cache="hash").value == 1
+            assert misses.labels(cache="hash").value == 1
+            assert occupancy.labels(cache="hash").value == 1
+            assert latency.labels(cache="hash").count == 1
+
+    def test_silent_without_session(self, data, queries):
+        index = make_index(data, cache=QueryResultCache())
+        index.search(queries[0], k=5, n_candidates=100)
+        index.search(queries[0], k=5, n_candidates=100)
+        assert index.cache.stats["hits"] == 1  # no telemetry, no crash
+
+
+class TestShardCache:
+    def test_repeat_query_answered_from_coordinator(self, data):
+        from repro.distributed.cluster import DistributedHashIndex
+
+        index = DistributedHashIndex(
+            ITQ(code_length=8, seed=0),
+            data,
+            num_workers=4,
+            shard_cache=QueryResultCache(name="shard"),
+        )
+        query = data[5]
+        first = index.search(query, k=5, n_candidates=200)
+        second = index.search(query, k=5, n_candidates=200)
+        assert first.extras["shard_cache_hits"] == 0
+        assert second.extras["shard_cache_hits"] == 4
+        assert np.array_equal(first.ids, second.ids)
+        assert np.array_equal(first.distances, second.distances)
+        # Cached partitions charge no compute to the makespan.
+        assert (
+            second.extras["makespan_seconds"]
+            < first.extras["makespan_seconds"]
+        )
+
+    def test_matches_uncached_cluster(self, data):
+        from repro.distributed.cluster import DistributedHashIndex
+
+        cached = DistributedHashIndex(
+            ITQ(code_length=8, seed=0), data, num_workers=4,
+            shard_cache=QueryResultCache(),
+        )
+        plain = DistributedHashIndex(
+            ITQ(code_length=8, seed=0), data, num_workers=4,
+        )
+        for query in data[:4]:
+            for _ in range(2):
+                got = cached.search(query, k=5, n_candidates=200)
+                want = plain.search(query, k=5, n_candidates=200)
+                assert np.array_equal(got.ids, want.ids)
+                assert np.array_equal(got.distances, want.distances)

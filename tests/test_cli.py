@@ -87,6 +87,44 @@ class TestObsCommand:
         assert main(["obs", "--queries", "10"]) == 0
         assert not obs.telemetry_enabled()
 
+    def test_cache_counters_visible(self, capsys):
+        # The demo workload re-issues a slice of its queries, so the
+        # cache series must show both misses and hits.
+        assert main(["obs", "--queries", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "repro_cache_hits_total" in out
+        assert "repro_cache_misses_total" in out
+        assert "cache=hash" in out
+
+
+class TestExitCodes:
+    """Regression: internal failures must exit nonzero, not 0.
+
+    The dispatcher used to let handler exceptions propagate as a bare
+    traceback (or, for handled ones, print and return 0); scripting
+    around ``python -m repro`` needs a clean ``1`` plus a one-line
+    diagnostic on stderr.
+    """
+
+    def test_obs_failure_returns_one(self, capsys):
+        assert main(["obs", "--queries", "0"]) == 1
+        captured = capsys.readouterr()
+        assert captured.err.startswith("repro: error:")
+        assert "positive" in captured.err
+
+    def test_chaos_failure_returns_one(self, capsys):
+        code = main(["chaos", "--queries", "2", "--replication", "0"])
+        assert code == 1
+        assert "repro: error:" in capsys.readouterr().err
+
+    def test_failure_diagnostic_stays_off_stdout(self, capsys):
+        assert main(["obs", "--queries", "0"]) == 1
+        assert capsys.readouterr().out == ""
+
+    def test_success_paths_unaffected(self, capsys):
+        assert main(["datasets"]) == 0
+        assert capsys.readouterr().err == ""
+
 
 class TestChaosCommand:
     def test_runs_all_scenarios(self, capsys):

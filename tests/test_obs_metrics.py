@@ -1,6 +1,8 @@
 """Tests for the metrics registry (counters, gauges, histograms)."""
 
 import math
+import sys
+import threading
 
 import pytest
 from hypothesis import given
@@ -109,6 +111,30 @@ class TestHistogram:
         hist.observe(50.0)
         assert hist.labels().quantile(0.99) == 2.0
 
+    @given(
+        st.lists(
+            st.floats(
+                min_value=1e-9, max_value=1e9,
+                allow_nan=False, allow_infinity=False,
+            ),
+            min_size=1, max_size=12, unique=True,
+        )
+    )
+    def test_top_edge_value_lands_in_top_finite_bucket(self, edges):
+        # Prometheus `le` semantics at every boundary: a value exactly
+        # equal to a bucket's upper bound belongs to that bucket.  In
+        # particular the top finite edge must NOT overflow to +Inf.
+        buckets = tuple(sorted(edges))
+        hist = MetricsRegistry().histogram("h", buckets=buckets)
+        child = hist.labels()
+        for edge in buckets:
+            child.observe(edge)
+        counts = child.bucket_counts
+        assert counts[-1] == 0  # nothing in +Inf
+        assert sum(counts) == child.count == len(buckets)
+        # Each edge observation landed exactly in its own bucket.
+        assert counts[:-1] == [1] * len(buckets)
+
     def test_invalid_buckets_rejected(self):
         registry = MetricsRegistry()
         with pytest.raises(MetricError, match="at least one"):
@@ -117,6 +143,67 @@ class TestHistogram:
             registry.histogram("h2", buckets=(2.0, 1.0))
         with pytest.raises(MetricError, match="finite"):
             registry.histogram("h3", buckets=(1.0, math.inf))
+
+
+class TestThreadSafety:
+    """Regression: unlocked ``+=`` read-modify-write lost updates.
+
+    The parallel batch executor (PR 5) drives metric children from
+    several threads at once; with a tiny switch interval the pre-fix
+    races reliably drop increments.  Totals must be exact.
+    """
+
+    N_THREADS = 8
+    N_INCREMENTS = 5_000
+
+    def hammer(self, work):
+        old_interval = sys.getswitchinterval()
+        sys.setswitchinterval(1e-6)
+        try:
+            threads = [
+                threading.Thread(target=work) for _ in range(self.N_THREADS)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        finally:
+            sys.setswitchinterval(old_interval)
+
+    def test_counter_increments_are_not_lost(self):
+        counter = MetricsRegistry().counter("c_total")
+
+        def work():
+            for _ in range(self.N_INCREMENTS):
+                counter.inc()
+
+        self.hammer(work)
+        assert counter.value == self.N_THREADS * self.N_INCREMENTS
+
+    def test_histogram_totals_are_exact(self):
+        hist = MetricsRegistry().histogram("h", buckets=(1.0, 2.0))
+        child = hist.labels()
+
+        def work():
+            for _ in range(self.N_INCREMENTS):
+                child.observe(1.5)
+
+        self.hammer(work)
+        expected = self.N_THREADS * self.N_INCREMENTS
+        assert child.count == expected
+        assert sum(child.bucket_counts) == expected
+        assert child.sum == pytest.approx(1.5 * expected)
+
+    def test_gauge_inc_dec_balance(self):
+        gauge = MetricsRegistry().gauge("g")
+
+        def work():
+            for _ in range(self.N_INCREMENTS):
+                gauge.inc()
+                gauge.dec()
+
+        self.hammer(work)
+        assert gauge.value == 0
 
 
 class TestRegistry:

@@ -1,0 +1,134 @@
+"""Thread-pooled batch execution is bit-identical to serial.
+
+The executor shards a batch into contiguous slices and runs the
+engine's *serial* batch path on each shard; because every per-query
+computation is independent (and the bucket layout is prebuilt on the
+caller's thread), the merged results must equal serial execution
+bit-for-bit — same ids, same distances, same candidate accounting.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.gqr import GQR
+from repro.data import gaussian_mixture, sample_queries
+from repro.hashing import ITQ
+from repro.search import HashIndex, ParallelBatchExecutor
+
+
+@pytest.fixture(scope="module")
+def data():
+    return gaussian_mixture(800, 16, n_clusters=8, seed=21)
+
+
+@pytest.fixture(scope="module")
+def queries(data):
+    return sample_queries(data, 96, seed=5)
+
+
+def build(data, n_tables=1, parallel=None, strategy="round_robin"):
+    hashers = [ITQ(code_length=8, seed=s) for s in range(n_tables)]
+    return HashIndex(
+        hashers if n_tables > 1 else hashers[0],
+        data,
+        prober=GQR(),
+        multi_table_strategy=strategy,
+        parallel=parallel,
+    )
+
+
+def assert_batches_equal(got, want):
+    assert len(got) == len(want)
+    for g, w in zip(got, want):
+        assert np.array_equal(g.ids, w.ids)
+        assert np.array_equal(g.distances, w.distances)
+        assert g.n_candidates == w.n_candidates
+        assert g.n_buckets_probed == w.n_buckets_probed
+
+
+class TestExecutorMechanics:
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError, match="n_workers"):
+            ParallelBatchExecutor(n_workers=0)
+        with pytest.raises(ValueError, match="min_batch_size"):
+            ParallelBatchExecutor(n_workers=2, min_batch_size=1)
+
+    def test_small_batches_stay_serial(self):
+        executor = ParallelBatchExecutor(n_workers=4, min_batch_size=64)
+        assert not executor.should_split(63)
+        assert executor.should_split(64)
+
+    def test_single_worker_never_splits(self):
+        executor = ParallelBatchExecutor(n_workers=1, min_batch_size=2)
+        assert not executor.should_split(10_000)
+
+    def test_bounds_are_contiguous_and_cover(self):
+        executor = ParallelBatchExecutor(n_workers=4, min_batch_size=2)
+        for n in (4, 7, 96, 1001):
+            bounds = executor._bounds(n)
+            assert bounds[0][0] == 0 and bounds[-1][1] == n
+            assert all(hi > lo for lo, hi in bounds)
+            for (_, prev_hi), (lo, _) in zip(bounds, bounds[1:]):
+                assert lo == prev_hi
+
+    def test_shutdown_then_reuse_rebuilds_pool(self, data, queries):
+        executor = ParallelBatchExecutor(n_workers=2, min_batch_size=8)
+        index = build(data, parallel=executor)
+        first = index.search_batch(queries, k=5, n_candidates=100)
+        executor.shutdown()
+        second = index.search_batch(queries, k=5, n_candidates=100)
+        assert_batches_equal(second, first)
+        executor.shutdown()
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("n_workers", [2, 4])
+    def test_ordered_path_matches_serial(self, data, queries, n_workers):
+        # Single table + GQR: search_batch takes the score-matrix path.
+        parallel = build(
+            data,
+            parallel=ParallelBatchExecutor(n_workers=n_workers, min_batch_size=8),
+        )
+        serial = build(data)
+        assert_batches_equal(
+            parallel.search_batch(queries, k=10, n_candidates=200),
+            serial.search_batch(queries, k=10, n_candidates=200),
+        )
+
+    @pytest.mark.parametrize("strategy", ["round_robin", "qd_merge"])
+    def test_streams_path_matches_serial(self, data, queries, strategy):
+        # Two tables: search_batch drains per-query candidate streams.
+        parallel = build(
+            data,
+            n_tables=2,
+            strategy=strategy,
+            parallel=ParallelBatchExecutor(n_workers=4, min_batch_size=8),
+        )
+        serial = build(data, n_tables=2, strategy=strategy)
+        assert_batches_equal(
+            parallel.search_batch(queries, k=10, n_candidates=200),
+            serial.search_batch(queries, k=10, n_candidates=200),
+        )
+
+    def test_batch_matches_per_query_search(self, data, queries):
+        index = build(
+            data,
+            parallel=ParallelBatchExecutor(n_workers=4, min_batch_size=8),
+        )
+        batch = index.search_batch(queries, k=5, n_candidates=150)
+        for query, got in zip(queries, batch):
+            want = index.search(query, k=5, n_candidates=150)
+            assert np.array_equal(got.ids, want.ids)
+            assert np.array_equal(got.distances, want.distances)
+
+    def test_below_threshold_batch_still_correct(self, data, queries):
+        parallel = build(
+            data,
+            parallel=ParallelBatchExecutor(n_workers=4, min_batch_size=64),
+        )
+        serial = build(data)
+        small = queries[:5]  # under min_batch_size: serial fallback
+        assert_batches_equal(
+            parallel.search_batch(small, k=5, n_candidates=100),
+            serial.search_batch(small, k=5, n_candidates=100),
+        )

@@ -28,6 +28,24 @@ def roundtrip(index, tmp_path):
     return load_index(path)
 
 
+def _rewrite_manifest(path, updates):
+    """Patch manifest fields in a saved archive (``None`` deletes)."""
+    import json
+
+    with np.load(path) as archive:
+        arrays = {k: archive[k] for k in archive.files}
+    manifest = json.loads(bytes(arrays["manifest"]).decode())
+    for key, value in updates.items():
+        if value is None:
+            manifest.pop(key, None)
+        else:
+            manifest[key] = value
+    arrays["manifest"] = np.frombuffer(
+        json.dumps(manifest).encode(), dtype=np.uint8
+    )
+    np.savez(path, **arrays)
+
+
 @pytest.mark.parametrize(
     "hasher_factory",
     [
@@ -89,20 +107,50 @@ class TestManifest:
         assert len(result.ids) == 5
 
     def test_bad_format_version_rejected(self, tmp_path, data):
-        import json
+        index = HashIndex(ITQ(code_length=6, seed=0), data)
+        path = save_index(index, tmp_path / "index")
+        _rewrite_manifest(path, {"format_version": 999})
+        with pytest.raises(ValueError):
+            load_index(path)
+
+    def test_multi_table_strategy_preserved(self, tmp_path, data):
+        # Regression: the strategy was dropped from the manifest, so a
+        # qd_merge index silently came back as round_robin.
+        hashers = [ITQ(code_length=6, seed=s) for s in (0, 1)]
+        index = HashIndex(
+            hashers, data, prober=GQR(), multi_table_strategy="qd_merge"
+        )
+        restored = roundtrip(index, tmp_path)
+        assert restored.multi_table_strategy == "qd_merge"
+        query = data[3]
+        a = index.search(query, 5, 100)
+        b = restored.search(query, 5, 100)
+        assert np.array_equal(a.ids, b.ids)
+        assert np.array_equal(a.distances, b.distances)
+
+    def test_version1_archive_defaults_to_round_robin(self, tmp_path, data):
+        # A pre-PR-5 archive has neither the field nor version 2; it
+        # must load with the historical default, not crash.
+        index = HashIndex(ITQ(code_length=6, seed=0), data)
+        path = save_index(index, tmp_path / "index")
+        _rewrite_manifest(
+            path, {"format_version": 1, "multi_table_strategy": None}
+        )
+        restored = load_index(path)
+        assert restored.multi_table_strategy == "round_robin"
+
+    def test_future_version_error_names_supported_versions(
+        self, tmp_path, data
+    ):
+        from repro.io.persistence import SUPPORTED_VERSIONS
 
         index = HashIndex(ITQ(code_length=6, seed=0), data)
         path = save_index(index, tmp_path / "index")
-        with np.load(path) as archive:
-            arrays = {k: archive[k] for k in archive.files}
-        manifest = json.loads(bytes(arrays["manifest"]).decode())
-        manifest["format_version"] = 999
-        arrays["manifest"] = np.frombuffer(
-            json.dumps(manifest).encode(), dtype=np.uint8
-        )
-        np.savez(path, **arrays)
-        with pytest.raises(ValueError):
+        _rewrite_manifest(path, {"format_version": 999})
+        with pytest.raises(ValueError, match="999") as excinfo:
             load_index(path)
+        for version in SUPPORTED_VERSIONS:
+            assert str(version) in str(excinfo.value)
 
 
 class TestUnsupportedComponents:
