@@ -19,6 +19,10 @@ Commands
     Fault-injection drill: run the distributed index under each fault
     type and print recall, coverage and simulated makespan per
     scenario.
+``eval``
+    Score the stage pipeline's variants — candidate-only, exact
+    rerank, ADC rerank, fused — against exact ground truth and print
+    an MRR@k / Recall@k / NDCG@k table at a matched candidate budget.
 """
 
 from __future__ import annotations
@@ -218,6 +222,61 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_eval(args: argparse.Namespace) -> int:
+    from repro.data import gaussian_mixture, sample_queries
+    from repro.eval.ir_report import format_ir_report, ir_report
+    from repro.quantization.pq import ProductQuantizer
+    from repro.search.stages import FusionSpec, RerankSpec
+
+    k = args.k
+    data = gaussian_mixture(args.items, 32, n_clusters=40,
+                            cluster_spread=1.0, seed=args.seed)
+    queries = sample_queries(data, args.queries, seed=args.seed + 1)
+    truth = ground_truth_knn(queries, data, k)
+
+    # The primary index scores candidates by asymmetric code distance,
+    # so candidate-only rankings are coarse and reranking has headroom.
+    index = HashIndex(
+        ITQ(code_length=12, seed=0), data, prober=GQR(),
+        evaluation="code",
+        rerank_quantizer=ProductQuantizer(n_subspaces=8, seed=0),
+    )
+    # Fusion partner: an independent view of the same corpus (different
+    # hash seed, exact evaluation).
+    partner = HashIndex(ITQ(code_length=12, seed=7), data, prober=GQR())
+    index.fuse_with(partner)
+
+    pipelines: dict[str, list[np.ndarray]] = {
+        "candidate-only": [],
+        "rerank-exact": [],
+        "rerank-adc": [],
+        "fused": [],
+    }
+    for query in queries:
+        budget = args.budget
+        pipelines["candidate-only"].append(
+            index.search(query, k=k, n_candidates=budget).ids
+        )
+        pipelines["rerank-exact"].append(
+            index.search(query, k=k, n_candidates=budget,
+                         rerank=RerankSpec(mode="exact")).ids
+        )
+        pipelines["rerank-adc"].append(
+            index.search(query, k=k, n_candidates=budget,
+                         rerank=RerankSpec(mode="adc")).ids
+        )
+        pipelines["fused"].append(
+            index.search(query, k=k, n_candidates=budget,
+                         rerank=RerankSpec(mode="exact"),
+                         fusion=FusionSpec(weight=args.fusion_weight)).ids
+        )
+    print(f"pipeline eval: {args.items} items, {len(queries)} queries, "
+          f"k={k}, budget={args.budget}, "
+          f"fusion weight={args.fusion_weight}")
+    print(format_ir_report(ir_report(pipelines, truth, k=k)))
+    return 0
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     from repro.data import gaussian_mixture, sample_queries
     from repro.distributed import DistributedHashIndex, FaultPlan
@@ -342,6 +401,21 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--budget", type=int, default=300,
                        help="total candidate budget per query")
 
+    eval_cmd = commands.add_parser(
+        "eval",
+        help="IR-metric table for candidate-only vs reranked vs fused "
+             "pipelines",
+    )
+    eval_cmd.add_argument("--items", type=int, default=8000,
+                          help="synthetic corpus size")
+    eval_cmd.add_argument("--queries", type=int, default=50)
+    eval_cmd.add_argument("--k", type=int, default=10)
+    eval_cmd.add_argument("--budget", type=int, default=400,
+                          help="candidate budget per query")
+    eval_cmd.add_argument("--fusion-weight", type=float, default=0.5,
+                          help="primary engine's weight in [0, 1]")
+    eval_cmd.add_argument("--seed", type=int, default=0)
+
     reproduce = commands.add_parser(
         "reproduce", help="regenerate a paper table/figure"
     )
@@ -368,6 +442,7 @@ def main(argv: list[str] | None = None) -> int:
         "demo": _cmd_demo,
         "obs": _cmd_obs,
         "chaos": _cmd_chaos,
+        "eval": _cmd_eval,
         "reproduce": _cmd_reproduce,
     }
     try:

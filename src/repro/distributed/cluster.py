@@ -76,7 +76,9 @@ from repro.search.cache import (
     cache_token,
     query_fingerprint,
 )
+from repro.search.engine import ExactEvaluator
 from repro.search.results import SearchResult
+from repro.search.stages import RerankSpec
 
 __all__ = [
     "BreakerPolicy",
@@ -439,6 +441,11 @@ class DistributedHashIndex:
         self._workers.sort(key=lambda w: w.worker_id)
         self._partition_sizes = [len(shard) for shard in shards]
         self._n = len(data)
+        # Retained for the optional post-merge rerank stage: the
+        # coordinator re-scores the merged pool with exact distances —
+        # through an engine evaluator, like every other scoring path.
+        self._data = data
+        self._rerank_evaluator = ExactEvaluator(data, metric)
 
     @property
     def num_items(self) -> int:
@@ -512,20 +519,19 @@ class DistributedHashIndex:
     ) -> CacheKey:
         """Key for one partition's sub-result.
 
-        Reuses the :data:`~repro.search.cache.CacheKey` shape: the
-        partition index rides in the ``max_buckets`` slot and the
-        constant ``"shard"`` tag in the strategy slot; the generation is
-        0 because the sharded data is immutable.
+        Reuses the :data:`~repro.search.cache.CacheKey` shape with a
+        single synthetic ``("shard", …)`` stage entry carrying the
+        partition index and sub-plan parameters; the generation is 0
+        because the sharded data is immutable.  A coordinator-level
+        rerank runs *post-merge* and does not appear here, so the same
+        sub-results are shared between plain and reranked queries.
         """
         assert self._shard_cache is not None
         return (
             self._shard_cache_token,
             0,
-            k,
-            budget,
-            partition,
-            self._metric,
-            "shard",
+            (("shard", partition, k, budget, self._metric),),
+            (),
             query_fingerprint(query, self._shard_cache.decimals),
         )
 
@@ -724,6 +730,7 @@ class DistributedHashIndex:
         n_candidates: int,
         fanout: int | None = None,
         deadline_seconds: float | None = None,
+        rerank: RerankSpec | None = None,
     ) -> SearchResult:
         """Fault-tolerant scatter-gather kNN.
 
@@ -735,11 +742,23 @@ class DistributedHashIndex:
         overrides the policy's per-query deadline budget, checked
         against the simulated clock.
 
+        ``rerank`` (exact mode only) re-scores the *merged* pool on the
+        coordinator: each partition still returns its local top-``k``
+        under its own sub-plan — so per-shard cache entries are shared
+        with plain queries — and the union of survivors is re-ranked
+        with exact distances before the final cut.  ``rerank.pool``
+        caps how many merged survivors are re-scored.
+
         Never raises on worker failure: partitions that stay
         unreachable after retries, hedges and replica failover are
         dropped from the merge, and the result reports
         ``extras['coverage']`` (< 1.0) with ``extras['degraded']``.
         """
+        if rerank is not None and rerank.mode != "exact":
+            raise ValueError(
+                "the distributed coordinator supports exact rerank only "
+                f"(workers do not ship fine codes); got {rerank.mode!r}"
+            )
         query = np.asarray(query, dtype=np.float64)
         query_no = self._query_no
         self._query_no += 1
@@ -777,7 +796,26 @@ class DistributedHashIndex:
                         for d, i in zip(partial.distances, partial.ids)
                     )
                 merged.sort()
-                del merged[k:]
+                if rerank is None:
+                    del merged[k:]
+            rerank_seconds = 0.0
+            if rerank is not None:
+                # Post-merge rerank: the merged pool (every partition's
+                # local top-k, optionally capped) is re-scored exactly,
+                # ties broken by id under the engine's shared rule.
+                with obs.span("rerank") as rerank_span:
+                    if rerank.pool is not None:
+                        del merged[rerank.pool:]
+                    pool_ids = np.asarray(
+                        [i for _, i in merged], dtype=np.int64
+                    )
+                    ids, dists = self._rerank_evaluator.evaluate(
+                        query, pool_ids, k
+                    )
+                    merged = [
+                        (float(d), int(i)) for d, i in zip(dists, ids)
+                    ]
+                rerank_seconds = rerank_span.duration
 
         routed_items = sum(self._partition_sizes[p] for p in targets)
         reachable_items = sum(
@@ -803,6 +841,7 @@ class DistributedHashIndex:
             root=root,
             sampled=sampled,
             fault_events=fault_events,
+            rerank_seconds=rerank_seconds if rerank is not None else None,
         )
 
         successful = [o for o in outcomes if o.partial is not None]
@@ -846,6 +885,8 @@ class DistributedHashIndex:
                 "degraded": degraded,
                 "retries": retries,
                 "hedges": hedges,
+                "reranked": rerank is not None,
+                "rerank_seconds": rerank_seconds,
                 "shard_cache_hits": sum(
                     1 for o in outcomes if o.from_cache
                 ),

@@ -41,8 +41,10 @@ metric                                    kind       labels
 ========================================  =========  =====================
 
 ``index`` is the engine's name ("hash", "mih", "imi", "compact",
-"dynamic", "stream", "shard"), ``stage`` one of ``retrieval`` /
-``evaluation`` / ``total`` (or ``fanout`` / ``merge`` for the
+"dynamic", "stream", "shard").  ``stage`` is a first-class label over
+the engine's pipeline stages: ``retrieval`` / ``evaluation`` /
+``total`` always, plus ``rerank`` and ``fuse`` for queries whose plan
+ran those stages (``fanout`` / ``merge`` / ``rerank`` for the
 distributed coordinator).  The fault-tolerance series (PR 4) are fed
 by the coordinator: ``kind`` is a fault-taxonomy slug (``crash`` /
 ``transient`` / ``timeout`` / ``corrupt``), and ``repro_breaker_state``
@@ -113,6 +115,7 @@ class QueryStats(Protocol):
     evaluation_seconds: float
     total_seconds: float
     bucket_sizes: list[int] | None
+    stage_seconds: dict[str, float]
 
     def as_dict(self) -> dict: ...
 
@@ -134,6 +137,8 @@ class _IndexInstruments:
         "observe_candidates",
         "observe_buckets",
         "inc_early_stops",
+        "observe_rerank",
+        "observe_fuse",
     )
 
     def __init__(
@@ -145,6 +150,8 @@ class _IndexInstruments:
         candidates: HistogramChild,
         buckets: HistogramChild,
         early_stops: CounterChild,
+        rerank: HistogramChild,
+        fuse: HistogramChild,
     ) -> None:
         self.inc_queries = queries.inc
         self.observe_retrieval = retrieval.observe
@@ -153,6 +160,8 @@ class _IndexInstruments:
         self.observe_candidates = candidates.observe
         self.observe_buckets = buckets.observe
         self.inc_early_stops = early_stops.inc
+        self.observe_rerank = rerank.observe
+        self.observe_fuse = fuse.observe
 
 
 class TelemetryState:
@@ -293,6 +302,8 @@ class TelemetryState:
                 candidates=self.candidates.labels(index=index),
                 buckets=self.buckets_probed.labels(index=index),
                 early_stops=self.early_stops.labels(index=index),
+                rerank=self.stage_seconds.labels(index=index, stage="rerank"),
+                fuse=self.stage_seconds.labels(index=index, stage="fuse"),
             )
             self._per_index[index] = instruments
         return instruments
@@ -384,6 +395,12 @@ def observe_query(
     ins.observe_buckets(ctx.n_buckets_probed)
     if ctx.early_stop_triggered:
         ins.inc_early_stops()
+    stage_seconds = getattr(ctx, "stage_seconds", None)
+    if stage_seconds:
+        if "rerank" in stage_seconds:
+            ins.observe_rerank(stage_seconds["rerank"])
+        if "fuse" in stage_seconds:
+            ins.observe_fuse(stage_seconds["fuse"])
     if sampled and state.sampler is not None:
         state.sampled_traces.inc()
         state.sampler.record(
@@ -408,6 +425,12 @@ def observe_batch(index: str, contexts: list) -> None:
         ins.observe_buckets(ctx.n_buckets_probed)
         if ctx.early_stop_triggered:
             ins.inc_early_stops()
+        stage_seconds = getattr(ctx, "stage_seconds", None)
+        if stage_seconds:
+            if "rerank" in stage_seconds:
+                ins.observe_rerank(stage_seconds["rerank"])
+            if "fuse" in stage_seconds:
+                ins.observe_fuse(stage_seconds["fuse"])
 
 
 def observe_shard(worker_id: int, seconds: float) -> None:
@@ -430,6 +453,7 @@ def observe_distributed(
     root: Span | None = None,
     sampled: bool = False,
     fault_events: list[dict] | None = None,
+    rerank_seconds: float | None = None,
 ) -> None:
     """Record one scatter-gather query (called by the coordinator).
 
@@ -439,7 +463,8 @@ def observe_distributed(
     ``degraded``.  When ``sampled`` (decided by :func:`should_sample`
     before execution) the query's span tree and classified
     ``fault_events`` are stored as a sampled trace, so "why was this
-    query degraded" is answerable post hoc.
+    query degraded" is answerable post hoc.  ``rerank_seconds`` is the
+    post-merge exact rerank stage's latency, when the plan ran one.
     """
     state = _STATE
     if state is None:
@@ -452,6 +477,10 @@ def observe_distributed(
     state.distributed_stage_seconds.labels(stage="merge").observe(
         merge_seconds
     )
+    if rerank_seconds is not None:
+        state.distributed_stage_seconds.labels(stage="rerank").observe(
+            rerank_seconds
+        )
     if retries:
         state.distributed_retries.inc(retries)
     if hedges:

@@ -26,6 +26,12 @@ from repro.search.searcher import (
     MIHSearchIndex,
     evaluate_candidates,
 )
+from repro.search.stages import (
+    FusionSpec,
+    IndexFusionPartner,
+    RerankSpec,
+    linear_fusion,
+)
 from repro.search.stream_index import StreamSearchIndex
 
 __all__ = [
@@ -36,17 +42,21 @@ __all__ = [
     "DynamicHashIndex",
     "ExactEvaluator",
     "ExecutionContext",
+    "FusionSpec",
     "HashIndex",
     "IMISearchIndex",
+    "IndexFusionPartner",
     "MIHSearchIndex",
     "ParallelBatchExecutor",
     "QueryEngine",
     "QueryPlan",
     "QueryResultCache",
+    "RerankSpec",
     "SearchResult",
     "StreamSearchIndex",
     "cache_token",
     "evaluate_candidates",
+    "linear_fusion",
     "query_fingerprint",
     "validate_query",
     "validate_query_batch",

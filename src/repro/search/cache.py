@@ -10,8 +10,11 @@ keyed on
 * a **quantized query fingerprint** — the float64 query rounded to
   ``decimals`` places and hashed, so bit-for-bit re-issues (and near
   re-issues below the rounding granularity) hit;
-* every **plan parameter** that can change the answer — ``k``,
-  ``n_candidates``, ``max_buckets``, metric, multi-table strategy;
+* the plan's **full serialized stage list**
+  (``QueryPlan.stage_list()``) — every stage the plan executes with
+  every parameter that shapes its output, so two plans differing in
+  *any* stage (a rerank mode, a fusion weight) can never collide —
+  plus the fusion partner's identity tuple when one participates;
 * the **index identity and generation** — a process-unique token per
   engine plus a monotonically increasing generation number that mutable
   indexes bump on every ``add``/``remove``/append, so a stale hit is
@@ -46,10 +49,14 @@ if TYPE_CHECKING:
 
 __all__ = ["CacheKey", "QueryResultCache", "cache_token", "query_fingerprint"]
 
-#: Cache-key tuple: ``(engine token, generation, k, n_candidates,
-#: max_buckets, metric, multi_table_strategy, query fingerprint)``.
+#: Cache-key tuple: ``(engine token, generation, serialized stage
+#: list, fusion-partner identity, query fingerprint)``.
 CacheKey = tuple[
-    str, int, int, "int | None", "int | None", str, str, bytes
+    str,
+    int,
+    "tuple[tuple[object, ...], ...]",
+    "tuple[object, ...]",
+    bytes,
 ]
 
 _TOKENS = itertools.count()
@@ -155,16 +162,21 @@ class QueryResultCache:
         generation: int,
         plan: QueryPlan,
         query: np.ndarray,
+        partner_identity: tuple[object, ...] = (),
     ) -> CacheKey:
-        """The full cache key for one ``(engine, generation, plan, query)``."""
+        """The full cache key for one ``(engine, generation, plan, query)``.
+
+        The plan contributes its complete serialized stage list, so
+        every stage parameter — including rerank and fusion configs —
+        participates in the key.  ``partner_identity`` folds in the
+        fusion partner's engine token and generation for fusion plans;
+        a partner mutation then makes prior fused entries unreachable.
+        """
         return (
             token,
             generation,
-            plan.k,
-            plan.n_candidates,
-            plan.max_buckets,
-            plan.metric,
-            plan.multi_table_strategy,
+            plan.stage_list(),
+            tuple(partner_identity),
             query_fingerprint(query, self.decimals),
         )
 

@@ -48,14 +48,17 @@ from repro.hashing.base import BinaryHasher
 from repro.index.codes import pack_bits
 from repro.index.hash_table import HashTable
 from repro.probing.base import BucketProber
+from repro.quantization.pq import ProductQuantizer
 from repro.search.cache import QueryResultCache
 from repro.search.engine import (
+    ADCEvaluator,
     CodeEvaluator,
     QueryEngine,
     QueryPlan,
     validate_query,
 )
 from repro.search.results import SearchResult
+from repro.search.stages import RerankSpec
 
 __all__ = ["CompactHashIndex"]
 
@@ -81,6 +84,13 @@ class CompactHashIndex:
     cache:
         Optional :class:`~repro.search.cache.QueryResultCache`; the
         table is immutable, so cached results never go stale.
+    rerank_quantizer:
+        Optional fine :class:`~repro.quantization.pq.ProductQuantizer`.
+        Its codes are built here, while the raw vectors are still in
+        hand, and kept after the vectors are discarded; plans may then
+        request ``RerankSpec(mode="adc")`` to re-score the candidate
+        pool with asymmetric PQ distance — a sharper estimator than
+        the long binary code, still without raw vectors at query time.
     """
 
     def __init__(
@@ -91,6 +101,7 @@ class CompactHashIndex:
         prober: BucketProber | None = None,
         rerank: str = "asymmetric",
         cache: QueryResultCache | None = None,
+        rerank_quantizer: ProductQuantizer | None = None,
     ) -> None:
         for hasher in (probe_hasher, rerank_hasher):
             if not hasher.is_fitted:
@@ -116,6 +127,12 @@ class CompactHashIndex:
             name="compact",
             cache=cache,
         )
+        if rerank_quantizer is not None:
+            if not rerank_quantizer.codebooks:
+                rerank_quantizer.fit(data)
+            self._engine.rerankers["adc"] = ADCEvaluator(
+                rerank_quantizer, rerank_quantizer.encode(data)
+            )
 
     @property
     def num_items(self) -> int:
@@ -142,13 +159,19 @@ class CompactHashIndex:
                 yield ids
 
     def search(
-        self, query: np.ndarray, k: int, n_candidates: int
+        self,
+        query: np.ndarray,
+        k: int,
+        n_candidates: int,
+        rerank: RerankSpec | None = None,
     ) -> SearchResult:
         """kNN by code-based re-ranking (no raw-vector distances).
 
         Returned ``distances`` are the estimator's values (QD or
-        Hamming over the long codes), *not* Euclidean distances.
+        Hamming over the long codes), *not* Euclidean distances —
+        unless an ``"adc"`` rerank stage re-scores the pool, in which
+        case they are asymmetric PQ distance estimates.
         """
         query = validate_query(query, self._dim)
-        plan = QueryPlan(k=k, n_candidates=n_candidates)
+        plan = QueryPlan(k=k, n_candidates=n_candidates, rerank=rerank)
         return self._engine.execute(query, plan, self.candidate_stream(query))

@@ -27,6 +27,7 @@ from repro.search.engine import (
     validate_query,
 )
 from repro.search.results import SearchResult
+from repro.search.stages import RerankSpec
 
 __all__ = ["DynamicHashIndex"]
 
@@ -85,6 +86,7 @@ class DynamicHashIndex:
             name="dynamic",
             cache=cache,
         )
+        self._engine.rerankers["exact"] = self._engine.evaluator
 
     @property
     def num_items(self) -> int:
@@ -148,9 +150,15 @@ class DynamicHashIndex:
                 yield ids
 
     def search(
-        self, query: np.ndarray, k: int, n_candidates: int
+        self,
+        query: np.ndarray,
+        k: int,
+        n_candidates: int,
+        rerank: RerankSpec | None = None,
     ) -> SearchResult:
         """Approximate kNN over the current live items."""
         query = validate_query(query, self._dim)
-        plan = QueryPlan(k=k, n_candidates=n_candidates, metric=self._metric)
+        plan = QueryPlan(
+            k=k, n_candidates=n_candidates, metric=self._metric, rerank=rerank
+        )
         return self._engine.execute(query, plan, self.candidate_stream(query))

@@ -1,25 +1,39 @@
-"""Unified query-execution engine: plan → retrieve → evaluate.
+"""Unified query-execution engine: a plan-driven stage pipeline.
 
 Section 2.2 of the paper frames *every* querying method — HR, GHR, QR,
 GQR, MIH, IMI — as one two-step loop: retrieval picks buckets and
 gathers candidate ids, evaluation re-ranks the candidates exactly.
-This module is that loop, extracted once so each index class is a thin
-adapter instead of a private re-implementation:
+This module is that loop generalised into a typed stage pipeline
+(:mod:`repro.search.stages`)::
+
+    Retrieve → DedupBudget → Evaluate → [Rerank] → [Fuse] → Truncate
+
+extracted once so each index class is a thin adapter instead of a
+private re-implementation:
 
 * :class:`QueryPlan` — what to do: ``k``, stopping criteria
-  (candidate / bucket / time budgets), metric, multi-table strategy.
+  (candidate / bucket / time budgets), metric, multi-table strategy,
+  and the optional rerank/fusion stage specs.  ``stage_list()`` is the
+  plan's declarative serialisation — the stages it executes, in order,
+  with every stage's parameters — which is also what cache keys hash.
 * :class:`ExecutionContext` — what happened: buckets probed, candidates
-  gathered, early-stop trigger, per-stage wall time.  Attached to every
-  :class:`~repro.search.results.SearchResult` as ``extras["stats"]``.
+  gathered, early-stop trigger, per-stage wall time
+  (``stage_seconds``) and per-stage facts (``stage_stats``).  Attached
+  to every :class:`~repro.search.results.SearchResult` as
+  ``extras["stats"]``.
 * :class:`CandidatePipeline` — budget-aware stream draining and the
   shared exact top-``k`` selection (ties broken by id everywhere).
-* :class:`QueryEngine` — runs a plan over a candidate stream and an
-  evaluator, producing an instrumented ``SearchResult``.
+* :class:`QueryEngine` — builds the pipeline a plan describes and runs
+  it over a candidate stream, producing an instrumented
+  ``SearchResult``.  Engines resolve rerank modes from
+  :attr:`QueryEngine.rerankers` and fusion partners from
+  :attr:`QueryEngine.fusion_partner`.
 
-Evaluators encapsulate the evaluation step's scoring rule: exact
-distances over raw vectors (:class:`ExactEvaluator`), asymmetric
-distance over PQ codes (:class:`ADCEvaluator`), or code-based
-estimates for vector-free deployments (:class:`CodeEvaluator`).
+Evaluators encapsulate scoring: exact distances over raw vectors
+(:class:`ExactEvaluator`), asymmetric distance over PQ codes
+(:class:`ADCEvaluator`), or code-based estimates for vector-free
+deployments (:class:`CodeEvaluator`).  The same evaluator contract
+powers the evaluation *and* rerank stages.
 """
 
 from __future__ import annotations
@@ -38,6 +52,18 @@ from repro.index.distance import METRICS, pairwise_distances
 from repro.search.cache import QueryResultCache, cache_token
 from repro.search.parallel import ParallelBatchExecutor
 from repro.search.results import SearchResult
+from repro.search.stages import (
+    FuseStage,
+    FusionPartner,
+    FusionSpec,
+    PipelineState,
+    RerankSpec,
+    RerankStage,
+    Stage,
+    TruncateStage,
+    build_pipeline,
+    drain_stream,
+)
 
 __all__ = [
     "ADCEvaluator",
@@ -127,6 +153,14 @@ class QueryPlan:
     ``time_budget``) must be set — Algorithm 1's remark that "other
     stopping criteria can also be used"; retrieval stops at whichever
     bound is hit first.
+
+    ``rerank`` and ``fusion`` switch on the optional pipeline stages:
+    a :class:`~repro.search.stages.RerankSpec` re-scores the
+    evaluation stage's surviving pool with a second scorer the engine
+    resolves by mode, and a :class:`~repro.search.stages.FusionSpec`
+    linearly fuses the ranked list with the engine's attached fusion
+    partner.  A plan is pure data — the same plan runs against any
+    engine that can resolve its stages.
     """
 
     k: int
@@ -135,6 +169,8 @@ class QueryPlan:
     time_budget: float | None = None
     metric: str = "euclidean"
     multi_table_strategy: str = "round_robin"
+    rerank: RerankSpec | None = None
+    fusion: FusionSpec | None = None
 
     def __post_init__(self) -> None:
         if self.k < 1:
@@ -156,6 +192,60 @@ class QueryPlan:
             raise ValueError(
                 "multi_table_strategy must be 'round_robin' or 'qd_merge'"
             )
+        if self.rerank is not None and not isinstance(self.rerank, RerankSpec):
+            raise TypeError(
+                f"rerank must be a RerankSpec, got {type(self.rerank).__name__}"
+            )
+        if self.fusion is not None and not isinstance(
+            self.fusion, FusionSpec
+        ):
+            raise TypeError(
+                f"fusion must be a FusionSpec, got {type(self.fusion).__name__}"
+            )
+
+    def evaluate_keep(self) -> int | None:
+        """How many ranked survivors the evaluation stage keeps.
+
+        ``k`` when evaluation is the last scoring stage (the classic
+        path); the rerank pool when a rerank follows (``None`` = keep
+        the whole scored candidate set); the fusion pool when only a
+        fusion follows.
+        """
+        if self.rerank is not None:
+            return self.rerank.pool
+        if self.fusion is not None:
+            return self.fusion.pool if self.fusion.pool is not None else self.k
+        return self.k
+
+    def stage_list(self) -> tuple[tuple[object, ...], ...]:
+        """The declarative stage serialisation of this plan.
+
+        One tuple per pipeline stage, in execution order, each carrying
+        the stage name and every parameter that shapes its output.
+        This is the canonical plan identity: cache keys hash it, so two
+        plans collide only if they execute the same stages with the
+        same parameters.
+        """
+        stages: list[tuple[object, ...]] = [
+            ("retrieve", self.multi_table_strategy),
+            (
+                "dedup_budget",
+                self.n_candidates,
+                self.max_buckets,
+                self.time_budget,
+            ),
+            ("evaluate", self.metric, self.evaluate_keep()),
+        ]
+        if self.rerank is not None:
+            stages.append(("rerank", self.rerank.mode, self.rerank.pool))
+        if self.fusion is not None:
+            stages.append(("fuse", self.fusion.weight, self.fusion.pool))
+        stages.append(("truncate", self.k))
+        return tuple(stages)
+
+    def stage_names(self) -> tuple[str, ...]:
+        """The names of the stages this plan executes, in order."""
+        return tuple(str(entry[0]) for entry in self.stage_list())
 
 
 @dataclass
@@ -171,8 +261,17 @@ class ExecutionContext:
     early_stop_triggered:
         Whether a Theorem 2 bound terminated retrieval early.
     retrieval_seconds / evaluation_seconds / total_seconds:
-        Wall time of each stage as measured by the engine's spans
-        (:mod:`repro.obs.spans`).
+        Wall time of the coarse stages as measured by the engine's
+        spans (:mod:`repro.obs.spans`).  ``retrieval_seconds`` covers
+        the retrieve + dedup_budget stages together.
+    stage_seconds:
+        Wall time of each executed pipeline stage, keyed by stage name
+        (``"retrieve"``, ``"dedup_budget"``, ``"evaluate"``,
+        ``"rerank"``, ``"fuse"``, ``"truncate"``) — recorded by
+        :meth:`~repro.search.stages.Stage.execute`.
+    stage_stats:
+        Per-stage facts beyond timing (rerank mode and pool size,
+        fusion weight and list sizes), keyed by stage name.
     bucket_sizes:
         Per-probed-bucket candidate counts, recorded only when the
         trace sampler selected this query (``None`` otherwise); part of
@@ -185,6 +284,8 @@ class ExecutionContext:
     retrieval_seconds: float = 0.0
     evaluation_seconds: float = 0.0
     total_seconds: float = 0.0
+    stage_seconds: dict[str, float] = field(default_factory=dict)
+    stage_stats: dict[str, dict] = field(default_factory=dict, repr=False)
     bucket_sizes: list[int] | None = field(default=None, repr=False)
 
     def as_dict(self) -> dict:
@@ -196,6 +297,10 @@ class ExecutionContext:
             "retrieval_seconds": float(self.retrieval_seconds),
             "evaluation_seconds": float(self.evaluation_seconds),
             "total_seconds": float(self.total_seconds),
+            "stages": {
+                name: float(seconds)
+                for name, seconds in self.stage_seconds.items()
+            },
         }
 
 
@@ -212,52 +317,12 @@ class CandidatePipeline:
     ) -> np.ndarray:
         """Collect candidate ids until a stopping criterion fires.
 
-        Mirrors the retrieval loop of Algorithms 1 and 2: each yielded
-        array is one probed non-empty bucket; the final bucket is taken
-        whole, so slightly more than ``n_candidates`` ids may return.
-
-        Candidates are deduplicated across (and within) buckets: an id
-        the stream already yielded is dropped, so ``ctx.n_candidates``
-        counts each retrieved item exactly once — the evaluation cost
-        actually paid — and the candidate budget is spent on *distinct*
-        items.  The built-in multi-table streams already suppress
-        duplicates, and for them this pass changes nothing; it protects
-        the accounting against streams that do not.
+        Delegates to :func:`repro.search.stages.drain_stream` — the
+        dedup_budget stage's implementation — kept here as the stable
+        entry point batch paths and tests call directly.  See that
+        function for the dedup and budget-accounting contract.
         """
-        deadline = (
-            None
-            if plan.time_budget is None
-            else obs.now() + plan.time_budget
-        )
-        found: list[np.ndarray] = []
-        sampled_sizes = ctx.bucket_sizes
-        seen: set[int] = set()
-        total = 0
-        buckets = 0
-        for ids in stream:
-            buckets += 1
-            if len(ids):
-                fresh = [
-                    i for i in dict.fromkeys(ids.tolist()) if i not in seen
-                ]
-                if len(fresh) != len(ids):
-                    ids = np.asarray(fresh, dtype=np.int64)
-                seen.update(fresh)
-            found.append(ids)
-            total += len(ids)
-            if sampled_sizes is not None:
-                sampled_sizes.append(len(ids))
-            if plan.n_candidates is not None and total >= plan.n_candidates:
-                break
-            if plan.max_buckets is not None and buckets >= plan.max_buckets:
-                break
-            if deadline is not None and obs.now() >= deadline:
-                break
-        ctx.n_buckets_probed = buckets
-        ctx.n_candidates = total
-        if not found:
-            return _EMPTY_IDS
-        return np.concatenate(found)
+        return drain_stream(stream, plan, ctx)
 
     @staticmethod
     def top_k(
@@ -652,6 +717,45 @@ def _block_top_k(
     ]
 
 
+def _resolve_eval_k(plan: QueryPlan) -> int:
+    """``plan.evaluate_keep()`` as a concrete cut for the batch kernels.
+
+    The batched top-k kernels take an integer, so "keep everything"
+    (``None``) becomes a cut no candidate set can reach.
+    """
+    keep = plan.evaluate_keep()
+    return int(np.iinfo(np.int64).max) if keep is None else keep
+
+
+def _run_post_stages(
+    post: list[Stage],
+    query: np.ndarray,
+    ids: np.ndarray,
+    scores: np.ndarray,
+    ctx: ExecutionContext,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Apply the rerank/fuse/truncate tail to one batched result.
+
+    The batch paths amortise retrieval and evaluation across the block,
+    then run each query's remaining stages here — the stages are
+    per-row independent, so batched and per-query execution stay
+    bit-identical.
+    """
+    state = PipelineState(query=query, ids=ids, scores=scores)
+    for stage in post:
+        stage.execute(ctx, state)
+    return state.ids, state.scores
+
+
+def _post_seconds(ctx: ExecutionContext) -> float:
+    """Wall time the post-evaluation stages added to one context."""
+    return (
+        ctx.stage_seconds.get("rerank", 0.0)
+        + ctx.stage_seconds.get("fuse", 0.0)
+        + ctx.stage_seconds.get("truncate", 0.0)
+    )
+
+
 # -- multi-table stream composition -----------------------------------
 
 
@@ -732,6 +836,17 @@ class QueryEngine:
     One engine per index: it owns the evaluator (the evaluation stage's
     scoring rule) while each call supplies the plan and the retrieval
     stream, so all indexes share a single instrumented control flow.
+    The engine turns each plan into its stage pipeline
+    (:func:`~repro.search.stages.build_pipeline`) and runs the stages
+    in order; optional stages resolve against engine-owned registries:
+
+    * :attr:`rerankers` — rerank mode (``"exact"`` / ``"adc"``) →
+      :class:`Evaluator`; index front-ends populate it from what they
+      can score faithfully (raw vectors, fine PQ codes).
+    * :attr:`fusion_partner` — the
+      :class:`~repro.search.stages.FusionPartner` whose ranked lists
+      fusion plans combine with; attach via the index's ``fuse_with``.
+
     ``name`` labels this engine's series in the metrics registry
     (``repro_queries_total{index="hash"}``, …) when telemetry is on.
 
@@ -761,7 +876,52 @@ class QueryEngine:
         self.cache = cache
         self.parallel = parallel
         self.generation = 0
+        self.rerankers: dict[str, Evaluator] = {}
+        self.fusion_partner: FusionPartner | None = None
         self._cache_token = cache_token(name)
+
+    def identity(self) -> tuple[object, ...]:
+        """This engine's cache-relevant identity: ``(token, generation)``.
+
+        The token is process-unique per engine instance and the
+        generation advances on every index mutation, so folding this
+        tuple into another engine's cache keys (fusion partners do)
+        makes those keys unreachable whenever this engine's answers
+        could have changed.
+        """
+        return (self._cache_token, self.generation)
+
+    def reranker_for(self, spec: RerankSpec) -> Evaluator:
+        """The evaluator registered for ``spec.mode``, or a clear error."""
+        try:
+            return self.rerankers[spec.mode]
+        except KeyError:
+            raise ValueError(
+                f"engine {self.name!r} has no {spec.mode!r} reranker; "
+                f"available modes: {sorted(self.rerankers)}"
+            ) from None
+
+    def _resolve_stages(
+        self, plan: QueryPlan
+    ) -> tuple[Evaluator | None, FusionPartner | None]:
+        """Resolve the plan's optional stages against this engine.
+
+        Called before any cache lookup so a plan naming an unavailable
+        rerank mode or fusing without a partner fails loudly up front
+        instead of deep inside execution (or worse, after a stale hit).
+        """
+        reranker = (
+            self.reranker_for(plan.rerank) if plan.rerank is not None else None
+        )
+        partner: FusionPartner | None = None
+        if plan.fusion is not None:
+            partner = self.fusion_partner
+            if partner is None:
+                raise ValueError(
+                    f"plan requests fusion but engine {self.name!r} has no "
+                    "fusion partner attached"
+                )
+        return reranker, partner
 
     def bump_generation(self) -> None:
         """Invalidate every cached result produced by this engine.
@@ -780,23 +940,34 @@ class QueryEngine:
         stream: Iterable[np.ndarray],
         extras: dict | None = None,
     ) -> SearchResult:
-        """Drain ``stream`` under ``plan`` and exactly re-rank — one query.
+        """Run ``plan``'s stage pipeline over ``stream`` — one query.
 
         Returns a :class:`~repro.search.results.SearchResult` whose
         ``extras["stats"]`` carries the :class:`ExecutionContext` and
         ``extras["spans"]`` the root :class:`~repro.obs.spans.Span` of
-        the plan→retrieve→evaluate tree.  With a :attr:`cache` attached
-        and a cacheable plan, a hit returns the stored result without
-        touching the stream.
+        the query→stages tree.  With a :attr:`cache` attached and a
+        cacheable plan, a hit returns the stored result without
+        touching the stream; keys incorporate the plan's full stage
+        list and — for fusion plans — the partner's identity.
         """
+        reranker, partner = self._resolve_stages(plan)
         cache = self.cache
         if cache is None or not QueryResultCache.cacheable(plan):
-            return self._execute_uncached(query, plan, stream, extras)
-        key = cache.key_for(self._cache_token, self.generation, plan, query)
+            return self._execute_uncached(
+                query, plan, stream, extras, reranker, partner
+            )
+        partner_identity = (
+            partner.fusion_identity() if partner is not None else ()
+        )
+        key = cache.key_for(
+            self._cache_token, self.generation, plan, query, partner_identity
+        )
         hit = cache.lookup(key)
         if hit is not None:
             return hit
-        result = self._execute_uncached(query, plan, stream, extras)
+        result = self._execute_uncached(
+            query, plan, stream, extras, reranker, partner
+        )
         cache.store(key, result)
         return result
 
@@ -806,25 +977,35 @@ class QueryEngine:
         plan: QueryPlan,
         stream: Iterable[np.ndarray],
         extras: dict | None = None,
+        reranker: Evaluator | None = None,
+        partner: FusionPartner | None = None,
     ) -> SearchResult:
         ctx = ExecutionContext()
         sampled = obs.should_sample()
         if sampled:
             ctx.bucket_sizes = []
+        pipeline = build_pipeline(
+            plan, self.evaluator, reranker=reranker, partner=partner
+        )
+        state = PipelineState(query=query, stream=stream)
         with obs.span("query") as root:
-            with obs.span("retrieve") as retrieve:
-                candidates = CandidatePipeline.drain(stream, plan, ctx)
-            with obs.span("evaluate") as evaluate:
-                ids, dists = self.evaluator.evaluate(query, candidates, plan.k)
-        ctx.retrieval_seconds = retrieve.duration
-        ctx.evaluation_seconds = evaluate.duration
+            for stage in pipeline:
+                stage.execute(ctx, state)
+        ctx.retrieval_seconds = ctx.stage_seconds.get(
+            "retrieve", 0.0
+        ) + ctx.stage_seconds.get("dedup_budget", 0.0)
+        ctx.evaluation_seconds = ctx.stage_seconds.get("evaluate", 0.0)
         ctx.total_seconds = root.duration
         obs.observe_query(self.name, ctx, root=root, sampled=sampled)
         all_extras = {"stats": ctx, "spans": root}
         if extras:
             all_extras.update(extras)
         return SearchResult(
-            ids, dists, ctx.n_candidates, ctx.n_buckets_probed, all_extras
+            state.ids,
+            state.scores,
+            ctx.n_candidates,
+            ctx.n_buckets_probed,
+            all_extras,
         )
 
     def execute_batch_streams(
@@ -855,6 +1036,7 @@ class QueryEngine:
         plan: QueryPlan,
         streams: list[Iterable[np.ndarray]],
     ) -> list[SearchResult]:
+        reranker, partner = self._resolve_stages(plan)
         contexts = [ExecutionContext() for _ in streams]
         per_query: list[np.ndarray] = []
         with obs.span("retrieve") as retrieve:
@@ -862,10 +1044,21 @@ class QueryEngine:
                 per_query.append(CandidatePipeline.drain(stream, plan, ctx))
         for ctx in contexts:
             ctx.retrieval_seconds = retrieve.duration / max(len(contexts), 1)
-        ranked = self.evaluate_block(queries, per_query, plan.k, contexts)
+        ranked = self.evaluate_block(
+            queries, per_query, _resolve_eval_k(plan), contexts
+        )
+        post = self._post_stages(plan, reranker, partner)
         results: list[SearchResult] = []
-        for ctx, (ids, dists) in zip(contexts, ranked):
-            ctx.total_seconds = ctx.retrieval_seconds + ctx.evaluation_seconds
+        for index, (ctx, (ids, dists)) in enumerate(zip(contexts, ranked)):
+            if post:
+                ids, dists = _run_post_stages(
+                    post, queries[index], ids, dists, ctx
+                )
+            ctx.total_seconds = (
+                ctx.retrieval_seconds
+                + ctx.evaluation_seconds
+                + _post_seconds(ctx)
+            )
             results.append(
                 SearchResult(
                     ids,
@@ -877,6 +1070,29 @@ class QueryEngine:
             )
         obs.observe_batch(self.name, contexts)
         return results
+
+    def _post_stages(
+        self,
+        plan: QueryPlan,
+        reranker: Evaluator | None,
+        partner: FusionPartner | None,
+    ) -> list[Stage]:
+        """The per-result stages the batch paths apply after evaluation.
+
+        Empty for plain plans — the batched hot path then runs exactly
+        the pre-pipeline code with zero per-query stage overhead, which
+        is what keeps it bit-identical to per-query execution.
+        """
+        stages: list[Stage] = []
+        if plan.rerank is not None:
+            assert reranker is not None
+            stages.append(RerankStage(reranker, plan.rerank))
+        if plan.fusion is not None:
+            assert partner is not None
+            stages.append(FuseStage(partner, plan.fusion, plan))
+        if stages:
+            stages.append(TruncateStage(plan.k))
+        return stages
 
     def execute_batch_ordered(
         self,
@@ -919,6 +1135,8 @@ class QueryEngine:
         budget = plan.n_candidates
         if budget is None:
             raise ValueError("batched execution needs a candidate budget")
+        reranker, partner = self._resolve_stages(plan)
+        eval_k = _resolve_eval_k(plan)
         n_queries, n_buckets = scores.shape
         if n_buckets == 0:
             return [self.execute(query, plan, iter(())) for query in queries]
@@ -981,15 +1199,24 @@ class QueryEngine:
                     counts,
                     self.evaluator.metric,
                 )
-                ranked = _block_top_k(all_candidates, dists, counts, plan.k)
+                ranked = _block_top_k(all_candidates, dists, counts, eval_k)
             for ctx in contexts:
                 ctx.evaluation_seconds = evaluate.duration / max(n_queries, 1)
         else:
             per_query = np.split(all_candidates, np.cumsum(counts)[:-1])
-            ranked = self.evaluate_block(queries, per_query, plan.k, contexts)
+            ranked = self.evaluate_block(queries, per_query, eval_k, contexts)
+        post = self._post_stages(plan, reranker, partner)
         results: list[SearchResult] = []
-        for ctx, (ids, dists) in zip(contexts, ranked):
-            ctx.total_seconds = ctx.retrieval_seconds + ctx.evaluation_seconds
+        for index, (ctx, (ids, dists)) in enumerate(zip(contexts, ranked)):
+            if post:
+                ids, dists = _run_post_stages(
+                    post, queries[index], ids, dists, ctx
+                )
+            ctx.total_seconds = (
+                ctx.retrieval_seconds
+                + ctx.evaluation_seconds
+                + _post_seconds(ctx)
+            )
             results.append(
                 SearchResult(
                     ids,

@@ -15,6 +15,8 @@ batch paths are per-row independent —
   layout, and :func:`repro.search.engine._ragged_distances` is
   chunk-invariant by construction;
 * the streams path drains each query's own iterator;
+* the post stages a plan may add (rerank, fuse, truncate) are applied
+  per row from each row's own surviving pool, with no cross-row state;
 
 so the merged output is **bit-identical** to running the whole batch
 serially (enforced by tests).  The one shared mutable structure, a

@@ -31,7 +31,7 @@ from repro import obs
 from repro.core.gqr import GQR
 from repro.core.quantization_distance import theorem2_mu
 from repro.hashing.base import BinaryHasher, ProjectionHasher
-from repro.index.codes import unpack_bits
+from repro.index.codes import pack_bits, unpack_bits
 from repro.index.distance import METRICS
 from repro.index.hash_table import HashTable
 from repro.index.mih import MultiIndexHashing
@@ -43,6 +43,7 @@ from repro.search.cache import QueryResultCache
 from repro.search.engine import (
     ADCEvaluator,
     CandidatePipeline,
+    CodeEvaluator,
     Evaluator,
     ExactEvaluator,
     ExecutionContext,
@@ -55,6 +56,12 @@ from repro.search.engine import (
 )
 from repro.search.parallel import ParallelBatchExecutor
 from repro.search.results import SearchResult
+from repro.search.stages import (
+    FusableIndex,
+    FusionSpec,
+    IndexFusionPartner,
+    RerankSpec,
+)
 
 __all__ = [
     "HashIndex",
@@ -112,6 +119,17 @@ class HashIndex:
     parallel:
         Optional :class:`~repro.search.parallel.ParallelBatchExecutor`;
         ``search_batch`` shards large batches across its thread pool.
+    evaluation:
+        The evaluation stage's scoring rule: ``"exact"`` (true
+        distances over raw vectors, the default) or ``"code"``
+        (asymmetric quantization distance over the first table's codes
+        — the vector-free estimate; pair it with a rerank stage to
+        recover exact quality on the surviving pool).
+    rerank_quantizer:
+        Optional fine :class:`~repro.quantization.pq.ProductQuantizer`;
+        when given, plans may request ``RerankSpec(mode="adc")`` to
+        re-score the candidate pool with asymmetric distance over its
+        codes.  ``RerankSpec(mode="exact")`` is always available.
     """
 
     def __init__(
@@ -123,6 +141,8 @@ class HashIndex:
         multi_table_strategy: str = "round_robin",
         cache: QueryResultCache | None = None,
         parallel: ParallelBatchExecutor | None = None,
+        evaluation: str = "exact",
+        rerank_quantizer: ProductQuantizer | None = None,
     ) -> None:
         self._data = np.asarray(data, dtype=np.float64)
         if self._data.ndim != 2:
@@ -135,6 +155,8 @@ class HashIndex:
             raise ValueError(
                 "multi_table_strategy must be 'round_robin' or 'qd_merge'"
             )
+        if evaluation not in ("exact", "code"):
+            raise ValueError("evaluation must be 'exact' or 'code'")
         hashers = list(hasher) if isinstance(hasher, (list, tuple)) else [hasher]
         if not hashers:
             raise ValueError("need at least one hasher")
@@ -145,15 +167,34 @@ class HashIndex:
             if not h.is_fitted:
                 h.fit(self._data)
         self._hashers = hashers
-        self._tables = [HashTable(h.encode(self._data)) for h in hashers]
+        codes_per_table = [h.encode(self._data) for h in hashers]
+        self._tables = [HashTable(codes) for codes in codes_per_table]
         self._prober = prober if prober is not None else GQR()
         self._metric = metric
         self._multi_table_strategy = multi_table_strategy
+        self._evaluation = evaluation
         self._dim = self._data.shape[1]
-        self._evaluator = ExactEvaluator(self._data, metric)
+        self._exact = ExactEvaluator(self._data, metric)
+        self._evaluator: Evaluator
+        if evaluation == "code":
+            signatures = np.atleast_1d(
+                np.asarray(pack_bits(codes_per_table[0]), dtype=np.int64)
+            )
+            self._evaluator = CodeEvaluator(
+                hashers[0], signatures, "asymmetric"
+            )
+        else:
+            self._evaluator = self._exact
         self._engine = QueryEngine(
             self._evaluator, name="hash", cache=cache, parallel=parallel
         )
+        self._engine.rerankers["exact"] = self._exact
+        if rerank_quantizer is not None:
+            if not rerank_quantizer.codebooks:
+                rerank_quantizer.fit(self._data)
+            self._engine.rerankers["adc"] = ADCEvaluator(
+                rerank_quantizer, rerank_quantizer.encode(self._data)
+            )
         # Per-table (signatures, unpacked bits), lazily built for
         # batched scoring; safe to cache because the tables are static.
         self._bucket_bits: dict[int, tuple[np.ndarray, np.ndarray]] = {}
@@ -182,6 +223,11 @@ class HashIndex:
     def multi_table_strategy(self) -> str:
         """How probe orders interleave across tables (see ``__init__``)."""
         return self._multi_table_strategy
+
+    @property
+    def evaluation(self) -> str:
+        """The evaluation stage's scoring rule (``"exact"`` / ``"code"``)."""
+        return self._evaluation
 
     @property
     def cache(self) -> QueryResultCache | None:
@@ -224,6 +270,8 @@ class HashIndex:
         n_candidates: int | None = None,
         max_buckets: int | None = None,
         time_budget: float | None = None,
+        rerank: RerankSpec | None = None,
+        fusion: FusionSpec | None = None,
     ) -> QueryPlan:
         """Build the :class:`QueryPlan` a ``search`` call would execute."""
         return QueryPlan(
@@ -233,6 +281,24 @@ class HashIndex:
             time_budget=time_budget,
             metric=self._metric,
             multi_table_strategy=self._multi_table_strategy,
+            rerank=rerank,
+            fusion=fusion,
+        )
+
+    def fuse_with(
+        self, partner: FusableIndex, n_candidates: int | None = None
+    ) -> None:
+        """Attach ``partner`` as this index's fusion counterpart.
+
+        After attaching, plans carrying a
+        :class:`~repro.search.stages.FusionSpec` linearly fuse this
+        index's ranked list with the partner's (another hasher, an IMI,
+        a compact index — anything engine-backed).  ``n_candidates``
+        fixes the partner's candidate budget; by default it inherits
+        each plan's own budget (matched-budget fusion).
+        """
+        self._engine.fusion_partner = IndexFusionPartner(
+            partner, n_candidates
         )
 
     # -- retrieval ----------------------------------------------------
@@ -325,6 +391,8 @@ class HashIndex:
         n_candidates: int | None = None,
         max_buckets: int | None = None,
         time_budget: float | None = None,
+        rerank: RerankSpec | None = None,
+        fusion: FusionSpec | None = None,
     ) -> SearchResult:
         """Approximate kNN with the paper's pluggable stopping criteria.
 
@@ -336,14 +404,23 @@ class HashIndex:
         * ``time_budget`` — stop retrieving after this many seconds.
 
         At least one criterion must be given.  Collected candidates are
-        exactly re-ranked and the top-``k`` returned.
+        re-ranked by the evaluation stage and the top-``k`` returned;
+        ``rerank`` / ``fusion`` switch on the optional pipeline stages
+        (see :meth:`plan`).
         """
-        plan = self.plan(k, n_candidates, max_buckets, time_budget)
+        plan = self.plan(
+            k, n_candidates, max_buckets, time_budget, rerank, fusion
+        )
         query = validate_query(query, self._dim)
         return self._engine.execute(query, plan, self.candidate_stream(query))
 
     def search_batch(
-        self, queries: np.ndarray, k: int, n_candidates: int
+        self,
+        queries: np.ndarray,
+        k: int,
+        n_candidates: int,
+        rerank: RerankSpec | None = None,
+        fusion: FusionSpec | None = None,
     ) -> list[SearchResult]:
         """``search`` over a query batch, genuinely batched.
 
@@ -358,7 +435,7 @@ class HashIndex:
         queries = validate_query_batch(queries, self._dim)
         if not len(queries):
             return []
-        plan = self.plan(k, n_candidates)
+        plan = self.plan(k, n_candidates, rerank=rerank, fusion=fusion)
         infos_per_table = [
             hasher.probe_info_batch(queries) for hasher in self._hashers
         ]
@@ -423,7 +500,7 @@ class HashIndex:
                 if not len(ids):
                     continue
                 ctx.n_candidates += len(ids)
-                dists = self._evaluator.distances(query, ids)
+                dists = self._exact.distances(query, ids)
                 for item_id, dist in zip(ids, dists):
                     best.append((float(dist), int(item_id)))
                 best.sort()
@@ -476,7 +553,7 @@ class HashIndex:
                 if not len(ids):
                     continue
                 ctx.n_candidates += len(ids)
-                dists = self._evaluator.distances(query, ids)
+                dists = self._exact.distances(query, ids)
                 hits.extend(
                     (float(d), int(i))
                     for i, d in zip(ids, dists)
@@ -527,6 +604,7 @@ class MIHSearchIndex:
         self._dim = self._data.shape[1]
         self._evaluator = ExactEvaluator(self._data, metric)
         self._engine = QueryEngine(self._evaluator, name="mih", cache=cache)
+        self._engine.rerankers["exact"] = self._evaluator
 
     @property
     def num_items(self) -> int:
@@ -543,9 +621,17 @@ class MIHSearchIndex:
             if len(ids):
                 yield ids
 
-    def search(self, query: np.ndarray, k: int, n_candidates: int) -> SearchResult:
+    def search(
+        self,
+        query: np.ndarray,
+        k: int,
+        n_candidates: int,
+        rerank: RerankSpec | None = None,
+    ) -> SearchResult:
         query = validate_query(query, self._dim)
-        plan = QueryPlan(k=k, n_candidates=n_candidates, metric=self._metric)
+        plan = QueryPlan(
+            k=k, n_candidates=n_candidates, metric=self._metric, rerank=rerank
+        )
         return self._engine.execute(query, plan, self.candidate_stream(query))
 
 
@@ -580,14 +666,18 @@ class IMISearchIndex:
         self._fine = rerank_quantizer
         self._dim = self._data.shape[1]
         evaluator: Evaluator
+        exact = ExactEvaluator(self._data, metric)
         if rerank_quantizer is not None:
             if not rerank_quantizer.codebooks:
                 rerank_quantizer.fit(self._data)
             self._fine_codes = rerank_quantizer.encode(self._data)
             evaluator = ADCEvaluator(rerank_quantizer, self._fine_codes)
         else:
-            evaluator = ExactEvaluator(self._data, metric)
+            evaluator = exact
         self._engine = QueryEngine(evaluator, name="imi", cache=cache)
+        self._engine.rerankers["exact"] = exact
+        if rerank_quantizer is not None:
+            self._engine.rerankers["adc"] = evaluator
 
     @property
     def num_items(self) -> int:
@@ -600,7 +690,15 @@ class IMISearchIndex:
     def candidate_stream(self, query: np.ndarray) -> Iterator[np.ndarray]:
         yield from self._imi.probe(validate_query(query, self._dim))
 
-    def search(self, query: np.ndarray, k: int, n_candidates: int) -> SearchResult:
+    def search(
+        self,
+        query: np.ndarray,
+        k: int,
+        n_candidates: int,
+        rerank: RerankSpec | None = None,
+    ) -> SearchResult:
         query = validate_query(query, self._dim)
-        plan = QueryPlan(k=k, n_candidates=n_candidates, metric=self._metric)
+        plan = QueryPlan(
+            k=k, n_candidates=n_candidates, metric=self._metric, rerank=rerank
+        )
         return self._engine.execute(query, plan, self.candidate_stream(query))

@@ -21,6 +21,7 @@ from repro.search.engine import (
     validate_query,
 )
 from repro.search.results import SearchResult
+from repro.search.stages import RerankSpec
 
 __all__ = ["CandidateStreamSource", "StreamSearchIndex"]
 
@@ -67,6 +68,7 @@ class StreamSearchIndex:
         self._engine = QueryEngine(
             ExactEvaluator(self._data, metric), name="stream", cache=cache
         )
+        self._engine.rerankers["exact"] = self._engine.evaluator
         self._known_items = stream_index.num_items
 
     @property
@@ -86,8 +88,16 @@ class StreamSearchIndex:
             self._known_items = current
             self._engine.bump_generation()
 
-    def search(self, query: np.ndarray, k: int, n_candidates: int) -> SearchResult:
+    def search(
+        self,
+        query: np.ndarray,
+        k: int,
+        n_candidates: int,
+        rerank: RerankSpec | None = None,
+    ) -> SearchResult:
         query = validate_query(query, self._dim)
         self._sync_generation()
-        plan = QueryPlan(k=k, n_candidates=n_candidates, metric=self._metric)
+        plan = QueryPlan(
+            k=k, n_candidates=n_candidates, metric=self._metric, rerank=rerank
+        )
         return self._engine.execute(query, plan, self.candidate_stream(query))

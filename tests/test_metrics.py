@@ -1,12 +1,25 @@
-"""Tests for recall/precision metrics."""
+"""Tests for recall/precision and the rank-aware IR metrics.
+
+The MRR@k and NDCG@k cases are pinned against hand-computed values
+(worked out from the definitions, not from the implementation) so a
+regression in the discount or the ideal-DCG normalisation cannot slip
+through as an "equally plausible" number.
+"""
 
 import numpy as np
 import pytest
 
+from repro.eval.ir_report import format_ir_report, ir_report
 from repro.eval.metrics import (
+    mean_mrr_at_k,
+    mean_ndcg_at_k,
     mean_recall,
+    mean_recall_at_k,
+    mrr_at_k,
+    ndcg_at_k,
     precision,
     recall,
+    recall_at_k,
     recall_from_candidates,
 )
 
@@ -59,3 +72,117 @@ class TestRecallFromCandidates:
         candidates = np.array([4, 5, 6, 7])
         truth = np.array([5, 9])
         assert recall_from_candidates(candidates, truth) == 0.5
+
+
+class TestRecallAtK:
+    def test_only_top_k_counts(self):
+        returned = np.array([9, 8, 1, 2])
+        truth = np.array([1, 2])
+        assert recall_at_k(returned, truth, k=2) == 0.0
+        assert recall_at_k(returned, truth, k=4) == 1.0
+
+    def test_k_validated(self):
+        with pytest.raises(ValueError, match="k"):
+            recall_at_k(np.array([1]), np.array([1]), k=0)
+
+
+class TestMRRAtK:
+    def test_hand_computed_ranks(self):
+        truth = np.array([7, 8])
+        # First relevant at rank 1 → 1.0.
+        assert mrr_at_k(np.array([7, 1, 2]), truth, k=10) == 1.0
+        # First relevant at rank 3 → 1/3.
+        assert mrr_at_k(
+            np.array([1, 2, 8, 7]), truth, k=10
+        ) == pytest.approx(1 / 3)
+        # Relevant item beyond the cutoff does not count.
+        assert mrr_at_k(np.array([1, 2, 8]), truth, k=2) == 0.0
+
+    def test_no_relevant_returns_zero(self):
+        assert mrr_at_k(np.array([1, 2, 3]), np.array([9]), k=3) == 0.0
+
+    def test_empty_truth_rejected(self):
+        with pytest.raises(ValueError, match="truth"):
+            mrr_at_k(np.array([1]), np.array([]), k=1)
+
+    def test_mean_mrr(self):
+        truth = np.array([[1], [2]])
+        returned = [np.array([1, 5]), np.array([5, 2])]
+        # Per-query: 1/1 and 1/2 → mean 0.75.
+        assert mean_mrr_at_k(returned, truth, k=2) == pytest.approx(0.75)
+
+
+class TestNDCGAtK:
+    def test_perfect_ordering_is_one(self):
+        truth = np.array([3, 1, 2])
+        assert ndcg_at_k(np.array([1, 2, 3]), truth, k=3) == pytest.approx(
+            1.0
+        )
+
+    def test_hand_computed_single_hit_at_rank_two(self):
+        # DCG = 1/log2(3) (hit at 0-based position 1); |truth| = 1 so
+        # IDCG = 1/log2(2) = 1.  NDCG = 1/log2(3) ≈ 0.63093.
+        got = ndcg_at_k(np.array([5, 1, 6]), np.array([1]), k=3)
+        assert got == pytest.approx(1.0 / np.log2(3.0))
+
+    def test_hand_computed_two_hits(self):
+        # Hits at positions 0 and 2 of [1, 9, 2]; truth = {1, 2}.
+        # DCG = 1/log2(2) + 1/log2(4) = 1 + 0.5 = 1.5.
+        # IDCG (2 relevant in top-3) = 1/log2(2) + 1/log2(3).
+        want = 1.5 / (1.0 + 1.0 / np.log2(3.0))
+        got = ndcg_at_k(np.array([1, 9, 2]), np.array([1, 2]), k=3)
+        assert got == pytest.approx(want)
+
+    def test_ideal_truncates_to_k(self):
+        # 5 relevant items but k=2: a list with 2 hits is perfect.
+        truth = np.arange(5)
+        assert ndcg_at_k(np.array([0, 1]), truth, k=2) == pytest.approx(1.0)
+
+    def test_no_hits_is_zero(self):
+        assert ndcg_at_k(np.array([9, 8]), np.array([1]), k=2) == 0.0
+
+    def test_mean_ndcg_and_recall(self):
+        truth = np.array([[1], [2]])
+        returned = [np.array([1, 5]), np.array([5, 2])]
+        want_ndcg = (1.0 + 1.0 / np.log2(3.0)) / 2
+        assert mean_ndcg_at_k(returned, truth, k=2) == pytest.approx(
+            want_ndcg
+        )
+        assert mean_recall_at_k(returned, truth, k=2) == pytest.approx(1.0)
+        assert mean_recall_at_k(returned, truth, k=1) == pytest.approx(0.5)
+
+
+class TestIRReport:
+    def test_report_shape_and_values(self):
+        truth = np.array([[1], [2]])
+        report = ir_report(
+            {
+                "perfect": [np.array([1, 9]), np.array([2, 9])],
+                "offset": [np.array([9, 1]), np.array([9, 2])],
+            },
+            truth,
+            k=2,
+        )
+        assert set(report) == {"perfect", "offset"}
+        assert set(report["perfect"]) == {"mrr@2", "recall@2", "ndcg@2"}
+        assert report["perfect"]["mrr@2"] == pytest.approx(1.0)
+        assert report["perfect"]["ndcg@2"] == pytest.approx(1.0)
+        assert report["offset"]["mrr@2"] == pytest.approx(0.5)
+        assert report["offset"]["recall@2"] == pytest.approx(1.0)
+
+    def test_empty_report_rejected(self):
+        with pytest.raises(ValueError):
+            ir_report({}, np.array([[1]]), k=1)
+        with pytest.raises(ValueError):
+            format_ir_report({})
+
+    def test_format_renders_all_pipelines(self):
+        truth = np.array([[1]])
+        report = ir_report(
+            {"a": [np.array([1])], "b": [np.array([2])]}, truth, k=1
+        )
+        text = format_ir_report(report)
+        assert "pipeline" in text
+        assert "mrr@1" in text
+        for name in ("a", "b"):
+            assert name in text

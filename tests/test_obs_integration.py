@@ -208,7 +208,9 @@ class TestSamplerIntegration:
         for trace in sampler.traces():
             assert trace.spans["name"] == "query"
             stages = [c["name"] for c in trace.spans["children"]]
-            assert stages == ["retrieve", "evaluate"]
+            assert stages == [
+                "retrieve", "dedup_budget", "evaluate", "truncate"
+            ]
             assert trace.stats["n_candidates"] >= 100
             # Per-bucket sizes are recorded only for sampled queries
             # and sum to the candidate count.
@@ -251,7 +253,9 @@ class TestStageTimingSingleSource:
         root = result.extras["spans"]
         stats = result.stats
         assert stats.total_seconds == root.duration
-        assert stats.retrieval_seconds == root.child_duration("retrieve")
+        assert stats.retrieval_seconds == root.child_duration(
+            "retrieve"
+        ) + root.child_duration("dedup_budget")
         assert stats.evaluation_seconds == root.child_duration("evaluate")
 
     def test_batch_results_feed_stage_report(self, hash_index, queries):

@@ -110,6 +110,28 @@ class TestBitIdentity:
             serial.search_batch(queries, k=10, n_candidates=200),
         )
 
+    @pytest.mark.parametrize("n_tables", [1, 2])
+    def test_reranked_batch_matches_serial(self, data, queries, n_tables):
+        # Post stages (rerank + truncate) are per-row independent, so
+        # sharding must stay bit-identical with a rerank in the plan.
+        from repro.search import RerankSpec
+
+        spec = RerankSpec(mode="exact", pool=40)
+        parallel = build(
+            data,
+            n_tables=n_tables,
+            parallel=ParallelBatchExecutor(n_workers=4, min_batch_size=8),
+        )
+        serial = build(data, n_tables=n_tables)
+        assert_batches_equal(
+            parallel.search_batch(
+                queries, k=10, n_candidates=200, rerank=spec
+            ),
+            serial.search_batch(
+                queries, k=10, n_candidates=200, rerank=spec
+            ),
+        )
+
     def test_batch_matches_per_query_search(self, data, queries):
         index = build(
             data,

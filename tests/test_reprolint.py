@@ -34,10 +34,12 @@ def rule_ids(violations):
 
 
 class TestRegistry:
-    def test_all_ten_rules_registered(self):
+    def test_all_eleven_rules_registered(self):
         ids = [rule.rule_id for rule in all_rules()]
         assert ids == sorted(ids)
-        expected = {f"RL00{n}" for n in range(1, 10)} | {"RL010"}
+        expected = (
+            {f"RL00{n}" for n in range(1, 10)} | {"RL010", "RL011"}
+        )
         assert expected <= set(ids)
 
     def test_rules_have_metadata(self):
@@ -359,6 +361,54 @@ class TestFaultTaxonomyRL010:
     def test_outside_distributed_is_exempt(self):
         src = "try:\n    rpc()\nexcept Exception:\n    pass\n"
         found = check_source(src, SEARCH_PATH, [get_rule("RL010")])
+        assert found == []
+
+
+class TestStagePipelineEncapsulationRL011:
+    OUTSIDE = "src/repro/distributed/cluster.py"
+
+    def test_stage_class_import_fires(self):
+        src = "from repro.search.stages import RerankStage\n"
+        found = check_source(src, self.OUTSIDE, [get_rule("RL011")])
+        assert rule_ids(found) == ["RL011"]
+
+    def test_assembly_helper_import_fires(self):
+        src = "from repro.search.stages import build_pipeline\n"
+        found = check_source(src, self.OUTSIDE, [get_rule("RL011")])
+        assert rule_ids(found) == ["RL011"]
+
+    def test_wholesale_module_import_fires(self):
+        src = "import repro.search.stages\n"
+        found = check_source(src, self.OUTSIDE, [get_rule("RL011")])
+        assert rule_ids(found) == ["RL011"]
+
+    def test_stage_construction_fires(self):
+        src = "stage = TruncateStage(10)\n"
+        found = check_source(src, self.OUTSIDE, [get_rule("RL011")])
+        assert rule_ids(found) == ["RL011"]
+
+    def test_drain_stream_call_fires(self):
+        src = "ids = drain_stream(stream, plan, ctx)\n"
+        found = check_source(src, self.OUTSIDE, [get_rule("RL011")])
+        assert rule_ids(found) == ["RL011"]
+
+    def test_spec_vocabulary_is_allowed(self):
+        src = (
+            "from repro.search import (\n"
+            "    FusionSpec, IndexFusionPartner, RerankSpec, linear_fusion\n"
+            ")\n"
+            "spec = RerankSpec(mode='exact', pool=50)\n"
+            "fuse = FusionSpec(weight=0.3)\n"
+        )
+        found = check_source(src, self.OUTSIDE, [get_rule("RL011")])
+        assert found == []
+
+    def test_inside_search_is_exempt(self):
+        src = (
+            "from repro.search.stages import build_pipeline\n"
+            "stage = TruncateStage(10)\n"
+        )
+        found = check_source(src, SEARCH_PATH, [get_rule("RL011")])
         assert found == []
 
 

@@ -4,7 +4,8 @@ Importing this package registers every rule with the core registry.
 Rules are grouped by the contract they protect:
 
 * :mod:`reprolint.rules.architecture` — RL001 engine bypass, RL003
-  bucket encapsulation (the PR-1 engine refactor).
+  bucket encapsulation (the PR-1 engine refactor), RL011 stage-pipeline
+  encapsulation (the PR-6 staged execution refactor).
 * :mod:`reprolint.rules.numerics` — RL002 implicit dtype, RL004
   wall-clock timing (the paper's numeric/measurement contracts).
 * :mod:`reprolint.rules.hygiene` — RL005 broad except, RL007 mutable

@@ -13,7 +13,11 @@ from collections.abc import Iterator
 
 from reprolint.core import ModuleContext, Rule, Violation, register
 
-__all__ = ["BucketEncapsulationRule", "EngineBypassRule"]
+__all__ = [
+    "BucketEncapsulationRule",
+    "EngineBypassRule",
+    "StagePipelineEncapsulationRule",
+]
 
 #: Modules that constitute the query hot path: anything here that
 #: scores candidates must do so through an engine evaluator.
@@ -123,6 +127,82 @@ class BucketEncapsulationRule(Rule):
                     "repro/index/hash_table.py; use get()/signatures()/"
                     "dense_layout()",
                 )
+
+
+@register
+class StagePipelineEncapsulationRule(Rule):
+    """RL011: pipeline stage internals stay inside ``repro/search``.
+
+    The stage classes (``RetrieveStage`` … ``TruncateStage``), the
+    ``PipelineState`` they thread, and the ``build_pipeline`` /
+    ``drain_stream`` assembly helpers are the engine's implementation
+    vocabulary.  Code outside ``repro/search`` configures pipelines
+    declaratively — ``RerankSpec`` / ``FusionSpec`` on a ``QueryPlan``,
+    ``IndexFusionPartner`` / ``linear_fusion`` for fusion wiring — and
+    lets the engine assemble and run the stages.  Direct stage
+    construction elsewhere would execute retrieval or scoring outside
+    the instrumented pipeline, invisible to ``ExecutionContext`` stats,
+    cache fingerprints and the per-stage telemetry label.
+    """
+
+    rule_id = "RL011"
+    name = "stage-pipeline-encapsulation"
+    description = (
+        "pipeline stage internals (``*Stage`` classes, PipelineState, "
+        "build_pipeline, drain_stream) may only be used inside "
+        "repro/search; configure plans with RerankSpec/FusionSpec "
+        "instead"
+    )
+
+    _STAGES_MODULE = "repro.search.stages"
+    _INTERNAL_NAMES = frozenset(
+        {"Stage", "PipelineState", "build_pipeline", "drain_stream"}
+    )
+
+    def applies(self, module: ModuleContext) -> bool:
+        return module.within("src/repro") and not module.within(
+            "repro/search"
+        )
+
+    def _is_internal(self, name: str | None) -> bool:
+        if name is None:
+            return False
+        return name in self._INTERNAL_NAMES or name.endswith("Stage")
+
+    def check(self, module: ModuleContext) -> Iterator[Violation]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == self._STAGES_MODULE:
+                        yield self.violation(
+                            module,
+                            node,
+                            "importing repro.search.stages wholesale "
+                            "exposes stage internals; import the spec "
+                            "types (RerankSpec, FusionSpec, ...) from "
+                            "repro.search instead",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                for alias in node.names:
+                    if self._is_internal(alias.name):
+                        yield self.violation(
+                            module,
+                            node,
+                            f"importing stage internal {alias.name!r} "
+                            "outside repro/search; configure the plan "
+                            "with RerankSpec/FusionSpec and let the "
+                            "engine assemble the pipeline",
+                        )
+            elif isinstance(node, ast.Call):
+                name = _terminal_name(node.func)
+                if self._is_internal(name):
+                    yield self.violation(
+                        module,
+                        node,
+                        f"call to stage internal {name!r} outside "
+                        "repro/search runs pipeline stages outside the "
+                        "instrumented engine",
+                    )
 
 
 def _terminal_name(func: ast.expr) -> str | None:
