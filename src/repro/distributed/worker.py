@@ -12,6 +12,8 @@ coordinator's :class:`~repro.distributed.cluster.NetworkModel`.
 
 from __future__ import annotations
 
+from collections.abc import Iterator
+
 import numpy as np
 
 from repro import obs
@@ -128,7 +130,9 @@ class ShardWorker:
             extras,
         )
 
-    def _bucket_stream(self, signature: int, costs: np.ndarray):
+    def _bucket_stream(
+        self, signature: int, costs: np.ndarray
+    ) -> Iterator[np.ndarray]:
         for bucket in self._prober.probe(self._table, signature, costs):
             ids = self._table.get(bucket)
             if len(ids):

@@ -18,6 +18,8 @@ recall curve off a single probe trace.
 
 from __future__ import annotations
 
+from collections.abc import Callable
+
 import numpy as np
 
 __all__ = [
@@ -137,7 +139,7 @@ def ndcg_at_k(
 
 
 def _mean_over_queries(
-    metric,
+    metric: Callable[[np.ndarray, np.ndarray, int], float],
     returned_per_query: list[np.ndarray],
     truth_ids: np.ndarray,
     k: int,

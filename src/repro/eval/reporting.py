@@ -49,7 +49,7 @@ def format_curves(curves: dict[str, list[CurvePoint]]) -> str:
     return "\n".join(sections)
 
 
-def _fmt(value) -> str:
+def _fmt(value: object) -> str:
     if isinstance(value, float):
         return f"{value:.4g}"
     return str(value)

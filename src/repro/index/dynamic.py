@@ -14,6 +14,7 @@ tombstones exceed half its population.
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Iterator
 
 import numpy as np
@@ -38,6 +39,13 @@ class DynamicHashTable:
         self._dead: set[int] = set()
         self._bucket_of: dict[int, int] = {}
         self._n_alive = 0
+        # ``get`` compacts lazily, so *reads* mutate the table too;
+        # parallel batch workers call ``get`` concurrently and must not
+        # interleave with each other or with add/remove.  Non-reentrant
+        # by design: no method below calls another locked method while
+        # holding the lock (num_buckets/signatures call ``get`` from
+        # outside it).
+        self._lock = threading.Lock()
 
     @property
     def code_length(self) -> int:
@@ -63,27 +71,29 @@ class DynamicHashTable:
     def add(self, item_id: int, code: np.ndarray | int) -> None:
         """Insert one item under its bit-array or signature code."""
         item_id = int(item_id)
-        if item_id in self._bucket_of:
-            if item_id not in self._dead:
-                raise KeyError(f"item {item_id} already present")
-            # Re-using a tombstoned id: purge it from its old bucket now.
-            old_signature = self._bucket_of.pop(item_id)
-            members = self._buckets.get(old_signature)
-            if members is not None:
-                members.remove(item_id)
-                if not members:
-                    del self._buckets[old_signature]
-            self._dead.discard(item_id)
         if isinstance(code, (int, np.integer)):
             signature = int(code)
         else:
             signature = int(pack_bits(code))
         if not 0 <= signature < (1 << self._m):
             raise ValueError(f"signature out of range for m={self._m}")
-        self._buckets.setdefault(signature, []).append(item_id)
-        self._bucket_of[item_id] = signature
-        self._dead.discard(item_id)
-        self._n_alive += 1
+        with self._lock:
+            if item_id in self._bucket_of:
+                if item_id not in self._dead:
+                    raise KeyError(f"item {item_id} already present")
+                # Re-using a tombstoned id: purge it from its old
+                # bucket now.
+                old_signature = self._bucket_of.pop(item_id)
+                members = self._buckets.get(old_signature)
+                if members is not None:
+                    members.remove(item_id)
+                    if not members:
+                        del self._buckets[old_signature]
+                self._dead.discard(item_id)
+            self._buckets.setdefault(signature, []).append(item_id)
+            self._bucket_of[item_id] = signature
+            self._dead.discard(item_id)
+            self._n_alive += 1
 
     def add_batch(self, item_ids: np.ndarray, codes: np.ndarray) -> None:
         """Insert many items; ``codes`` is a ``(n, m)`` bit array."""
@@ -99,35 +109,38 @@ class DynamicHashTable:
     def remove(self, item_id: int) -> None:
         """Tombstone one item; raises ``KeyError`` if absent."""
         item_id = int(item_id)
-        if item_id not in self._bucket_of or item_id in self._dead:
-            raise KeyError(f"item {item_id} not present")
-        self._dead.add(item_id)
-        self._n_alive -= 1
+        with self._lock:
+            if item_id not in self._bucket_of or item_id in self._dead:
+                raise KeyError(f"item {item_id} not present")
+            self._dead.add(item_id)
+            self._n_alive -= 1
 
     def __contains__(self, signature: int) -> bool:
         return len(self.get(int(signature))) > 0
 
     def get(self, signature: int) -> np.ndarray:
         """Live item ids in the bucket (compacting tombstones lazily)."""
-        members = self._buckets.get(int(signature))
-        if not members:
-            return _EMPTY_IDS
-        dead_here = [item for item in members if item in self._dead]
-        if dead_here:
-            if len(dead_here) * 2 >= len(members):
-                # Compact: drop tombstones for good.
-                members[:] = [m for m in members if m not in self._dead]
-                for item in dead_here:
-                    del self._bucket_of[item]
-                    self._dead.discard(item)
-                if not members:
-                    del self._buckets[int(signature)]
-                    return _EMPTY_IDS
-                return np.asarray(members, dtype=np.int64)
-            return np.asarray(
-                [m for m in members if m not in self._dead], dtype=np.int64
-            )
-        return np.asarray(members, dtype=np.int64)
+        with self._lock:
+            members = self._buckets.get(int(signature))
+            if not members:
+                return _EMPTY_IDS
+            dead_here = [item for item in members if item in self._dead]
+            if dead_here:
+                if len(dead_here) * 2 >= len(members):
+                    # Compact: drop tombstones for good.
+                    members[:] = [m for m in members if m not in self._dead]
+                    for item in dead_here:
+                        del self._bucket_of[item]
+                        self._dead.discard(item)
+                    if not members:
+                        del self._buckets[int(signature)]
+                        return _EMPTY_IDS
+                    return np.asarray(members, dtype=np.int64)
+                return np.asarray(
+                    [m for m in members if m not in self._dead],
+                    dtype=np.int64,
+                )
+            return np.asarray(members, dtype=np.int64)
 
     def signatures(self) -> Iterator[int]:
         """Iterate over buckets that currently hold at least one live item."""

@@ -9,6 +9,7 @@ space is occupied, but probers must still tolerate missing signatures.
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Iterator
 
 import numpy as np
@@ -80,6 +81,9 @@ class HashTable:
             int(sig): group for sig, group in zip(uniques, groups)
         }
         self._layout: tuple[np.ndarray, ...] | None = None
+        # The table is immutable but the layout cache is not: parallel
+        # batch workers may race to build it on first use.
+        self._layout_lock = threading.Lock()
 
     @property
     def code_length(self) -> int:
@@ -117,24 +121,32 @@ class HashTable:
         that order.  Built lazily and cached — the table is immutable —
         so batched execution pays the flattening cost once per table.
         """
-        if self._layout is None:
-            count = len(self._buckets)
-            signatures = np.fromiter(
-                self._buckets, dtype=np.int64, count=count
-            )
-            sizes = np.fromiter(
-                (len(ids) for ids in self._buckets.values()),
-                dtype=np.int64,
-                count=count,
-            )
-            ids_flat = (
-                np.concatenate(list(self._buckets.values()))
-                if count
-                else _EMPTY_IDS
-            )
-            offsets = np.concatenate(([0], np.cumsum(sizes)[:-1]))
-            self._layout = (signatures, sizes, offsets, ids_flat)
-        return self._layout
+        layout = self._layout
+        if layout is None:
+            # Double-checked: the fast path above stays lock-free once
+            # built (assignment of the ready tuple is atomic), losers
+            # of the build race just re-read the winner's tuple.
+            with self._layout_lock:
+                layout = self._layout
+                if layout is None:
+                    count = len(self._buckets)
+                    signatures = np.fromiter(
+                        self._buckets, dtype=np.int64, count=count
+                    )
+                    sizes = np.fromiter(
+                        (len(ids) for ids in self._buckets.values()),
+                        dtype=np.int64,
+                        count=count,
+                    )
+                    ids_flat = (
+                        np.concatenate(list(self._buckets.values()))
+                        if count
+                        else _EMPTY_IDS
+                    )
+                    offsets = np.concatenate(([0], np.cumsum(sizes)[:-1]))
+                    layout = (signatures, sizes, offsets, ids_flat)
+                    self._layout = layout
+        return layout
 
     def bucket_sizes(self) -> dict[int, int]:
         """Mapping of signature to bucket population."""

@@ -21,6 +21,7 @@ reproducible.
 from __future__ import annotations
 
 import random
+import threading
 from collections import deque
 from dataclasses import dataclass
 
@@ -80,6 +81,10 @@ class TraceSampler:
         self._phase = random.Random(seed).randrange(every_n)
         self._seen = 0
         self._ring: deque[SampledTrace] = deque(maxlen=capacity)
+        # Samplers are shared across ParallelBatchExecutor worker
+        # threads; counter and ring mutations must be atomic or
+        # concurrent queries lose counts and tear the ring.
+        self._lock = threading.Lock()
 
     @property
     def seen(self) -> int:
@@ -88,8 +93,9 @@ class TraceSampler:
 
     def should_sample(self) -> bool:
         """Advance the query counter; True when this query is selected."""
-        decision = self._seen % self.every_n == self._phase
-        self._seen += 1
+        with self._lock:
+            decision = self._seen % self.every_n == self._phase
+            self._seen += 1
         return decision
 
     def record(
@@ -100,25 +106,29 @@ class TraceSampler:
         probe_trace: dict | None = None,
     ) -> SampledTrace:
         """Store a sample for the most recent selected query."""
-        trace = SampledTrace(
-            seq=self._seen - 1,
-            spans=spans,
-            stats=stats,
-            bucket_sizes=bucket_sizes,
-            probe_trace=probe_trace,
-        )
-        self._ring.append(trace)
+        with self._lock:
+            trace = SampledTrace(
+                seq=self._seen - 1,
+                spans=spans,
+                stats=stats,
+                bucket_sizes=bucket_sizes,
+                probe_trace=probe_trace,
+            )
+            self._ring.append(trace)
         return trace
 
     def traces(self) -> list[SampledTrace]:
         """Retained samples, oldest first."""
-        return list(self._ring)
+        with self._lock:
+            return list(self._ring)
 
     def last(self) -> SampledTrace | None:
         """The most recent sample, if any."""
-        return self._ring[-1] if self._ring else None
+        with self._lock:
+            return self._ring[-1] if self._ring else None
 
     def clear(self) -> None:
         """Drop retained samples and restart the query counter."""
-        self._ring.clear()
-        self._seen = 0
+        with self._lock:
+            self._ring.clear()
+            self._seen = 0

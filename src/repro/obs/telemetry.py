@@ -58,6 +58,7 @@ name ("hash", "shard", …).
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Iterator
 from contextlib import contextmanager
 from typing import TYPE_CHECKING, Protocol
@@ -285,28 +286,41 @@ class TelemetryState:
             labels=("cache",),
         )
         self._per_index: dict[str, _IndexInstruments] = {}
+        # Worker threads resolve instruments for their engine's index
+        # label concurrently; the per-child locks inside the registry
+        # make the cells safe, but this cache itself needs its own
+        # guard.
+        self._per_index_lock = threading.Lock()
 
     def index_instruments(self, index: str) -> _IndexInstruments:
         """Label children for ``index``, resolved once and cached."""
         instruments = self._per_index.get(index)
-        if instruments is None:
-            instruments = _IndexInstruments(
-                queries=self.queries.labels(index=index),
-                retrieval=self.stage_seconds.labels(
-                    index=index, stage="retrieval"
-                ),
-                evaluation=self.stage_seconds.labels(
-                    index=index, stage="evaluation"
-                ),
-                total=self.stage_seconds.labels(index=index, stage="total"),
-                candidates=self.candidates.labels(index=index),
-                buckets=self.buckets_probed.labels(index=index),
-                early_stops=self.early_stops.labels(index=index),
-                rerank=self.stage_seconds.labels(index=index, stage="rerank"),
-                fuse=self.stage_seconds.labels(index=index, stage="fuse"),
-            )
-            self._per_index[index] = instruments
-        return instruments
+        if instruments is not None:
+            return instruments
+        with self._per_index_lock:
+            instruments = self._per_index.get(index)
+            if instruments is None:
+                instruments = _IndexInstruments(
+                    queries=self.queries.labels(index=index),
+                    retrieval=self.stage_seconds.labels(
+                        index=index, stage="retrieval"
+                    ),
+                    evaluation=self.stage_seconds.labels(
+                        index=index, stage="evaluation"
+                    ),
+                    total=self.stage_seconds.labels(
+                        index=index, stage="total"
+                    ),
+                    candidates=self.candidates.labels(index=index),
+                    buckets=self.buckets_probed.labels(index=index),
+                    early_stops=self.early_stops.labels(index=index),
+                    rerank=self.stage_seconds.labels(
+                        index=index, stage="rerank"
+                    ),
+                    fuse=self.stage_seconds.labels(index=index, stage="fuse"),
+                )
+                self._per_index[index] = instruments
+            return instruments
 
 
 _STATE: TelemetryState | None = None

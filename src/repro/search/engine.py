@@ -39,6 +39,7 @@ powers the evaluation *and* rerank stages.
 from __future__ import annotations
 
 import heapq
+import threading
 from collections.abc import Callable, Iterable, Iterator
 from dataclasses import dataclass, field
 from typing import Protocol
@@ -876,6 +877,12 @@ class QueryEngine:
         self.cache = cache
         self.parallel = parallel
         self.generation = 0
+        # Mutable indexes bump the generation from whatever thread runs
+        # the mutation — including pool workers syncing a stream index
+        # mid-fusion — and `+=` is not atomic under the GIL.  Reads
+        # (cache keys) stay lock-free: a torn read just misses the
+        # cache.
+        self._generation_lock = threading.Lock()
         self.rerankers: dict[str, Evaluator] = {}
         self.fusion_partner: FusionPartner | None = None
         self._cache_token = cache_token(name)
@@ -931,7 +938,8 @@ class QueryEngine:
         entries become unreachable (and age out of the LRU) rather than
         ever being served stale.
         """
-        self.generation += 1
+        with self._generation_lock:
+            self.generation += 1
 
     def execute(
         self,

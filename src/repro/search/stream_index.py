@@ -8,6 +8,7 @@ same harness as every other method.
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Iterator
 from typing import Protocol
 
@@ -70,6 +71,10 @@ class StreamSearchIndex:
         )
         self._engine.rerankers["exact"] = self._engine.evaluator
         self._known_items = stream_index.num_items
+        # Fusion plans run this index's search on pool worker threads;
+        # the check-and-bump in _sync_generation must be atomic or two
+        # threads can tear _known_items and double-bump the generation.
+        self._sync_lock = threading.Lock()
 
     @property
     def num_items(self) -> int:
@@ -83,10 +88,11 @@ class StreamSearchIndex:
         yield from self._inner.candidate_stream(query)
 
     def _sync_generation(self) -> None:
-        current = self._inner.num_items
-        if current != self._known_items:
-            self._known_items = current
-            self._engine.bump_generation()
+        with self._sync_lock:
+            current = self._inner.num_items
+            if current != self._known_items:
+                self._known_items = current
+                self._engine.bump_generation()
 
     def search(
         self,

@@ -34,12 +34,16 @@ def rule_ids(violations):
 
 
 class TestRegistry:
-    def test_all_eleven_rules_registered(self):
+    def test_all_fourteen_rules_registered(self):
         ids = [rule.rule_id for rule in all_rules()]
         assert ids == sorted(ids)
-        expected = (
-            {f"RL00{n}" for n in range(1, 10)} | {"RL010", "RL011"}
-        )
+        expected = {f"RL00{n}" for n in range(1, 10)} | {
+            "RL010",
+            "RL011",
+            "RL012",
+            "RL013",
+            "RL014",
+        }
         assert expected <= set(ids)
 
     def test_rules_have_metadata(self):

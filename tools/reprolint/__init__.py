@@ -4,14 +4,21 @@ Generic linters check style; ``reprolint`` checks the *architecture and
 numeric contracts* this reproduction's correctness rests on: every
 search path routed through the query engine, explicit dtypes in hot
 paths, ``HashTable`` bucket encapsulation, monotonic timing, and
-public-API hygiene.  See ``CONTRIBUTING.md`` for the rule catalogue and
-the paper invariant each rule protects.
+public-API hygiene.  Since v2 it is a whole-program engine: per-file
+rules run in parallel worker processes over a content-hash cache, and
+cross-file rules (concurrency discipline, determinism, engine
+integrity) query a project-wide symbol table and call graph.  See
+``CONTRIBUTING.md`` for the rule catalogue and the paper invariant
+each rule protects, and ``DESIGN.md`` §5h for the engine
+architecture.
 
 Usage::
 
     python -m reprolint src tests benchmarks
     python -m reprolint --list-rules
     python -m reprolint --format json src
+    python -m reprolint src/repro --fail-on-new   # baseline gate
+    python -m reprolint src --format sarif --output report.sarif
 
 Suppress a finding on one line (justify in the commit or a comment)::
 
@@ -36,7 +43,7 @@ from reprolint.core import (
     register,
 )
 
-__version__ = "1.0.0"
+__version__ = "2.0.0"
 
 __all__ = [
     "ModuleContext",

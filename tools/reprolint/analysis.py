@@ -1,0 +1,345 @@
+"""Analysis driver: caching, multi-process execution, project rules.
+
+:func:`run_analysis` is the single entry point behind both the CLI and
+:func:`reprolint.core.check_paths`.  It runs in two phases:
+
+1. **Per-file phase** — for every ``.py`` file, run the per-file rules
+   and extract the :class:`~reprolint.project.ModuleSummary`.  Each
+   file's result is a pure function of its bytes, so results are
+   cached under a blake2b content hash (plus the analyzer/ruleset
+   fingerprint) and cold files can be fanned out to worker processes.
+2. **Project phase** — assemble summaries into a
+   :class:`~reprolint.project.ProjectIndex` and run every
+   :class:`~reprolint.core.ProjectRule` over it, applying per-line
+   suppression at each finding's reported site.
+
+Multi-process execution uses the ``fork`` start method when available
+(cheap, inherits the loaded rule registry) and falls back to serial
+execution on any pool failure — a lint run must never die to an
+execution-strategy problem.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import time
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from reprolint.core import (
+    ProjectRule,
+    Rule,
+    Violation,
+    all_rules,
+    check_source,
+    collect_files,
+)
+from reprolint.project import (
+    SUMMARY_VERSION,
+    ModuleSummary,
+    ProjectIndex,
+    summarize_module,
+)
+
+__all__ = ["AnalysisReport", "run_analysis"]
+
+#: Cache layout version, independent of the summary schema version.
+_CACHE_VERSION = 1
+
+
+@dataclass
+class AnalysisReport:
+    """Outcome of one analysis run."""
+
+    violations: list[Violation]
+    files_checked: int
+    stats: dict[str, object] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class _FileResult:
+    path: str
+    violations: tuple[Violation, ...]
+    summary: ModuleSummary | None
+    cache_hit: bool
+
+
+def _ruleset_fingerprint(rule_ids: tuple[str, ...]) -> str:
+    digest = hashlib.blake2b(digest_size=10)
+    digest.update(f"cache-v{_CACHE_VERSION}".encode())
+    digest.update(f"summary-v{SUMMARY_VERSION}".encode())
+    digest.update(",".join(rule_ids).encode())
+    return digest.hexdigest()
+
+
+def _content_key(data: bytes, fingerprint: str) -> str:
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(fingerprint.encode())
+    digest.update(data)
+    return digest.hexdigest()
+
+
+def _cache_load(cache_dir: Path, key: str) -> _FileResult | None:
+    entry = cache_dir / f"{key}.pickle"
+    try:
+        payload = pickle.loads(entry.read_bytes())
+    except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+        return None
+    if not isinstance(payload, _FileResult):
+        return None
+    return payload
+
+
+def _cache_store(cache_dir: Path, key: str, result: _FileResult) -> None:
+    entry = cache_dir / f"{key}.pickle"
+    tmp = entry.with_suffix(f".{os.getpid()}.tmp")
+    try:
+        cache_dir.mkdir(parents=True, exist_ok=True)
+        tmp.write_bytes(pickle.dumps(result))
+        tmp.replace(entry)  # atomic on POSIX; concurrent writers agree
+    except OSError:
+        tmp.unlink(missing_ok=True)
+
+
+def _analyze_one(
+    path_str: str,
+    rule_ids: tuple[str, ...],
+    cache_dir_str: str | None,
+) -> _FileResult:
+    """Per-file phase for one file (runs in worker processes too)."""
+    from reprolint.core import get_rule
+
+    path = Path(path_str)
+    norm = path.as_posix()
+    try:
+        data = path.read_bytes()
+    except OSError as exc:
+        return _FileResult(
+            path=norm,
+            violations=(
+                Violation(
+                    rule_id="RL000",
+                    message=f"unreadable file: {exc}",
+                    path=norm,
+                    line=1,
+                    column=1,
+                ),
+            ),
+            summary=None,
+            cache_hit=False,
+        )
+
+    cache_dir = Path(cache_dir_str) if cache_dir_str else None
+    key = None
+    if cache_dir is not None:
+        key = _content_key(data, _ruleset_fingerprint(rule_ids))
+        cached = _cache_load(cache_dir, key)
+        if cached is not None:
+            if cached.path == norm:
+                return _FileResult(
+                    path=norm,
+                    violations=cached.violations,
+                    summary=cached.summary,
+                    cache_hit=True,
+                )
+            # Same content under a different path (content-addressed
+            # cache): re-anchor the violations and rebuild the summary,
+            # which embeds paths/module names.
+            try:
+                summary: ModuleSummary | None = summarize_module(
+                    norm, data.decode("utf-8")
+                )
+            except (SyntaxError, UnicodeDecodeError):
+                summary = None
+            return _FileResult(
+                path=norm,
+                violations=tuple(
+                    Violation(**{**v.__dict__, "path": norm})
+                    for v in cached.violations
+                ),
+                summary=summary,
+                cache_hit=True,
+            )
+
+    try:
+        source = data.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        return _FileResult(
+            path=norm,
+            violations=(
+                Violation(
+                    rule_id="RL000",
+                    message=f"not valid UTF-8: {exc.reason}",
+                    path=norm,
+                    line=1,
+                    column=1,
+                ),
+            ),
+            summary=None,
+            cache_hit=False,
+        )
+
+    rules = [get_rule(rule_id) for rule_id in rule_ids]
+    violations = tuple(check_source(source, norm, rules))
+    try:
+        summary = summarize_module(norm, source)
+    except SyntaxError:
+        summary = None  # check_source already reported RL000
+
+    result = _FileResult(
+        path=norm, violations=violations, summary=summary, cache_hit=False
+    )
+    if cache_dir is not None and key is not None:
+        _cache_store(cache_dir, key, result)
+    return result
+
+
+def _run_parallel(
+    files: list[Path],
+    rule_ids: tuple[str, ...],
+    cache_dir: str | None,
+    jobs: int,
+) -> list[_FileResult] | None:
+    """Fan the per-file phase out to worker processes; None on failure."""
+    import multiprocessing
+
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:
+        return None
+    from concurrent.futures import ProcessPoolExecutor
+
+    try:
+        with ProcessPoolExecutor(
+            max_workers=jobs, mp_context=context
+        ) as pool:
+            futures = [
+                pool.submit(
+                    _analyze_one, str(path), rule_ids, cache_dir
+                )
+                for path in files
+            ]
+            return [future.result() for future in futures]
+    except Exception:  # reprolint: disable=RL005 -- any pool failure (BrokenProcessPool, pickling, rlimits) must fall back to the identical serial path, not kill the lint run
+        return None
+
+
+def run_analysis(
+    paths: Iterable[str | Path],
+    rules: Iterable[Rule] | None = None,
+    jobs: int | None = None,
+    cache_dir: str | Path | None = None,
+) -> AnalysisReport:
+    """Run the full two-phase analysis over ``paths``.
+
+    ``rules`` defaults to every registered rule; per-file and project
+    rules are separated automatically.  ``jobs`` of ``None`` picks a
+    worker count from the CPU count; ``1`` forces serial execution.
+    ``cache_dir`` of ``None`` disables the content-hash cache.
+    """
+    started = time.perf_counter()
+    rule_list = list(all_rules() if rules is None else rules)
+    file_rules = [r for r in rule_list if not isinstance(r, ProjectRule)]
+    project_rules = [r for r in rule_list if isinstance(r, ProjectRule)]
+    file_rule_ids = tuple(sorted(r.rule_id for r in file_rules))
+    # Instances whose ids are not in the registry (ad-hoc test rules)
+    # cannot be reconstructed in workers or fingerprinted for caching.
+    from reprolint.core import _REGISTRY
+
+    shippable = all(
+        rule_id in _REGISTRY and isinstance(r, _REGISTRY[rule_id])
+        for rule_id, r in zip(
+            tuple(r.rule_id for r in file_rules), file_rules
+        )
+    )
+    files = collect_files(paths)
+
+    if jobs is None:
+        jobs = min(8, os.cpu_count() or 1)
+    cache = str(cache_dir) if (cache_dir is not None and shippable) else None
+
+    results: list[_FileResult] | None = None
+    if shippable and jobs > 1 and len(files) > 1:
+        results = _run_parallel(files, file_rule_ids, cache, jobs)
+    if results is None:
+        if shippable:
+            results = [
+                _analyze_one(str(path), file_rule_ids, cache)
+                for path in files
+            ]
+        else:
+            results = []
+            for path in files:
+                norm = path.as_posix()
+                try:
+                    source = path.read_text(encoding="utf-8")
+                except (OSError, UnicodeDecodeError) as exc:
+                    results.append(
+                        _FileResult(
+                            path=norm,
+                            violations=(
+                                Violation(
+                                    rule_id="RL000",
+                                    message=f"unreadable file: {exc}",
+                                    path=norm,
+                                    line=1,
+                                    column=1,
+                                ),
+                            ),
+                            summary=None,
+                            cache_hit=False,
+                        )
+                    )
+                    continue
+                violations = tuple(check_source(source, norm, file_rules))
+                try:
+                    summary = summarize_module(norm, source)
+                except SyntaxError:
+                    summary = None
+                results.append(
+                    _FileResult(
+                        path=norm,
+                        violations=violations,
+                        summary=summary,
+                        cache_hit=False,
+                    )
+                )
+
+    violations: list[Violation] = []
+    summaries: dict[str, ModuleSummary] = {}
+    cache_hits = 0
+    for result in results:
+        violations.extend(result.violations)
+        if result.summary is not None:
+            summaries[result.path] = result.summary
+        if result.cache_hit:
+            cache_hits += 1
+
+    if project_rules and summaries:
+        project = ProjectIndex(summaries)
+        for rule in project_rules:
+            for violation in rule.check_project(project):
+                silenced = project.suppressed_at(
+                    violation.path, violation.line
+                )
+                if violation.rule_id in silenced:
+                    continue
+                violations.append(violation)
+
+    violations.sort(key=Violation.sort_key)
+    return AnalysisReport(
+        violations=violations,
+        files_checked=len(files),
+        stats={
+            "files": len(files),
+            "cache_hits": cache_hits,
+            "cache_misses": len(files) - cache_hits,
+            "jobs": jobs,
+            "duration_seconds": round(time.perf_counter() - started, 4),
+            "file_rules": len(file_rules),
+            "project_rules": len(project_rules),
+        },
+    )

@@ -1,0 +1,120 @@
+"""Findings baseline: ratchet new debt to zero without a flag day.
+
+A baseline file records the *accepted* pre-existing findings.  With
+``--fail-on-new``, only findings absent from the baseline fail the
+run, so a rule can land strict while historical debt is paid down
+incrementally (``--write-baseline`` refreshes the file).
+
+Fingerprints are content-based — rule id, path, the offending line's
+normalised text, and an occurrence index for identical lines — so
+unrelated edits that shift line numbers do not invalidate the
+baseline, while editing the flagged line itself surfaces the finding
+again for a fresh look.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import Counter
+from pathlib import Path
+
+from reprolint.core import Violation
+
+__all__ = [
+    "baseline_fingerprints",
+    "filter_new",
+    "load_baseline",
+    "write_baseline",
+]
+
+_FORMAT = "reprolint-baseline/v1"
+
+
+def _line_text(path: str, line: int, cache: dict[str, list[str]]) -> str:
+    lines = cache.get(path)
+    if lines is None:
+        try:
+            lines = Path(path).read_text(encoding="utf-8").splitlines()
+        except (OSError, UnicodeDecodeError):
+            lines = []
+        cache[path] = lines
+    if 1 <= line <= len(lines):
+        return " ".join(lines[line - 1].split())
+    return ""
+
+
+def baseline_fingerprints(violations: list[Violation]) -> list[str]:
+    """Stable content-based fingerprints, aligned with ``violations``.
+
+    Identical (rule, path, line-text) triples get an occurrence index
+    in first-seen order, so two copies of the same offending line keep
+    distinct, stable fingerprints.
+    """
+    cache: dict[str, list[str]] = {}
+    seen: Counter[tuple[str, str, str]] = Counter()
+    fingerprints = []
+    for violation in violations:
+        text = _line_text(violation.path, violation.line, cache)
+        triple = (violation.rule_id, violation.path, text)
+        occurrence = seen[triple]
+        seen[triple] += 1
+        digest = hashlib.blake2b(digest_size=12)
+        digest.update(
+            "\x1f".join(
+                (violation.rule_id, violation.path, text, str(occurrence))
+            ).encode()
+        )
+        fingerprints.append(digest.hexdigest())
+    return fingerprints
+
+
+def load_baseline(path: str | Path) -> set[str]:
+    """Fingerprints accepted by the baseline file (empty if missing)."""
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        return set()
+    if (
+        not isinstance(payload, dict)
+        or payload.get("format") != _FORMAT
+        or not isinstance(payload.get("entries"), list)
+    ):
+        raise ValueError(f"{path}: not a {_FORMAT} file")
+    return {
+        entry["fingerprint"]
+        for entry in payload["entries"]
+        if isinstance(entry, dict) and "fingerprint" in entry
+    }
+
+
+def write_baseline(path: str | Path, violations: list[Violation]) -> int:
+    """Write ``violations`` as the new accepted baseline; returns count."""
+    fingerprints = baseline_fingerprints(violations)
+    entries = [
+        {
+            "fingerprint": fingerprint,
+            "rule": violation.rule_id,
+            "path": violation.path,
+            "line": violation.line,
+            "message": violation.message,
+        }
+        for violation, fingerprint in zip(violations, fingerprints)
+    ]
+    payload = {"format": _FORMAT, "entries": entries}
+    Path(path).write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+    return len(entries)
+
+
+def filter_new(
+    violations: list[Violation], accepted: set[str]
+) -> list[Violation]:
+    """Violations whose fingerprint is not in the accepted baseline."""
+    fingerprints = baseline_fingerprints(violations)
+    return [
+        violation
+        for violation, fingerprint in zip(violations, fingerprints)
+        if fingerprint not in accepted
+    ]

@@ -1,7 +1,8 @@
 """Console entry point: ``python -m reprolint [paths...]``.
 
-Exit codes: 0 — clean, 1 — violations found, 2 — usage error or a file
-that could not be read.
+Exit codes: 0 — clean (or no *new* findings under ``--fail-on-new``),
+1 — violations found, 2 — usage error or a file that could not be
+read.
 """
 
 from __future__ import annotations
@@ -12,7 +13,10 @@ import sys
 from collections import Counter
 from collections.abc import Sequence
 
-from reprolint.core import Rule, all_rules, check_paths
+from reprolint.analysis import run_analysis
+from reprolint.baseline import filter_new, load_baseline, write_baseline
+from reprolint.core import Rule, all_rules
+from reprolint.sarif import to_sarif
 
 __all__ = ["build_parser", "main"]
 
@@ -22,8 +26,8 @@ def build_parser() -> argparse.ArgumentParser:
         prog="reprolint",
         description=(
             "Repo-specific static analysis for the repro codebase: "
-            "engine-architecture and numeric-contract rules generic "
-            "linters cannot express."
+            "engine-architecture, numeric-contract, concurrency and "
+            "determinism rules generic linters cannot express."
         ),
     )
     parser.add_argument(
@@ -34,9 +38,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="FILE",
+        help="write the report to FILE instead of stdout",
     )
     parser.add_argument(
         "--select",
@@ -47,6 +56,49 @@ def build_parser() -> argparse.ArgumentParser:
         "--ignore",
         metavar="RULES",
         help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for per-file analysis (default: auto; "
+        "1 forces serial)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=".reprolint-cache",
+        metavar="DIR",
+        help="content-hash result cache directory "
+        "(default: .reprolint-cache)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the content-hash result cache",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=".reprolint-baseline.json",
+        metavar="FILE",
+        help="accepted-findings baseline file "
+        "(default: .reprolint-baseline.json)",
+    )
+    parser.add_argument(
+        "--fail-on-new",
+        action="store_true",
+        help="fail only on findings absent from the baseline",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="accept all current findings into the baseline and exit 0",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print analysis statistics (files, cache hits, duration) "
+        "to stderr",
     )
     parser.add_argument(
         "--list-rules",
@@ -76,6 +128,14 @@ def _pick_rules(select: str | None, ignore: str | None) -> list[Rule]:
     return rules
 
 
+def _emit(text: str, output: str | None) -> None:
+    if output:
+        with open(output, "w", encoding="utf-8") as handle:
+            handle.write(text if text.endswith("\n") else text + "\n")
+    else:
+        print(text)
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     options = parser.parse_args(argv)
@@ -87,7 +147,12 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     try:
         rules = _pick_rules(options.select, options.ignore)
-        violations, files_checked = check_paths(options.paths, rules)
+        report = run_analysis(
+            options.paths,
+            rules=rules,
+            jobs=options.jobs,
+            cache_dir=None if options.no_cache else options.cache_dir,
+        )
     except SystemExit as exc:
         print(exc, file=sys.stderr)
         return 2
@@ -95,25 +160,61 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(f"reprolint: {exc}", file=sys.stderr)
         return 2
 
-    if options.format == "json":
-        counts = Counter(violation.rule_id for violation in violations)
+    violations = report.violations
+    files_checked = report.files_checked
+
+    if options.stats:
+        stats = report.stats
         print(
+            "reprolint: {files} files, {cache_hits} cached, "
+            "{jobs} jobs, {duration_seconds}s".format(**stats),
+            file=sys.stderr,
+        )
+
+    if options.write_baseline:
+        count = write_baseline(options.baseline, violations)
+        print(
+            f"reprolint: baseline written to {options.baseline} "
+            f"({count} accepted findings)"
+        )
+        return 0
+
+    gating = violations
+    if options.fail_on_new:
+        try:
+            accepted = load_baseline(options.baseline)
+        except ValueError as exc:
+            print(f"reprolint: {exc}", file=sys.stderr)
+            return 2
+        gating = filter_new(violations, accepted)
+
+    # Reports always show the gating set: with --fail-on-new, that is
+    # the new findings only (the baseline entries are accepted debt).
+    shown = gating if options.fail_on_new else violations
+
+    if options.format == "sarif":
+        _emit(json.dumps(to_sarif(shown), indent=2), options.output)
+    elif options.format == "json":
+        counts = Counter(violation.rule_id for violation in shown)
+        _emit(
             json.dumps(
                 {
                     "files_checked": files_checked,
-                    "violation_count": len(violations),
+                    "violation_count": len(shown),
                     "counts_by_rule": dict(sorted(counts.items())),
-                    "violations": [v.as_dict() for v in violations],
+                    "violations": [v.as_dict() for v in shown],
                 },
                 indent=2,
-            )
+            ),
+            options.output,
         )
     else:
-        for violation in violations:
-            print(violation.format_text())
-        noun = "violation" if len(violations) == 1 else "violations"
-        print(
-            f"reprolint: {len(violations)} {noun} "
+        lines = [violation.format_text() for violation in shown]
+        noun = "violation" if len(shown) == 1 else "violations"
+        qualifier = " new" if options.fail_on_new else ""
+        lines.append(
+            f"reprolint: {len(shown)}{qualifier} {noun} "
             f"({files_checked} files checked)"
         )
-    return 1 if violations else 0
+        _emit("\n".join(lines), options.output)
+    return 1 if gating else 0

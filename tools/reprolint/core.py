@@ -19,9 +19,14 @@ import re
 from collections.abc import Iterable, Iterator
 from dataclasses import dataclass
 from pathlib import Path
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from reprolint.project import ProjectIndex
 
 __all__ = [
     "ModuleContext",
+    "ProjectRule",
     "Rule",
     "Violation",
     "all_rules",
@@ -29,6 +34,9 @@ __all__ = [
     "check_source",
     "collect_files",
     "get_rule",
+    "node_region",
+    "path_is_file",
+    "path_within",
     "register",
     "suppressed_lines",
 ]
@@ -46,28 +54,83 @@ PARSE_ERROR = "RL000"
 
 @dataclass(frozen=True)
 class Violation:
-    """One finding: a rule, a location, and a human-readable message."""
+    """One finding: a rule, a location, and a human-readable message.
+
+    Locations are 1-based.  ``column`` points at the first character of
+    the offending node; ``end_col`` is *exclusive* (one past the last
+    character), matching the SARIF region convention.  ``end_line`` /
+    ``end_col`` of ``0`` mean "unknown" and normalise to the start
+    position.
+    """
 
     rule_id: str
     message: str
     path: str
     line: int
     column: int
+    end_line: int = 0
+    end_col: int = 0
+
+    @property
+    def region(self) -> tuple[int, int, int, int]:
+        """``(line, column, end_line, end_col)`` with ends normalised."""
+        end_line = self.end_line if self.end_line >= self.line else self.line
+        end_col = self.end_col
+        if end_line == self.line and end_col < self.column:
+            end_col = self.column
+        return (self.line, self.column, end_line, end_col)
 
     def format_text(self) -> str:
         return f"{self.path}:{self.line}:{self.column}: {self.rule_id} {self.message}"
 
     def as_dict(self) -> dict[str, object]:
+        line, column, end_line, end_col = self.region
         return {
             "rule": self.rule_id,
             "message": self.message,
             "path": self.path,
-            "line": self.line,
-            "column": self.column,
+            "line": line,
+            "column": column,
+            "end_line": end_line,
+            "end_col": end_col,
         }
 
     def sort_key(self) -> tuple[str, int, int, str]:
         return (self.path, self.line, self.column, self.rule_id)
+
+
+def node_region(node: ast.AST) -> tuple[int, int, int, int]:
+    """1-based ``(line, col, end_line, end_col)`` for an AST node.
+
+    Columns are derived from ``col_offset`` / ``end_col_offset`` —
+    0-based in every supported Python — by adding 1, so reported
+    columns are stable across versions; ``end_col`` stays exclusive.
+    Nodes without position info anchor at ``1:1``.
+    """
+    line = getattr(node, "lineno", 1)
+    column = getattr(node, "col_offset", 0) + 1
+    end_line = getattr(node, "end_lineno", None) or line
+    end_offset = getattr(node, "end_col_offset", None)
+    end_col = (end_offset + 1) if end_offset is not None else column
+    return (line, column, end_line, end_col)
+
+
+def path_within(path: str, *directories: str) -> bool:
+    """True if ``path`` lies under any of ``directories``.
+
+    The standalone counterpart of :meth:`ModuleContext.within` for
+    whole-program rules, which work with path strings rather than
+    parsed modules.  Fragments match whole components, so
+    ``repro/search_utils`` does not match ``repro/search``.
+    """
+    haystack = f"/{path}"
+    return any(f"/{d.strip('/')}/" in haystack for d in directories)
+
+
+def path_is_file(path: str, *names: str) -> bool:
+    """True if ``path`` ends with any of ``names`` (whole components)."""
+    haystack = f"/{path}"
+    return any(haystack.endswith(f"/{n.lstrip('/')}") for n in names)
 
 
 class ModuleContext:
@@ -124,13 +187,35 @@ class Rule:
         self, module: ModuleContext, node: ast.AST, message: str
     ) -> Violation:
         """Build a :class:`Violation` anchored at ``node``."""
+        line, column, end_line, end_col = node_region(node)
         return Violation(
             rule_id=self.rule_id,
             message=message,
             path=module.norm,
-            line=getattr(node, "lineno", 1),
-            column=getattr(node, "col_offset", 0) + 1,
+            line=line,
+            column=column,
+            end_line=end_line,
+            end_col=end_col,
         )
+
+
+class ProjectRule(Rule):
+    """Base class for whole-program rules.
+
+    A project rule sees the :class:`reprolint.project.ProjectIndex` —
+    the cross-file symbol table and call graph — instead of one module
+    at a time.  Its findings are still anchored to concrete
+    file/line/column sites, and per-line suppression applies at the
+    *reported* site exactly as for per-file rules.
+    """
+
+    def check(self, module: ModuleContext) -> Iterator[Violation]:
+        """Project rules run via :meth:`check_project`, never per file."""
+        return iter(())
+
+    def check_project(self, project: ProjectIndex) -> Iterator[Violation]:
+        """Yield violations found across the whole analysed file set."""
+        raise NotImplementedError
 
 
 _REGISTRY: dict[str, type[Rule]] = {}
@@ -211,7 +296,7 @@ def check_source(
     silenced = suppressed_lines(source)
     found: list[Violation] = []
     for rule in all_rules() if rules is None else rules:
-        if not rule.applies(module):
+        if isinstance(rule, ProjectRule) or not rule.applies(module):
             continue
         for violation in rule.check(module):
             if violation.rule_id in silenced.get(violation.line, set()):
@@ -244,12 +329,12 @@ def check_paths(
 ) -> tuple[list[Violation], int]:
     """Check every ``.py`` file under ``paths``.
 
-    Returns ``(violations, files_checked)``.
+    Runs both per-file and whole-program rules (serially, uncached —
+    the CLI's :func:`reprolint.analysis.run_analysis` adds caching and
+    multi-process execution on top of the same machinery).  Returns
+    ``(violations, files_checked)``.
     """
-    rule_list = list(all_rules() if rules is None else rules)
-    files = collect_files(paths)
-    found: list[Violation] = []
-    for file in files:
-        source = file.read_text(encoding="utf-8")
-        found.extend(check_source(source, file, rule_list))
-    return sorted(found, key=Violation.sort_key), len(files)
+    from reprolint.analysis import run_analysis
+
+    report = run_analysis(paths, rules=rules, jobs=1, cache_dir=None)
+    return report.violations, report.files_checked

@@ -16,6 +16,15 @@ Rules are grouped by the contract they protect:
   telemetry subsystem).
 * :mod:`reprolint.rules.resilience` — RL010 fault-taxonomy routing
   (the PR-4 distributed fault-tolerance layer).
+* :mod:`reprolint.rules.concurrency` — RL012 concurrency discipline
+  (whole-program: the PR-5 per-child-lock contract on thread-reachable
+  paths, plus lock-misuse patterns).
+* :mod:`reprolint.rules.determinism` — RL013 determinism (unseeded
+  RNG, set-ordered iteration, accumulation-order hazards where
+  bit-identity is contractual).
+* :mod:`reprolint.rules.wholeprogram` — RL014 cross-module engine
+  integrity (call-graph reach into engine/stage internals that
+  per-file RL001/RL011 cannot see).
 """
 
 from __future__ import annotations
@@ -23,17 +32,23 @@ from __future__ import annotations
 from reprolint.rules import (
     api,
     architecture,
+    concurrency,
+    determinism,
     hygiene,
     numerics,
     observability,
     resilience,
+    wholeprogram,
 )
 
 __all__ = [
     "api",
     "architecture",
+    "concurrency",
+    "determinism",
     "hygiene",
     "numerics",
     "observability",
     "resilience",
+    "wholeprogram",
 ]

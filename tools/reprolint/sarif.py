@@ -1,0 +1,92 @@
+"""SARIF 2.1.0 exporter.
+
+Emits the subset of SARIF that GitHub code scanning consumes: one run,
+one rule descriptor per distinct rule, one result per finding with a
+physical location region.  Regions use reprolint's native convention —
+1-based lines and columns, exclusive ``endColumn`` — which is exactly
+SARIF's, so :attr:`Violation.region` maps through unchanged.
+"""
+
+from __future__ import annotations
+
+from reprolint.core import Violation, all_rules
+
+__all__ = ["to_sarif"]
+
+_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+_VERSION = "2.1.0"
+
+
+def to_sarif(
+    violations: list[Violation], tool_version: str = "2.0"
+) -> dict[str, object]:
+    """Build the SARIF log dict for ``violations``."""
+    descriptions = {
+        rule.rule_id: (rule.name, rule.description) for rule in all_rules()
+    }
+    used_ids = sorted({v.rule_id for v in violations})
+    rules = []
+    for rule_id in used_ids:
+        name, description = descriptions.get(
+            rule_id, (rule_id.lower(), "unregistered rule")
+        )
+        rules.append(
+            {
+                "id": rule_id,
+                "name": name,
+                "shortDescription": {"text": description},
+            }
+        )
+
+    results = []
+    for violation in violations:
+        line, column, end_line, end_col = violation.region
+        region: dict[str, object] = {
+            "startLine": line,
+            "startColumn": column,
+        }
+        if end_line:
+            region["endLine"] = end_line
+        if end_col:
+            region["endColumn"] = end_col
+        results.append(
+            {
+                "ruleId": violation.rule_id,
+                "level": "error",
+                "message": {"text": violation.message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {
+                                "uri": violation.path,
+                                "uriBaseId": "SRCROOT",
+                            },
+                            "region": region,
+                        }
+                    }
+                ],
+            }
+        )
+
+    return {
+        "$schema": _SCHEMA,
+        "version": _VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "reprolint",
+                        "version": tool_version,
+                        "rules": rules,
+                    }
+                },
+                "originalUriBaseIds": {
+                    "SRCROOT": {"uri": "file:///"}
+                },
+                "results": results,
+            }
+        ],
+    }
