@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.core.gqr import GQR
 from repro.data import gaussian_mixture, sample_queries
+from repro.data.workloads import zipfian_stream
 from repro.eval.reporting import format_table
 from repro.hashing import ITQ
 from repro.search import HashIndex, ParallelBatchExecutor, QueryResultCache
@@ -45,14 +46,6 @@ MIN_CACHE_SPEEDUP = 1.2 if SMOKE else 2.0
 #: Thread speedup is only a contract when the hardware can deliver it.
 ASSERT_PARALLEL = os.cpu_count() is not None and os.cpu_count() >= 2
 MIN_PARALLEL_SPEEDUP = 1.1
-
-
-def zipfian_stream(n_distinct, n_requests, seed):
-    """Request indices drawn with a 1/rank^s popularity profile."""
-    rng = np.random.default_rng(seed)
-    ranks = np.arange(1, n_distinct + 1, dtype=np.float64)
-    weights = ranks ** -ZIPF_EXPONENT
-    return rng.choice(n_distinct, size=n_requests, p=weights / weights.sum())
 
 
 def throughput(index, queries, request_ids):
@@ -76,7 +69,9 @@ def test_cache_parallel(benchmark):
         hasher, data, prober=GQR(),
         parallel=ParallelBatchExecutor(n_workers=N_WORKERS, min_batch_size=8),
     )
-    stream = zipfian_stream(N_DISTINCT, N_REQUESTS, seed=2)
+    stream = zipfian_stream(
+        N_DISTINCT, N_REQUESTS, exponent=ZIPF_EXPONENT, seed=2
+    )
 
     # Warm every path (and the cache's first-miss pass) before timing.
     warm = stream[:32]

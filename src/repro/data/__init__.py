@@ -17,10 +17,15 @@ from repro.data.synthetic import (
     uniform_hypercube,
 )
 from repro.data.workloads import (
+    FlashCrowd,
+    TrafficTrace,
     boundary_margin,
     boundary_queries,
     in_distribution_queries,
     out_of_distribution_queries,
+    rate_at,
+    traffic_trace,
+    zipfian_stream,
 )
 
 __all__ = [
@@ -28,8 +33,10 @@ __all__ = [
     "DATASETS",
     "Dataset",
     "DatasetSpec",
+    "FlashCrowd",
     "GroundTruthCache",
     "MAIN_DATASETS",
+    "TrafficTrace",
     "boundary_margin",
     "boundary_queries",
     "in_distribution_queries",
@@ -39,6 +46,9 @@ __all__ = [
     "gaussian_mixture",
     "ground_truth_knn",
     "load_dataset",
+    "rate_at",
     "sample_queries",
+    "traffic_trace",
     "uniform_hypercube",
+    "zipfian_stream",
 ]

@@ -1,4 +1,4 @@
-"""Query workload generators.
+"""Query and traffic workload generators.
 
 The paper samples queries uniformly from the dataset.  Real query
 streams are messier, and the *composition* of a workload changes which
@@ -7,19 +7,34 @@ close to quantization thresholds are exactly where Hamming ranking's
 coarseness hurts and QD's margin information pays off.  These
 generators let the harness (and
 ``benchmarks/bench_boundary_queries.py``) quantify that.
+
+Beyond query *content*, serving behaviour depends on traffic *shape*:
+which queries repeat (:func:`zipfian_stream` — the skew the result
+cache exploits) and when they arrive (:func:`traffic_trace` — a
+non-homogeneous Poisson arrival process with diurnal modulation and
+flash-crowd bursts, the open-loop input of the serving front door's
+simulator, :mod:`repro.serving.simulator`).  Every generator is seeded
+and deterministic per seed.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.hashing.base import BinaryHasher
 
 __all__ = [
+    "FlashCrowd",
+    "TrafficTrace",
     "in_distribution_queries",
     "out_of_distribution_queries",
     "boundary_queries",
     "boundary_margin",
+    "zipfian_stream",
+    "rate_at",
+    "traffic_trace",
 ]
 
 
@@ -87,3 +102,173 @@ def boundary_queries(
     margins = boundary_margin(hasher, pool)
     keep = np.argsort(margins, kind="stable")[:n_queries]
     return pool[keep]
+
+
+# -- traffic shape -----------------------------------------------------
+
+def zipfian_stream(
+    n_distinct: int,
+    n_requests: int,
+    exponent: float = 1.1,
+    seed: int | None = None,
+) -> np.ndarray:
+    """Request indices drawn with a ``1/rank^exponent`` popularity profile.
+
+    The rank-frequency skew of real serving traffic: a small popular
+    head accounts for most requests (what the query-result cache
+    exploits, and what makes coalescing batches of identical plans
+    effective).  Returns ``n_requests`` indices into ``[0, n_distinct)``,
+    deterministic per ``seed``.
+    """
+    if n_distinct < 1 or n_requests < 0:
+        raise ValueError(
+            "n_distinct must be positive and n_requests non-negative"
+        )
+    rng = np.random.default_rng(seed)
+    ranks = np.arange(1, n_distinct + 1, dtype=np.float64)
+    weights = ranks ** -exponent
+    return rng.choice(n_distinct, size=n_requests, p=weights / weights.sum())
+
+
+@dataclass(frozen=True)
+class FlashCrowd:
+    """One burst window: offered rate is multiplied inside it.
+
+    Models a sudden hot event (a viral item, a retry storm): between
+    ``start`` and ``start + duration`` seconds the base arrival rate is
+    scaled by ``multiplier``.
+    """
+
+    start: float
+    duration: float
+    multiplier: float
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ValueError(f"duration must be positive, got {self.duration}")
+        if self.multiplier < 0:
+            raise ValueError(
+                f"multiplier must be non-negative, got {self.multiplier}"
+            )
+
+
+@dataclass(frozen=True)
+class TrafficTrace:
+    """An open-loop request trace: who arrives, when, on which lane.
+
+    Arrays are aligned by request and sorted by ``arrivals``:
+
+    * ``arrivals`` — absolute arrival times in seconds from trace start;
+    * ``query_ids`` — index of each request's query in the caller's
+      distinct-query pool (Zipfian-skewed);
+    * ``lanes`` — each request's priority-lane name.
+    """
+
+    arrivals: np.ndarray
+    query_ids: np.ndarray
+    lanes: tuple[str, ...] = field(repr=False)
+
+    def __post_init__(self) -> None:
+        if not (
+            len(self.arrivals) == len(self.query_ids) == len(self.lanes)
+        ):
+            raise ValueError("arrivals, query_ids and lanes must align")
+
+    def __len__(self) -> int:
+        return len(self.arrivals)
+
+    def offered_rate(self, start: float, end: float) -> float:
+        """Mean offered load (requests/second) inside ``[start, end)``."""
+        if end <= start:
+            raise ValueError("end must exceed start")
+        inside = np.count_nonzero(
+            (self.arrivals >= start) & (self.arrivals < end)
+        )
+        return inside / (end - start)
+
+
+def rate_at(
+    t: np.ndarray | float,
+    base_rate: float,
+    diurnal_amplitude: float = 0.0,
+    diurnal_period: float = 86_400.0,
+    flash_crowds: tuple[FlashCrowd, ...] = (),
+) -> np.ndarray:
+    """The instantaneous offered rate λ(t) of :func:`traffic_trace`.
+
+    A sinusoidal diurnal ramp around ``base_rate`` (amplitude as a
+    fraction in ``[0, 1]``), scaled by every flash crowd whose window
+    covers ``t``.  Exposed so tests and the SLO report can state the
+    *declared* offered load alongside the realised one.
+    """
+    times = np.atleast_1d(np.asarray(t, dtype=np.float64))
+    rate = np.full(
+        times.shape, float(base_rate), dtype=np.float64
+    )
+    if diurnal_amplitude:
+        rate *= 1.0 + diurnal_amplitude * np.sin(
+            2.0 * np.pi * times / diurnal_period
+        )
+    for crowd in flash_crowds:
+        inside = (times >= crowd.start) & (
+            times < crowd.start + crowd.duration
+        )
+        rate[inside] *= crowd.multiplier
+    return rate
+
+
+def traffic_trace(
+    duration: float,
+    base_rate: float,
+    n_distinct: int,
+    seed: int,
+    zipf_exponent: float = 1.1,
+    diurnal_amplitude: float = 0.0,
+    diurnal_period: float = 86_400.0,
+    flash_crowds: tuple[FlashCrowd, ...] = (),
+    lane_weights: dict[str, float] | None = None,
+) -> TrafficTrace:
+    """Seeded open-loop traffic: non-homogeneous Poisson arrivals.
+
+    Arrival times are drawn by thinning a homogeneous Poisson process at
+    the trace's peak rate (Lewis–Shedler): candidate arrivals at
+    ``rate_max`` are kept with probability ``λ(t) / rate_max``, which
+    realises the exact time-varying intensity
+    (:func:`rate_at`) — the diurnal ramp and each flash crowd appear in
+    the realised arrival counts.  Query identities follow
+    :func:`zipfian_stream`; lanes are drawn from ``lane_weights``
+    (default: 80% ``interactive``, 20% ``batch``).
+    """
+    if duration <= 0 or base_rate < 0:
+        raise ValueError("duration must be positive, base_rate >= 0")
+    if not 0.0 <= diurnal_amplitude <= 1.0:
+        raise ValueError(
+            f"diurnal_amplitude must be in [0, 1], got {diurnal_amplitude}"
+        )
+    rng = np.random.default_rng(seed)
+    peak = float(base_rate) * (1.0 + diurnal_amplitude)
+    for crowd in flash_crowds:
+        peak = max(peak, base_rate * (1.0 + diurnal_amplitude)
+                   * crowd.multiplier)
+    if peak <= 0:
+        empty = np.empty(0, dtype=np.float64)
+        return TrafficTrace(empty, np.empty(0, dtype=np.int64), ())
+    # Homogeneous candidates at the peak rate, then thin to λ(t).
+    n_candidates = rng.poisson(peak * duration)
+    times = np.sort(rng.uniform(0.0, duration, size=n_candidates))
+    keep_probability = rate_at(
+        times, base_rate, diurnal_amplitude, diurnal_period, flash_crowds
+    ) / peak
+    times = times[rng.uniform(size=len(times)) < keep_probability]
+    query_ids = zipfian_stream(
+        n_distinct, len(times), exponent=zipf_exponent,
+        seed=int(rng.integers(2**31)),
+    )
+    weights = lane_weights or {"interactive": 0.8, "batch": 0.2}
+    names = tuple(weights)
+    shares = np.array([weights[name] for name in names], dtype=np.float64)
+    if (shares < 0).any() or shares.sum() <= 0:
+        raise ValueError("lane weights must be non-negative and sum > 0")
+    picks = rng.choice(len(names), size=len(times), p=shares / shares.sum())
+    lanes = tuple(names[int(i)] for i in picks)
+    return TrafficTrace(times, query_ids, lanes)

@@ -59,6 +59,13 @@ from repro.obs.telemetry import (
     observe_distributed,
     observe_fault,
     observe_query,
+    observe_serving_admission,
+    observe_serving_batch,
+    observe_serving_overload,
+    observe_serving_queue_depth,
+    observe_serving_rejected,
+    observe_serving_request,
+    observe_serving_served,
     observe_shard,
     should_sample,
     telemetry_enabled,
@@ -92,6 +99,13 @@ __all__ = [
     "observe_distributed",
     "observe_fault",
     "observe_query",
+    "observe_serving_admission",
+    "observe_serving_batch",
+    "observe_serving_overload",
+    "observe_serving_queue_depth",
+    "observe_serving_rejected",
+    "observe_serving_request",
+    "observe_serving_served",
     "observe_shard",
     "parse_prometheus_text",
     "should_sample",

@@ -38,6 +38,18 @@ metric                                    kind       labels
 ``repro_cache_evictions_total``           counter    ``cache``
 ``repro_cache_occupancy``                 gauge      ``cache``
 ``repro_cache_hit_seconds``               histogram  ``cache``
+``repro_serving_requests_total``          counter    ``lane``
+``repro_serving_admitted_total``          counter    ``lane``
+``repro_serving_rejected_total``          counter    ``lane``, ``reason``
+``repro_serving_shed_total``              counter    ``lane``
+``repro_serving_degraded_total``          counter    ``lane``
+``repro_serving_served_total``            counter    ``lane``
+``repro_serving_queue_depth``             gauge      ``lane``
+``repro_serving_queue_delay_seconds``     histogram  ``lane``
+``repro_serving_latency_seconds``         histogram  ``lane``
+``repro_serving_admission_seconds``       histogram  —
+``repro_serving_batch_size``              histogram  ``lane``
+``repro_serving_overload_level``          gauge      —
 ========================================  =========  =====================
 
 ``index`` is the engine's name ("hash", "mih", "imi", "compact",
@@ -54,6 +66,17 @@ queries embed their classified fault events in the trace's ``stats``.
 The cache series (PR 5) are fed by
 :class:`~repro.search.cache.QueryResultCache`; ``cache`` is the cache's
 name ("hash", "shard", …).
+
+The serving series are fed by the asynchronous front door
+(:mod:`repro.serving`): ``lane`` is the priority lane's name
+("interactive", "batch", …) and ``reason`` a rejection slug
+(``queue_full`` / ``shed`` / ``deadline_expired`` /
+``deadline_infeasible`` / ``invalid_query`` / ``execution_error`` /
+``shutdown``).  ``repro_serving_shed_total`` double-counts the
+``reason="shed"`` rejections so shedding is visible as its own series;
+``repro_serving_overload_level`` encodes the hysteretic overload
+controller's position on the degrade ladder (shedding is reported as
+``max_level + 1``).
 """
 
 from __future__ import annotations
@@ -92,6 +115,13 @@ __all__ = [
     "observe_distributed",
     "observe_fault",
     "observe_query",
+    "observe_serving_admission",
+    "observe_serving_batch",
+    "observe_serving_overload",
+    "observe_serving_queue_depth",
+    "observe_serving_rejected",
+    "observe_serving_request",
+    "observe_serving_served",
     "observe_shard",
     "should_sample",
     "telemetry_enabled",
@@ -284,6 +314,66 @@ class TelemetryState:
             "repro_cache_hit_seconds",
             "Lookup latency of cache hits (key build excluded)",
             labels=("cache",),
+        )
+        self.serving_requests: Counter = reg.counter(
+            "repro_serving_requests_total",
+            "Requests offered to the serving front door per lane",
+            labels=("lane",),
+        )
+        self.serving_admitted: Counter = reg.counter(
+            "repro_serving_admitted_total",
+            "Requests admitted past the front door's backlog budget",
+            labels=("lane",),
+        )
+        self.serving_rejected: Counter = reg.counter(
+            "repro_serving_rejected_total",
+            "Requests rejected with a reason instead of being served",
+            labels=("lane", "reason"),
+        )
+        self.serving_shed: Counter = reg.counter(
+            "repro_serving_shed_total",
+            "Requests rejected by the overload controller's shed state",
+            labels=("lane",),
+        )
+        self.serving_degraded: Counter = reg.counter(
+            "repro_serving_degraded_total",
+            "Requests served with a downgraded (cheaper) plan",
+            labels=("lane",),
+        )
+        self.serving_served: Counter = reg.counter(
+            "repro_serving_served_total",
+            "Requests served to completion (full-fidelity or degraded)",
+            labels=("lane",),
+        )
+        self.serving_queue_depth: Gauge = reg.gauge(
+            "repro_serving_queue_depth",
+            "Tickets currently queued per priority lane",
+            labels=("lane",),
+        )
+        self.serving_queue_delay: Histogram = reg.histogram(
+            "repro_serving_queue_delay_seconds",
+            "Time tickets spent queued before dispatch",
+            labels=("lane",),
+        )
+        self.serving_latency: Histogram = reg.histogram(
+            "repro_serving_latency_seconds",
+            "Admission-to-completion latency of served requests",
+            labels=("lane",),
+        )
+        self.serving_admission_seconds: Histogram = reg.histogram(
+            "repro_serving_admission_seconds",
+            "Wall time of the admission decision itself",
+        )
+        self.serving_batch_size: Histogram = reg.histogram(
+            "repro_serving_batch_size",
+            "Queries coalesced into each dispatched engine batch",
+            labels=("lane",),
+            buckets=_WORKERS_BUCKETS,
+        )
+        self.serving_overload_level: Gauge = reg.gauge(
+            "repro_serving_overload_level",
+            "Overload controller position: 0 = normal, 1..N = degrade "
+            "ladder, N+1 = shedding",
         )
         self._per_index: dict[str, _IndexInstruments] = {}
         # Worker threads resolve instruments for their engine's index
@@ -547,6 +637,90 @@ def observe_cache_occupancy(cache: str, occupancy: int) -> None:
     if state is None:
         return
     state.cache_occupancy.labels(cache=cache).set(float(occupancy))
+
+
+def observe_serving_request(lane: str) -> None:
+    """Record one request offered to the serving front door."""
+    state = _STATE
+    if state is None:
+        return
+    state.serving_requests.labels(lane=lane).inc()
+
+
+def observe_serving_admission(
+    lane: str, admitted: bool, reason: str | None = None,
+    seconds: float | None = None,
+) -> None:
+    """Record one admission decision (and its decision latency)."""
+    state = _STATE
+    if state is None:
+        return
+    if admitted:
+        state.serving_admitted.labels(lane=lane).inc()
+    else:
+        state.serving_rejected.labels(
+            lane=lane, reason=reason or "unknown"
+        ).inc()
+        if reason == "shed":
+            state.serving_shed.labels(lane=lane).inc()
+    if seconds is not None:
+        state.serving_admission_seconds.observe(seconds)
+
+
+def observe_serving_rejected(lane: str, reason: str) -> None:
+    """Record a post-admission rejection (expiry, shutdown, error)."""
+    state = _STATE
+    if state is None:
+        return
+    state.serving_rejected.labels(lane=lane, reason=reason).inc()
+    if reason == "shed":
+        state.serving_shed.labels(lane=lane).inc()
+
+
+def observe_serving_queue_depth(lane: str, depth: int) -> None:
+    """Mirror one lane's current queue depth into the gauge."""
+    state = _STATE
+    if state is None:
+        return
+    state.serving_queue_depth.labels(lane=lane).set(float(depth))
+
+
+def observe_serving_batch(
+    lane: str, size: int, queue_delays: list[float]
+) -> None:
+    """Record one dispatched batch: its size and its tickets' waits."""
+    state = _STATE
+    if state is None:
+        return
+    state.serving_batch_size.labels(lane=lane).observe(size)
+    delay_child = state.serving_queue_delay.labels(lane=lane)
+    for delay in queue_delays:
+        delay_child.observe(delay)
+
+
+def observe_serving_served(
+    lane: str, latency_seconds: float, degraded: bool
+) -> None:
+    """Record one completed request (full-fidelity or degraded)."""
+    state = _STATE
+    if state is None:
+        return
+    state.serving_served.labels(lane=lane).inc()
+    state.serving_latency.labels(lane=lane).observe(latency_seconds)
+    if degraded:
+        state.serving_degraded.labels(lane=lane).inc()
+
+
+def observe_serving_overload(level: int, shedding: bool) -> None:
+    """Mirror the overload controller's ladder position into the gauge.
+
+    Shedding is encoded one past the deepest degrade level so the gauge
+    is a single monotone severity axis.
+    """
+    state = _STATE
+    if state is None:
+        return
+    state.serving_overload_level.set(float(level + 1 if shedding else level))
 
 
 def observe_fault(worker_id: int, kind: str) -> None:

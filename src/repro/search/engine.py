@@ -41,7 +41,7 @@ from __future__ import annotations
 import heapq
 import threading
 from collections.abc import Callable, Iterable, Iterator
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Protocol
 
 import numpy as np
@@ -247,6 +247,59 @@ class QueryPlan:
     def stage_names(self) -> tuple[str, ...]:
         """The names of the stages this plan executes, in order."""
         return tuple(str(entry[0]) for entry in self.stage_list())
+
+    def downgraded(self, level: int, *, floor: int = 16) -> QueryPlan:
+        """A cheaper variant of this plan, ``level`` steps down the ladder.
+
+        The serving front door's graduated load shedding
+        (:mod:`repro.serving`) degrades admitted queries to cheaper
+        plans before it ever rejects; this method is the ladder.  Level
+        ``0`` is the plan itself.  Each level halves the candidate and
+        bucket budgets (never below ``max(floor, k)`` candidates or one
+        bucket), and from level ``2`` the optional rerank and fusion
+        stages are dropped entirely — the order mirrors the stages'
+        cost: budget first, extra scoring passes second.
+
+        The result is an ordinary :class:`QueryPlan`: running it
+        directly is bit-identical to being degraded to it, which is the
+        property the shedding tests pin.
+        """
+        if level < 0:
+            raise ValueError(f"downgrade level must be >= 0, got {level}")
+        if level == 0:
+            return self
+        shrink = 2 ** level
+        n_candidates = self.n_candidates
+        if n_candidates is not None:
+            n_candidates = max(max(floor, self.k), n_candidates // shrink)
+        max_buckets = self.max_buckets
+        if max_buckets is not None:
+            max_buckets = max(1, max_buckets // shrink)
+        time_budget = self.time_budget
+        if time_budget is not None:
+            time_budget = time_budget / shrink
+        return replace(
+            self,
+            n_candidates=n_candidates,
+            max_buckets=max_buckets,
+            time_budget=time_budget,
+            rerank=None if level >= 2 else self.rerank,
+            fusion=None if level >= 2 else self.fusion,
+        )
+
+    def budget_fraction(self, other: QueryPlan) -> float:
+        """``other``'s candidate budget as a fraction of this plan's.
+
+        The serving layer's coverage vocabulary for degraded responses
+        (mirroring the distributed layer's reachable-subset coverage):
+        1.0 when the budgets match (or neither plan bounds candidates),
+        smaller when ``other`` is a downgraded variant.
+        """
+        if self.n_candidates is None or other.n_candidates is None:
+            return 1.0
+        if self.n_candidates <= 0:
+            return 1.0
+        return min(1.0, other.n_candidates / self.n_candidates)
 
 
 @dataclass

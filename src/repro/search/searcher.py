@@ -23,6 +23,7 @@ under ``extras["stats"]``.
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Iterator
 
 import numpy as np
@@ -196,8 +197,10 @@ class HashIndex:
                 rerank_quantizer, rerank_quantizer.encode(self._data)
             )
         # Per-table (signatures, unpacked bits), lazily built for
-        # batched scoring; safe to cache because the tables are static.
+        # batched scoring; the tables are static but concurrent batch
+        # workers may race to build an entry on first use.
         self._bucket_bits: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        self._bucket_bits_lock = threading.Lock()
 
     @property
     def data(self) -> np.ndarray:
@@ -313,10 +316,19 @@ class HashIndex:
         """Cached (ascending signatures, unpacked bits) of one table."""
         cached = self._bucket_bits.get(table_index)
         if cached is None:
-            table = self._tables[table_index]
-            signatures = table.dense_layout()[0]
-            cached = (signatures, unpack_bits(signatures, table.code_length))
-            self._bucket_bits[table_index] = cached
+            # Double-checked: the fast path stays lock-free once built
+            # (tuple assignment is atomic), losers of the build race
+            # just re-read the winner's entry.
+            with self._bucket_bits_lock:
+                cached = self._bucket_bits.get(table_index)
+                if cached is None:
+                    table = self._tables[table_index]
+                    signatures = table.dense_layout()[0]
+                    cached = (
+                        signatures,
+                        unpack_bits(signatures, table.code_length),
+                    )
+                    self._bucket_bits[table_index] = cached
         return cached
 
     def candidate_stream(

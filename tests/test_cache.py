@@ -243,6 +243,26 @@ class TestTelemetry:
         index.search(queries[0], k=5, n_candidates=100)
         assert index.cache.stats["hits"] == 1  # no telemetry, no crash
 
+    def test_ttl_eviction_counted_under_telemetry(self):
+        # Injected clock + live session: a TTL expiry must surface in
+        # the eviction counter and pull the occupancy gauge back down,
+        # without any real time passing.
+        clock = [0.0]
+        cache = QueryResultCache(
+            ttl_seconds=5.0, name="ttl", clock=lambda: clock[0]
+        )
+        key = ("t", 0, 1, 1, None, "euclidean", "round_robin", b"f")
+        with obs.telemetry_session() as t:
+            cache.store(key, "r")
+            clock[0] = 10.0
+            assert cache.lookup(key) is None
+            evictions = t.registry.get("repro_cache_evictions_total")
+            occupancy = t.registry.get("repro_cache_occupancy")
+            misses = t.registry.get("repro_cache_misses_total")
+            assert evictions.labels(cache="ttl").value == 1
+            assert occupancy.labels(cache="ttl").value == 0
+            assert misses.labels(cache="ttl").value == 1
+
 
 class TestShardCache:
     def test_repeat_query_answered_from_coordinator(self, data):

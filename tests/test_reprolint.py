@@ -34,7 +34,7 @@ def rule_ids(violations):
 
 
 class TestRegistry:
-    def test_all_fourteen_rules_registered(self):
+    def test_all_fifteen_rules_registered(self):
         ids = [rule.rule_id for rule in all_rules()]
         assert ids == sorted(ids)
         expected = {f"RL00{n}" for n in range(1, 10)} | {
@@ -43,6 +43,7 @@ class TestRegistry:
             "RL012",
             "RL013",
             "RL014",
+            "RL015",
         }
         assert expected <= set(ids)
 
@@ -413,6 +414,93 @@ class TestStagePipelineEncapsulationRL011:
             "stage = TruncateStage(10)\n"
         )
         found = check_source(src, SEARCH_PATH, [get_rule("RL011")])
+        assert found == []
+
+
+SERVING_PATH = "src/repro/serving/frontdoor.py"
+
+
+class TestAsyncBlockingRL015:
+    def test_time_sleep_in_coroutine_fires(self):
+        src = (
+            "import time\n"
+            "async def drain():\n"
+            "    time.sleep(0.1)\n"
+        )
+        found = check_source(src, SERVING_PATH, [get_rule("RL015")])
+        assert rule_ids(found) == ["RL015"]
+
+    def test_bare_sleep_in_coroutine_fires(self):
+        src = (
+            "from time import sleep\n"
+            "async def drain():\n"
+            "    sleep(0.1)\n"
+        )
+        found = check_source(src, SERVING_PATH, [get_rule("RL015")])
+        assert rule_ids(found) == ["RL015"]
+
+    def test_direct_engine_execute_fires(self):
+        src = (
+            "async def run(engine, query, plan, stream):\n"
+            "    return engine.execute(query, plan, stream)\n"
+        )
+        found = check_source(src, SERVING_PATH, [get_rule("RL015")])
+        assert rule_ids(found) == ["RL015"]
+
+    def test_direct_search_batch_fires(self):
+        src = (
+            "async def run(index, queries):\n"
+            "    return index.search_batch(queries, 10, 400)\n"
+        )
+        found = check_source(src, SERVING_PATH, [get_rule("RL015")])
+        assert rule_ids(found) == ["RL015"]
+
+    def test_asyncio_sleep_is_clean(self):
+        src = (
+            "import asyncio\n"
+            "async def drain():\n"
+            "    await asyncio.sleep(0.1)\n"
+        )
+        found = check_source(src, SERVING_PATH, [get_rule("RL015")])
+        assert found == []
+
+    def test_run_in_executor_is_clean(self):
+        src = (
+            "async def run(loop, pool, index, batch):\n"
+            "    return await loop.run_in_executor(\n"
+            "        pool, execute_batch, index, batch\n"
+            "    )\n"
+        )
+        found = check_source(src, SERVING_PATH, [get_rule("RL015")])
+        assert found == []
+
+    def test_sync_function_is_exempt(self):
+        src = (
+            "import time\n"
+            "def execute(index, batch):\n"
+            "    time.sleep(0.1)\n"
+            "    return index.search_batch(batch, 10, 400)\n"
+        )
+        found = check_source(src, SERVING_PATH, [get_rule("RL015")])
+        assert found == []
+
+    def test_nested_sync_def_body_is_skipped(self):
+        src = (
+            "async def run(index, batch):\n"
+            "    def blocking():\n"
+            "        return index.search_batch(batch, 10, 400)\n"
+            "    return blocking\n"
+        )
+        found = check_source(src, SERVING_PATH, [get_rule("RL015")])
+        assert found == []
+
+    def test_outside_serving_is_exempt(self):
+        src = (
+            "import time\n"
+            "async def drain():\n"
+            "    time.sleep(0.1)\n"
+        )
+        found = check_source(src, SEARCH_PATH, [get_rule("RL015")])
         assert found == []
 
 

@@ -1,0 +1,231 @@
+"""Asyncio front door: real event loop, real index, never raises.
+
+The policy is pinned in ``test_serving_core``; these tests cover the
+io shell: futures resolve, blocking execution stays off the loop, and
+every failure mode (invalid query, engine error, shutdown, overload)
+comes back as a ``ServedResponse`` instead of an exception.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.core.gqr import GQR
+from repro.data import gaussian_mixture, sample_queries
+from repro.hashing import ITQ
+from repro.search import HashIndex
+from repro.serving import (
+    REASON_EXECUTION_ERROR,
+    REASON_INVALID_QUERY,
+    REASON_QUEUE_FULL,
+    REASON_SHUTDOWN,
+    STATUS_SERVED,
+    AsyncFrontDoor,
+    FrontDoorConfig,
+    LaneConfig,
+    default_config,
+    execute_batch,
+)
+from repro.serving.core import Batch, FrontDoorCore
+
+
+@pytest.fixture(scope="module")
+def data():
+    return gaussian_mixture(600, 16, n_clusters=6, seed=29)
+
+
+@pytest.fixture(scope="module")
+def queries(data):
+    return sample_queries(data, 12, seed=5)
+
+
+@pytest.fixture(scope="module")
+def index(data):
+    return HashIndex(ITQ(code_length=8, seed=0), data, prober=GQR())
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestExecuteBatch:
+    def batch_for(self, index, queries, plan):
+        """Dispatch `queries` through a bare core to get a real Batch."""
+        core = FrontDoorCore(default_config())
+        for query in queries:
+            core.admit("interactive", query, plan, now=0.0,
+                       deadline_seconds=10.0)
+        _, batch, _ = core.poll(now=1.0)
+        assert batch is not None and len(batch) == len(queries)
+        return batch
+
+    def test_coalescible_matches_search_batch(self, index, queries):
+        plan = index.plan(k=5, n_candidates=100)
+        batch = self.batch_for(index, queries[:4], plan)
+        got = execute_batch(index, batch)
+        want = index.search_batch(queries[:4], 5, 100)
+        for a, b in zip(got, want):
+            assert np.array_equal(a.ids, b.ids)
+            assert np.array_equal(a.distances, b.distances)
+
+    def test_non_coalescible_matches_per_query_search(self, index, queries):
+        plan = index.plan(k=5, max_buckets=8)
+        batch = self.batch_for(index, queries[:1], plan)
+        (got,) = execute_batch(index, batch)
+        want = index.search(queries[0], 5, max_buckets=8)
+        assert np.array_equal(got.ids, want.ids)
+        assert np.array_equal(got.distances, want.distances)
+
+
+class TestSubmit:
+    def test_served_result_matches_direct_search(self, index, queries):
+        async def scenario():
+            async with AsyncFrontDoor(index) as door:
+                return await door.submit(
+                    queries[0], index.plan(k=5, n_candidates=100)
+                )
+
+        response = run(scenario())
+        assert response.status == STATUS_SERVED
+        assert response.deadline_met
+        assert response.payload is None  # the future never leaks out
+        want = index.search(queries[0], 5, n_candidates=100)
+        assert np.array_equal(response.result.ids, want.ids)
+        assert np.array_equal(response.result.distances, want.distances)
+
+    def test_concurrent_submissions_all_resolve(self, index, queries):
+        plan = index.plan(k=5, n_candidates=100)
+
+        async def scenario():
+            async with AsyncFrontDoor(index) as door:
+                return await asyncio.gather(*[
+                    door.submit(query, plan, deadline_seconds=2.0)
+                    for query in queries
+                ])
+
+        responses = run(scenario())
+        assert len(responses) == len(queries)
+        assert all(r.served for r in responses)  # light load
+        want = index.search_batch(queries, 5, 100)
+        for response, expected in zip(responses, want):
+            assert np.array_equal(response.result.ids, expected.ids)
+
+    def test_batch_lane_and_coalescing(self, index, queries):
+        plan = index.plan(k=5, n_candidates=100)
+
+        async def scenario():
+            async with AsyncFrontDoor(index) as door:
+                responses = await asyncio.gather(*[
+                    door.submit(query, plan, lane="batch",
+                                deadline_seconds=5.0)
+                    for query in queries
+                ])
+                return responses, door.core.stats
+
+        responses, stats = run(scenario())
+        assert all(r.served and r.lane == "batch" for r in responses)
+        # The 20ms batch-lane coalesce window gathers concurrent
+        # arrivals into fewer dispatches than requests.
+        assert stats["batches"] < len(queries)
+
+    def test_invalid_query_rejected_not_raised(self, index):
+        async def scenario():
+            async with AsyncFrontDoor(index) as door:
+                bad_shape = await door.submit(
+                    np.zeros((2, 16)), index.plan(k=5, n_candidates=100)
+                )
+                non_finite = await door.submit(
+                    np.full(16, np.nan), index.plan(k=5, n_candidates=100)
+                )
+                return bad_shape, non_finite
+
+        bad_shape, non_finite = run(scenario())
+        assert bad_shape.reason == REASON_INVALID_QUERY
+        assert non_finite.reason == REASON_INVALID_QUERY
+
+    def test_queue_full_overflow_rejected(self, index, queries):
+        config = FrontDoorConfig(lanes=(
+            LaneConfig(name="interactive", max_depth=1,
+                       deadline_seconds=0.5, coalesce_seconds=0.05),
+        ))
+
+        async def scenario():
+            async with AsyncFrontDoor(index, config) as door:
+                return await asyncio.gather(*[
+                    door.submit(query, index.plan(k=5, n_candidates=100))
+                    for query in queries[:6]
+                ])
+
+        responses = run(scenario())
+        rejected = [r for r in responses if not r.served]
+        assert rejected, "depth-1 queue must overflow under a 6-way burst"
+        assert all(r.reason == REASON_QUEUE_FULL for r in rejected)
+
+    def test_submit_requires_running_door(self, index, queries):
+        door = AsyncFrontDoor(index)
+
+        async def scenario():
+            await door.submit(
+                queries[0], index.plan(k=5, n_candidates=100)
+            )
+
+        with pytest.raises(RuntimeError, match="start"):
+            run(scenario())
+
+
+class TestFailureAndShutdown:
+    def test_engine_error_resolves_as_execution_error(self, data, queries):
+        class ExplodingIndex:
+            def search_batch(self, *args, **kwargs):
+                raise RuntimeError("engine down")
+
+            def search(self, *args, **kwargs):
+                raise RuntimeError("engine down")
+
+        plan = HashIndex(
+            ITQ(code_length=8, seed=0), data, prober=GQR()
+        ).plan(k=5, n_candidates=100)
+
+        async def scenario():
+            async with AsyncFrontDoor(ExplodingIndex()) as door:
+                return await door.submit(queries[0], plan)
+
+        response = run(scenario())
+        assert response.reason == REASON_EXECUTION_ERROR
+        assert "engine down" in response.detail
+
+    def test_close_resolves_queued_tickets_as_shutdown(self, index, queries):
+        # A week-long coalesce window guarantees the ticket is still
+        # queued when the door closes.
+        config = FrontDoorConfig(lanes=(
+            LaneConfig(name="interactive", deadline_seconds=1e6,
+                       coalesce_seconds=1e5),
+        ))
+
+        async def scenario():
+            door = AsyncFrontDoor(index, config)
+            await door.start()
+            pending = asyncio.ensure_future(door.submit(
+                queries[0], index.plan(k=5, n_candidates=100)
+            ))
+            await asyncio.sleep(0.01)  # let the submission queue
+            await door.close()
+            return await pending
+
+        response = run(scenario())
+        assert response.reason == REASON_SHUTDOWN
+
+    def test_double_start_rejected_and_restart_allowed(self, index, queries):
+        async def scenario():
+            door = AsyncFrontDoor(index)
+            await door.start()
+            with pytest.raises(RuntimeError, match="already started"):
+                await door.start()
+            await door.close()
+
+        run(scenario())
+
+    def test_max_workers_validated(self, index):
+        with pytest.raises(ValueError, match="max_workers"):
+            AsyncFrontDoor(index, max_workers=0)

@@ -1,0 +1,115 @@
+"""Property-based tests (hypothesis) for the serving front door.
+
+Three load-independence properties of the admission/shedding design,
+checked on randomly drawn offered loads in deterministic virtual time:
+
+* rising offered load never *increases* the accepted fraction — the
+  admission controller and overload ladder respond monotonically (up to
+  a small tolerance for batching-boundary effects);
+* every completed request respects its deadline — the simulator's
+  infeasible-drop makes this structural, not statistical;
+* degraded responses are bit-identical to running the downgraded plan
+  directly — degradation changes *which* plan runs, never how.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.gqr import GQR
+from repro.data import gaussian_mixture, sample_queries
+from repro.data.workloads import TrafficTrace, zipfian_stream
+from repro.hashing import ITQ
+from repro.search import HashIndex
+from repro.serving import ServingSimulator, default_config
+
+DURATION = 0.5
+#: Virtual serial capacity of 300 q/s: the drawn load multipliers cross
+#: from comfortably under capacity to several times over it.
+PER_QUERY_COST = 1.0 / 300.0
+MULTIPLIERS = (1, 2, 4, 8)
+#: Coalescing quantises admissions into batches, so the accepted
+#: fraction can wobble by roughly one batch across nearby loads.
+MONOTONE_TOLERANCE = 0.02
+
+_DATA = gaussian_mixture(400, 16, n_clusters=5, seed=23)
+_QUERIES = sample_queries(_DATA, 32, seed=4)
+_INDEX = HashIndex(ITQ(code_length=8, seed=0), _DATA, prober=GQR())
+_PLAN = _INDEX.plan(k=5, n_candidates=96)
+
+
+def uniform_trace(rate: float, seed: int) -> TrafficTrace:
+    """Evenly spaced arrivals at ``rate``, all on the interactive lane.
+
+    Deterministic spacing (not Poisson) so a doubled rate is an exact
+    refinement of the lighter trace — the cleanest setting in which the
+    monotonicity property should hold.
+    """
+    n = int(rate * DURATION)
+    arrivals = (np.arange(n, dtype=np.float64) + 0.5) / rate
+    ids = zipfian_stream(len(_QUERIES), n, seed=seed)
+    return TrafficTrace(arrivals, ids, ("interactive",) * n)
+
+
+def run_at(rate: float, seed: int):
+    simulator = ServingSimulator(
+        _INDEX, default_config(), per_query_cost=PER_QUERY_COST,
+        batch_overhead=0.0,
+    )
+    return simulator.run_open(uniform_trace(rate, seed), _QUERIES, _PLAN)
+
+
+class TestServingProperties:
+    @given(
+        base_rate=st.integers(min_value=120, max_value=240),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=5, deadline=None)
+    def test_load_response_properties(self, base_rate, seed):
+        sims = [run_at(base_rate * m, seed) for m in MULTIPLIERS]
+
+        # 1. Accepted fraction is non-increasing as offered load rises.
+        fractions = [sim.accepted_fraction() for sim in sims]
+        for lighter, heavier in zip(fractions, fractions[1:]):
+            assert heavier <= lighter + MONOTONE_TOLERANCE
+        # The heaviest load runs several times over capacity, so
+        # admission control must actually have engaged.
+        assert fractions[-1] < 1.0
+
+        # 2. Every completed request respected its deadline.
+        deadline = default_config().lane("interactive").deadline_seconds
+        for sim in sims:
+            for record in sim.records:
+                if record.response.served:
+                    assert record.response.deadline_met
+                    assert record.response.latency_seconds <= deadline
+
+        # 3. Degraded responses are bit-identical to running the
+        #    downgraded plan directly against the index.
+        checked = 0
+        for sim, multiplier in zip(sims, MULTIPLIERS):
+            trace = uniform_trace(base_rate * multiplier, seed)
+            by_arrival = {
+                float(t): int(qid)
+                for t, qid in zip(trace.arrivals, trace.query_ids)
+            }
+            for record in sim.records:
+                response = record.response
+                if response.status != "served_degraded" or checked >= 24:
+                    continue
+                effective = response.effective_plan
+                direct = _INDEX.search(
+                    _QUERIES[by_arrival[record.arrival]],
+                    effective.k,
+                    n_candidates=effective.n_candidates,
+                    rerank=effective.rerank,
+                    fusion=effective.fusion,
+                )
+                assert np.array_equal(response.result.ids, direct.ids)
+                assert np.array_equal(
+                    response.result.distances, direct.distances
+                )
+                checked += 1
+        # The 8x run overloads by construction; degradation must have
+        # produced at least one verifiable response.
+        assert checked > 0

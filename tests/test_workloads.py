@@ -5,10 +5,14 @@ import pytest
 
 from repro.data import gaussian_mixture
 from repro.data.workloads import (
+    FlashCrowd,
     boundary_margin,
     boundary_queries,
     in_distribution_queries,
     out_of_distribution_queries,
+    rate_at,
+    traffic_trace,
+    zipfian_stream,
 )
 from repro.hashing import ITQ
 from repro.index.linear_scan import knn_linear_scan
@@ -71,3 +75,106 @@ class TestBoundaryQueries:
     def test_validation(self, data, hasher):
         with pytest.raises(ValueError):
             boundary_queries(data, hasher, 0)
+
+
+class TestZipfianStream:
+    def test_deterministic_per_seed(self):
+        a = zipfian_stream(50, 500, seed=3)
+        b = zipfian_stream(50, 500, seed=3)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, zipfian_stream(50, 500, seed=4))
+
+    def test_indices_in_range(self):
+        stream = zipfian_stream(10, 1000, seed=0)
+        assert len(stream) == 1000
+        assert stream.min() >= 0 and stream.max() < 10
+
+    def test_popular_head_dominates(self):
+        stream = zipfian_stream(100, 5000, exponent=1.2, seed=0)
+        counts = np.bincount(stream, minlength=100)
+        # Rank-frequency skew: the top id beats the median id by a lot.
+        assert counts[0] > 10 * np.median(counts)
+
+    def test_higher_exponent_is_more_skewed(self):
+        flat = zipfian_stream(100, 5000, exponent=0.5, seed=0)
+        steep = zipfian_stream(100, 5000, exponent=1.5, seed=0)
+        assert (steep == 0).mean() > (flat == 0).mean()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            zipfian_stream(0, 10)
+        with pytest.raises(ValueError):
+            zipfian_stream(10, -1)
+
+
+class TestRateAt:
+    def test_flat_base_rate(self):
+        times = np.linspace(0.0, 10.0, 5)
+        assert np.allclose(rate_at(times, 100.0), 100.0)
+
+    def test_diurnal_modulation_brackets_base(self):
+        period = 10.0
+        times = np.linspace(0.0, period, 101)
+        rate = rate_at(times, 100.0, diurnal_amplitude=0.5,
+                       diurnal_period=period)
+        assert rate.max() == pytest.approx(150.0, rel=1e-3)
+        assert rate.min() == pytest.approx(50.0, rel=1e-3)
+
+    def test_flash_crowd_scales_only_its_window(self):
+        crowd = FlashCrowd(start=2.0, duration=1.0, multiplier=10.0)
+        times = np.array([1.0, 2.5, 3.5])
+        rate = rate_at(times, 100.0, flash_crowds=(crowd,))
+        assert np.allclose(rate, [100.0, 1000.0, 100.0])
+
+    def test_flash_crowd_validation(self):
+        with pytest.raises(ValueError, match="duration"):
+            FlashCrowd(start=0.0, duration=0.0, multiplier=2.0)
+        with pytest.raises(ValueError, match="multiplier"):
+            FlashCrowd(start=0.0, duration=1.0, multiplier=-1.0)
+
+
+class TestTrafficTrace:
+    def test_deterministic_per_seed(self):
+        a = traffic_trace(5.0, 100.0, 32, seed=9)
+        b = traffic_trace(5.0, 100.0, 32, seed=9)
+        assert np.array_equal(a.arrivals, b.arrivals)
+        assert np.array_equal(a.query_ids, b.query_ids)
+        assert a.lanes == b.lanes
+
+    def test_arrivals_sorted_within_duration(self):
+        trace = traffic_trace(5.0, 100.0, 32, seed=0)
+        assert np.all(np.diff(trace.arrivals) >= 0)
+        assert trace.arrivals.min() >= 0.0
+        assert trace.arrivals.max() <= 5.0
+
+    def test_realised_rate_tracks_base_rate(self):
+        trace = traffic_trace(10.0, 200.0, 32, seed=1)
+        assert trace.offered_rate(0.0, 10.0) == pytest.approx(200.0, rel=0.1)
+
+    def test_flash_crowd_multiplies_realised_rate(self):
+        crowd = FlashCrowd(start=2.0, duration=2.0, multiplier=10.0)
+        trace = traffic_trace(6.0, 100.0, 32, seed=2, flash_crowds=(crowd,))
+        calm = trace.offered_rate(0.0, 2.0)
+        crowded = trace.offered_rate(2.0, 4.0)
+        assert crowded > 5 * calm
+
+    def test_lane_mix_follows_weights(self):
+        trace = traffic_trace(
+            10.0, 200.0, 32, seed=3,
+            lane_weights={"interactive": 0.8, "batch": 0.2},
+        )
+        share = trace.lanes.count("interactive") / len(trace)
+        assert 0.7 < share < 0.9
+
+    def test_zero_rate_yields_empty_trace(self):
+        trace = traffic_trace(5.0, 0.0, 32, seed=0)
+        assert len(trace) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="duration"):
+            traffic_trace(0.0, 100.0, 32, seed=0)
+        with pytest.raises(ValueError, match="diurnal_amplitude"):
+            traffic_trace(1.0, 100.0, 32, seed=0, diurnal_amplitude=2.0)
+        with pytest.raises(ValueError, match="lane weights"):
+            traffic_trace(1.0, 100.0, 32, seed=0,
+                          lane_weights={"interactive": 0.0})

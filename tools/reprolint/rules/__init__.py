@@ -25,6 +25,9 @@ Rules are grouped by the contract they protect:
 * :mod:`reprolint.rules.wholeprogram` — RL014 cross-module engine
   integrity (call-graph reach into engine/stage internals that
   per-file RL001/RL011 cannot see).
+* :mod:`reprolint.rules.serving` — RL015 async-blocking discipline
+  (the PR-8 serving front door: no blocking sleeps or direct engine
+  execution inside coroutine bodies).
 """
 
 from __future__ import annotations
@@ -38,6 +41,7 @@ from reprolint.rules import (
     numerics,
     observability,
     resilience,
+    serving,
     wholeprogram,
 )
 
@@ -50,5 +54,6 @@ __all__ = [
     "numerics",
     "observability",
     "resilience",
+    "serving",
     "wholeprogram",
 ]

@@ -1,0 +1,105 @@
+"""Rules protecting the async serving layer (PR 8).
+
+The front door's contract is that the asyncio event loop never blocks:
+engine execution is handed to a thread-pool executor and waiting is
+done with awaitables, so a single slow search can't freeze admission,
+expiry sweeps and every other in-flight request.  A ``time.sleep`` or
+a direct ``engine.execute(...)`` / ``index.search(...)`` call inside an
+``async def`` silently re-serialises the whole front door — it still
+*works* under light load, which is exactly why a linter has to catch
+it.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from reprolint.core import ModuleContext, Rule, Violation, register
+
+__all__ = ["AsyncBlockingRule"]
+
+#: The only package where async-coroutine bodies are load-bearing.
+_SERVING_DIRS = ("repro/serving",)
+
+#: Method-name prefixes that mean "run the engine, blocking".
+_BLOCKING_PREFIXES = ("execute", "search")
+
+
+@register
+class AsyncBlockingRule(Rule):
+    """RL015: no blocking calls inside ``async def`` in repro/serving.
+
+    Flags, lexically inside coroutine bodies (nested synchronous
+    ``def`` bodies are skipped — they run on whatever thread calls
+    them):
+
+    * ``time.sleep(...)`` / bare ``sleep(...)`` — use
+      ``await asyncio.sleep(...)``;
+    * direct engine/index execution — attribute calls whose name starts
+      with ``execute`` or ``search`` (``engine.execute``,
+      ``index.search_batch``, …) — hand them to
+      ``loop.run_in_executor(...)`` instead.
+    """
+
+    rule_id = "RL015"
+    name = "async-blocking"
+    description = (
+        "no blocking calls (time.sleep, engine.execute*/index.search*) "
+        "inside async def bodies under repro/serving; await asyncio.sleep "
+        "or run the engine in an executor"
+    )
+
+    def applies(self, module: ModuleContext) -> bool:
+        return module.within(*_SERVING_DIRS)
+
+    def check(self, module: ModuleContext) -> Iterator[Violation]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.AsyncFunctionDef):
+                yield from self._check_coroutine(module, node)
+
+    def _check_coroutine(
+        self, module: ModuleContext, coroutine: ast.AsyncFunctionDef
+    ) -> Iterator[Violation]:
+        """Scan one coroutine body, not descending into sync defs."""
+        stack: list[ast.AST] = list(coroutine.body)
+        while stack:
+            node = stack.pop()
+            if isinstance(node, ast.FunctionDef):
+                # A nested sync def runs on its caller's thread — if a
+                # coroutine calls it directly, the *call* is what this
+                # rule should (and does) flag.
+                continue
+            if isinstance(node, ast.Call):
+                finding = self._blocking_call(node)
+                if finding is not None:
+                    yield self.violation(module, node, finding)
+            stack.extend(ast.iter_child_nodes(node))
+
+    def _blocking_call(self, call: ast.Call) -> str | None:
+        func = call.func
+        if isinstance(func, ast.Attribute):
+            if (
+                func.attr == "sleep"
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "time"
+            ):
+                return (
+                    "time.sleep() blocks the event loop; use "
+                    "`await asyncio.sleep(...)`"
+                )
+            if any(
+                func.attr.startswith(prefix)
+                for prefix in _BLOCKING_PREFIXES
+            ):
+                return (
+                    f"blocking engine call `.{func.attr}(...)` inside a "
+                    "coroutine stalls every in-flight request; run it "
+                    "via loop.run_in_executor(...)"
+                )
+        elif isinstance(func, ast.Name) and func.id == "sleep":
+            return (
+                "sleep() blocks the event loop; use "
+                "`await asyncio.sleep(...)`"
+            )
+        return None
