@@ -1,16 +1,29 @@
-"""Serving-layer bench: result caching + thread-pooled batch execution.
+"""Serving-layer bench: result caching + pooled batch execution.
 
-Two claims, measured on one synthetic GQR workload:
+Three claims, measured on one synthetic GQR workload:
 
 * under a skewed (Zipfian) repeated-query stream — the shape of real
   serving traffic — the query-result cache lifts throughput by at
   least 2x, because the popular head of the distribution is answered
   from the LRU instead of re-probed;
-* the thread-pooled batch executor's results are **bit-identical** to
-  serial execution at every batch size, and its throughput scales with
-  batch size when more than one core is available (on a single-core
-  runner the curve is still recorded, but no speedup is asserted —
-  threads cannot beat serial there).
+* both pooled batch modes (threads, and shared-memory processes) give
+  results **bit-identical** to serial execution at every batch size —
+  checked here and recorded per size as ``bit_identical``;
+* on hardware with at least ``N_WORKERS`` cores, the shared-memory
+  process mode clears a real speedup floor over serial at every batch
+  size, and the speedup is monotone non-decreasing in batch size.
+
+Timing is best-of-``REPEATS`` per (mode, batch size) — one-shot wall
+times on ~10 ms regions are noise, and a single lucky/unlucky draw is
+exactly the kind of number this bench exists to stop publishing.
+
+The speedup assertion is gated on *actually available* cores
+(``os.sched_getaffinity``, not ``os.cpu_count``): a 4-worker pool on a
+1-core box cannot beat serial, and asserting — or silently recording
+``parallel_speedup_asserted`` next to a 1-core measurement — would be
+a lie.  The JSON records the gate (``available_cores``,
+``parallel_speedup_asserted``) so a reader can tell an enforced number
+from a merely observed one.
 
 Writes ``benchmarks/results/BENCH_cache_parallel.json``.
 ``REPRO_BENCH_SMOKE=1`` shrinks the workload for CI and relaxes the
@@ -18,6 +31,7 @@ assertion bars; the committed JSON comes from a full local run.
 """
 
 import json
+import math
 import os
 import time
 
@@ -40,12 +54,37 @@ ZIPF_EXPONENT = 1.1                     # rank-frequency skew of the stream
 K = 10
 BUDGET = 400 if SMOKE else 1_000
 N_WORKERS = 4
+MIN_BATCH_SIZE = 16
 BATCH_SIZES = (16, 64, 256) if SMOKE else (16, 64, 256, 1024)
+REPEATS = 3                             # best-of-N per timed region
 
 MIN_CACHE_SPEEDUP = 1.2 if SMOKE else 2.0
-#: Thread speedup is only a contract when the hardware can deliver it.
-ASSERT_PARALLEL = os.cpu_count() is not None and os.cpu_count() >= 2
-MIN_PARALLEL_SPEEDUP = 1.1
+
+
+def available_cores() -> int:
+    """Cores this process may actually run on, not cores in the box.
+
+    ``os.cpu_count()`` reports the machine; cgroup/affinity limits
+    (containers, CI runners, taskset) can pin us to far fewer.  The
+    speedup gate must use the real number or it asserts the
+    impossible.
+    """
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # platforms without sched_getaffinity
+        return os.cpu_count() or 1
+
+
+AVAILABLE_CORES = available_cores()
+#: The 2x floor is only a contract when the pool can actually get
+#: N_WORKERS cores; with 2-3 cores we still require *some* win.
+ASSERT_PARALLEL = AVAILABLE_CORES >= N_WORKERS
+ASSERT_PARALLEL_RELAXED = 2 <= AVAILABLE_CORES < N_WORKERS
+MIN_PARALLEL_SPEEDUP = 1.3 if SMOKE else 2.0
+MIN_RELAXED_SPEEDUP = 1.1
+#: Successive speedups may dip this fraction below the running best
+#: before "monotone non-decreasing" is declared violated.
+MONOTONE_TOLERANCE = 0.9
 
 
 def throughput(index, queries, request_ids):
@@ -53,6 +92,24 @@ def throughput(index, queries, request_ids):
     for qi in request_ids:
         index.search(queries[qi], K, BUDGET)
     return len(request_ids) / (time.perf_counter() - start)
+
+
+def best_seconds(fn):
+    """Best-of-``REPEATS`` wall time; returns (last result, seconds)."""
+    best = math.inf
+    result = None
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return result, best
+
+
+def identical(got, want):
+    return len(got) == len(want) and all(
+        np.array_equal(g.ids, w.ids) and np.array_equal(g.distances, w.distances)
+        for g, w in zip(got, want)
+    )
 
 
 def test_cache_parallel(benchmark):
@@ -65,19 +122,30 @@ def test_cache_parallel(benchmark):
         hasher, data, prober=GQR(),
         cache=QueryResultCache(capacity=N_DISTINCT, name="bench"),
     )
-    parallel = HashIndex(
+    threaded = HashIndex(
         hasher, data, prober=GQR(),
-        parallel=ParallelBatchExecutor(n_workers=N_WORKERS, min_batch_size=8),
+        parallel=ParallelBatchExecutor(
+            n_workers=N_WORKERS, min_batch_size=MIN_BATCH_SIZE, mode="thread"
+        ),
+    )
+    process = HashIndex(
+        hasher, data, prober=GQR(),
+        parallel=ParallelBatchExecutor(
+            n_workers=N_WORKERS, min_batch_size=MIN_BATCH_SIZE, mode="process"
+        ),
     )
     stream = zipfian_stream(
         N_DISTINCT, N_REQUESTS, exponent=ZIPF_EXPONENT, seed=2
     )
 
-    # Warm every path (and the cache's first-miss pass) before timing.
+    # Warm every path before timing: the cache's first-miss pass, the
+    # thread pool's spawn, and the process mode's worker spawn +
+    # shared-memory publication + per-worker attach.
     warm = stream[:32]
     throughput(plain, queries, warm)
     throughput(cached, queries, warm)
-    parallel.search_batch(queries[:16], K, BUDGET)
+    threaded.search_batch(queries[:MIN_BATCH_SIZE], K, BUDGET)
+    process.search_batch(queries[:MIN_BATCH_SIZE], K, BUDGET)
 
     measured = {}
 
@@ -87,36 +155,47 @@ def test_cache_parallel(benchmark):
         measured["batch"] = []
         for size in BATCH_SIZES:
             block = queries[:size]
-            start = time.perf_counter()
-            serial_results = plain.search_batch(block, K, BUDGET)
-            serial_seconds = time.perf_counter() - start
-            start = time.perf_counter()
-            parallel_results = parallel.search_batch(block, K, BUDGET)
-            parallel_seconds = time.perf_counter() - start
-            for a, b in zip(serial_results, parallel_results):
-                assert np.array_equal(a.ids, b.ids)
-                assert np.array_equal(a.distances, b.distances)
+            serial_results, serial_s = best_seconds(
+                lambda b=block: plain.search_batch(b, K, BUDGET)
+            )
+            thread_results, thread_s = best_seconds(
+                lambda b=block: threaded.search_batch(b, K, BUDGET)
+            )
+            process_results, process_s = best_seconds(
+                lambda b=block: process.search_batch(b, K, BUDGET)
+            )
             measured["batch"].append({
                 "batch_size": size,
-                "serial_qps": size / serial_seconds,
-                "parallel_qps": size / parallel_seconds,
-                "speedup": serial_seconds / parallel_seconds,
+                "serial_qps": size / serial_s,
+                "thread_qps": size / thread_s,
+                "process_qps": size / process_s,
+                "thread_speedup": serial_s / thread_s,
+                "process_speedup": serial_s / process_s,
+                "bit_identical": (
+                    identical(thread_results, serial_results)
+                    and identical(process_results, serial_results)
+                ),
             })
         return measured
 
-    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    try:
+        benchmark.pedantic(run_all, rounds=1, iterations=1)
 
-    # The cached stream must return exactly what the plain index does.
-    for qi in stream[:64]:
-        a = plain.search(queries[qi], K, BUDGET)
-        b = cached.search(queries[qi], K, BUDGET)
-        assert np.array_equal(a.ids, b.ids)
-        assert np.array_equal(a.distances, b.distances)
+        # The cached stream must return exactly what the plain index does.
+        for qi in stream[:64]:
+            a = plain.search(queries[qi], K, BUDGET)
+            b = cached.search(queries[qi], K, BUDGET)
+            assert np.array_equal(a.ids, b.ids)
+            assert np.array_equal(a.distances, b.distances)
+    finally:
+        threaded.close()
+        process.close()
 
     cache_speedup = measured["cached_qps"] / measured["uncached_qps"]
     stats = cached.cache.stats
     hit_rate = stats["hits"] / max(1, stats["hits"] + stats["misses"])
-    best_parallel = max(row["speedup"] for row in measured["batch"])
+    process_speedups = [row["process_speedup"] for row in measured["batch"]]
+    bit_identical = all(row["bit_identical"] for row in measured["batch"])
 
     report = {
         "smoke": SMOKE,
@@ -127,6 +206,7 @@ def test_cache_parallel(benchmark):
         "k": K,
         "budget": BUDGET,
         "cpu_count": os.cpu_count(),
+        "available_cores": AVAILABLE_CORES,
         "uncached_qps": measured["uncached_qps"],
         "cached_qps": measured["cached_qps"],
         "cache_speedup": cache_speedup,
@@ -134,10 +214,13 @@ def test_cache_parallel(benchmark):
         "cache_hit_rate": hit_rate,
         "cache_stats": stats,
         "n_workers": N_WORKERS,
+        "min_batch_size": MIN_BATCH_SIZE,
+        "timing_repeats": REPEATS,
         "batch_scaling": measured["batch"],
-        "best_parallel_speedup": best_parallel,
+        "best_parallel_speedup": max(process_speedups),
+        "min_parallel_speedup": MIN_PARALLEL_SPEEDUP,
         "parallel_speedup_asserted": ASSERT_PARALLEL,
-        "results_bit_identical": True,
+        "results_bit_identical": bit_identical,
     }
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / "BENCH_cache_parallel.json").write_text(
@@ -150,8 +233,9 @@ def test_cache_parallel(benchmark):
          f"{cache_speedup:.2f}x"],
     ] + [
         [f"batch={row['batch_size']}",
-         f"{row['parallel_qps']:.0f}",
-         f"{row['speedup']:.2f}x vs serial"]
+         f"{row['process_qps']:.0f}",
+         f"{row['process_speedup']:.2f}x process, "
+         f"{row['thread_speedup']:.2f}x thread vs serial"]
         for row in measured["batch"]
     ]
     save_report(
@@ -159,10 +243,28 @@ def test_cache_parallel(benchmark):
         f"Zipf(s={ZIPF_EXPONENT}) stream of {N_REQUESTS} requests over "
         f"{N_DISTINCT} distinct queries (hit rate "
         f"{hit_rate * 100:.0f}%); batches on {N_WORKERS} workers, "
-        f"{os.cpu_count()} core(s):\n"
+        f"{AVAILABLE_CORES} available core(s):\n"
         + format_table(["mode", "qps", "speedup"], rows),
     )
 
+    assert bit_identical
     assert cache_speedup >= MIN_CACHE_SPEEDUP
-    if ASSERT_PARALLEL and not SMOKE:
-        assert best_parallel >= MIN_PARALLEL_SPEEDUP
+    if ASSERT_PARALLEL:
+        for row in measured["batch"]:
+            assert row["process_speedup"] >= MIN_PARALLEL_SPEEDUP, (
+                f"batch={row['batch_size']}: process speedup "
+                f"{row['process_speedup']:.2f}x below the "
+                f"{MIN_PARALLEL_SPEEDUP}x floor on {AVAILABLE_CORES} cores"
+            )
+        if not SMOKE:
+            # Monotone non-decreasing in batch size (within timing
+            # noise): bigger batches must not scale *worse*.
+            best_so_far = process_speedups[0]
+            for size, speedup in zip(BATCH_SIZES[1:], process_speedups[1:]):
+                assert speedup >= best_so_far * MONOTONE_TOLERANCE, (
+                    f"batch={size}: speedup {speedup:.2f}x regressed below "
+                    f"{best_so_far:.2f}x seen at a smaller batch"
+                )
+                best_so_far = max(best_so_far, speedup)
+    elif ASSERT_PARALLEL_RELAXED:
+        assert max(process_speedups) >= MIN_RELAXED_SPEEDUP

@@ -58,6 +58,7 @@ from repro.obs.telemetry import (
     observe_cache_occupancy,
     observe_distributed,
     observe_fault,
+    observe_parallel_shard,
     observe_query,
     observe_serving_admission,
     observe_serving_batch,
@@ -98,6 +99,7 @@ __all__ = [
     "observe_cache_occupancy",
     "observe_distributed",
     "observe_fault",
+    "observe_parallel_shard",
     "observe_query",
     "observe_serving_admission",
     "observe_serving_batch",

@@ -20,6 +20,11 @@ from repro.search.engine import (
 )
 from repro.search.parallel import ParallelBatchExecutor
 from repro.search.results import SearchResult
+from repro.search.shm import (
+    SharedBucketTable,
+    SharedIndexPublication,
+    SharedIndexSpec,
+)
 from repro.search.searcher import (
     HashIndex,
     IMISearchIndex,
@@ -53,6 +58,9 @@ __all__ = [
     "QueryResultCache",
     "RerankSpec",
     "SearchResult",
+    "SharedBucketTable",
+    "SharedIndexPublication",
+    "SharedIndexSpec",
     "StreamSearchIndex",
     "cache_token",
     "evaluate_candidates",

@@ -47,8 +47,11 @@ from typing import Protocol
 import numpy as np
 
 from repro import obs
-from repro.core.quantization_distance import quantization_distances
-from repro.index.codes import hamming_distance
+from repro.index.codes import (
+    hamming_distance,
+    packed_qd_distances,
+    qd_cost_tables,
+)
 from repro.index.distance import METRICS, pairwise_distances
 from repro.search.cache import QueryResultCache, cache_token
 from repro.search.parallel import ParallelBatchExecutor
@@ -530,6 +533,12 @@ class CodeEvaluator:
     distance evaluated at its long code (a scaled lower bound on true
     distance, Theorem 2); ``symmetric`` uses Hamming distance between
     long codes.  The returned "distances" are estimator values.
+
+    Both modes run as packed-block kernels over the int64 signatures
+    (:mod:`repro.index.codes`): symmetric is one XOR +
+    ``np.bitwise_count``, asymmetric builds the query's per-byte QD
+    lookup tables once and scores every candidate with byte gathers —
+    no per-candidate bit unpacking, so worker shards stay ufunc-bound.
     """
 
     def __init__(
@@ -552,8 +561,8 @@ class CodeEvaluator:
         long_sig, long_costs = self._hasher.probe_info(query)
         candidate_codes = self._signatures[candidates]
         if self.mode == "asymmetric":
-            estimates = quantization_distances(
-                long_sig, candidate_codes, long_costs
+            estimates = packed_qd_distances(
+                candidate_codes, qd_cost_tables(long_sig, long_costs)
             )
         else:
             estimates = hamming_distance(
@@ -914,7 +923,8 @@ class QueryEngine:
       an older generation can never be returned again.
     * ``parallel`` — a
       :class:`~repro.search.parallel.ParallelBatchExecutor`; both batch
-      entry points shard large batches across its thread pool, with
+      entry points shard large batches across its worker pool (threads,
+      or shared-memory processes for eligible ordered batches), with
       results bit-identical to serial execution.
     """
 

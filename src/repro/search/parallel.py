@@ -1,9 +1,25 @@
-"""Thread-pooled batch execution for the serving layer.
+"""Parallel batch execution for the serving layer: threads or processes.
 
-Large batches shard across a persistent thread pool: numpy releases the
-GIL inside the vectorized scoring and evaluation kernels (the einsum /
-BLAS calls where batch time is actually spent), so worker threads
-overlap on real cores without multiprocessing's serialisation cost.
+Large batches shard across a persistent pool.  Two modes:
+
+* ``"thread"`` — workers are threads; numpy releases the GIL inside
+  the vectorized scoring kernels, so this wins only when batch time is
+  BLAS/ufunc-bound.  On the numpy-light probe path the GIL serialises
+  the workers and threads can *lose* to serial.
+* ``"process"`` — workers are spawned processes attached zero-copy to
+  shared-memory snapshots of the index (:mod:`repro.search.shm`).  The
+  parent publishes each engine's vectors and bucket layout once per
+  generation; workers run the unchanged serial ordered batch path over
+  contiguous query shards and return compact arrays instead of pickled
+  ``SearchResult`` objects.  This sidesteps the GIL entirely, at the
+  price of shipping each shard's probe-score slice to the worker.
+
+Process mode applies to the ordered batch path with an
+:class:`~repro.search.engine.ExactEvaluator` (plain plans, or rerank
+mode ``"exact"`` over the same vectors); everything else — the streams
+path drains per-query generators that cannot cross a process boundary,
+fusion needs a partner engine — falls back to the thread pool, and
+below ``min_batch_size`` both modes degrade to serial execution.
 
 Determinism is non-negotiable: a shard is a *contiguous* slice of the
 query batch, each shard runs the exact serial batch path over its
@@ -19,19 +35,30 @@ batch paths are per-row independent —
   per row from each row's own surviving pool, with no cross-row state;
 
 so the merged output is **bit-identical** to running the whole batch
-serially (enforced by tests).  The one shared mutable structure, a
-table's lazily cached ``dense_layout``, is materialised on the caller's
-thread before any worker starts.
+serially (enforced by tests), in both modes.  The one shared mutable
+structure, a table's lazily cached ``dense_layout``, is materialised
+on the caller's thread before any worker starts.
+
+Lifecycle: pools and shared-memory publications are released by
+:meth:`ParallelBatchExecutor.shutdown` (also spelled ``close``, also a
+context manager), and a ``weakref.finalize`` backstop tears them down
+when an executor is dropped without one — worker processes and named
+segments must never outlive the executor that created them.
 """
 
 from __future__ import annotations
 
 import threading
-from collections.abc import Iterable
-from concurrent.futures import Future, ThreadPoolExecutor
+import weakref
+from collections.abc import Callable, Iterable
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from multiprocessing import get_context
 from typing import TYPE_CHECKING
 
 import numpy as np
+
+from repro import obs
+from repro.search import shm
 
 if TYPE_CHECKING:
     from repro.search.engine import BucketTable, QueryEngine, QueryPlan
@@ -39,31 +66,87 @@ if TYPE_CHECKING:
 
 __all__ = ["ParallelBatchExecutor"]
 
+_MODES = ("thread", "process")
+
+
+class _ExecutorState:
+    """Pools and publications, separated out so ``weakref.finalize`` can
+    tear them down without keeping the executor itself alive."""
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.thread_pool: ThreadPoolExecutor | None = None
+        self.process_pool: ProcessPoolExecutor | None = None
+        # family token -> (generation, table weakref, publication)
+        self.publications: dict[
+            str,
+            tuple[int, weakref.ref[object], shm.SharedIndexPublication],
+        ] = {}
+
+    def drain(
+        self,
+    ) -> tuple[
+        ThreadPoolExecutor | None,
+        ProcessPoolExecutor | None,
+        list[shm.SharedIndexPublication],
+    ]:
+        """Atomically take everything that needs releasing."""
+        with self.lock:
+            thread_pool, self.thread_pool = self.thread_pool, None
+            process_pool, self.process_pool = self.process_pool, None
+            publications = [pub for _, _, pub in self.publications.values()]
+            self.publications.clear()
+        return thread_pool, process_pool, publications
+
+
+def _teardown(state: _ExecutorState) -> None:
+    thread_pool, process_pool, publications = state.drain()
+    if thread_pool is not None:
+        thread_pool.shutdown(wait=True)
+    if process_pool is not None:
+        process_pool.shutdown(wait=True)
+    for publication in publications:
+        publication.close()
+
 
 class ParallelBatchExecutor:
-    """Shard batch execution across a persistent thread pool.
+    """Shard batch execution across a persistent worker pool.
 
     Parameters
     ----------
     n_workers:
-        Worker threads (and the maximum shard count).  ``1`` degrades
-        to serial execution.
+        Workers (and the maximum shard count).  ``1`` degrades to
+        serial execution.
     min_batch_size:
-        Batches smaller than this run serially — thread dispatch costs
-        more than it saves on small blocks.
+        Batches smaller than this run serially — dispatch costs more
+        than it saves on small blocks.
+    mode:
+        ``"thread"`` (default) or ``"process"`` — see the module
+        docstring for when each wins and when process mode falls back
+        to threads.
     """
 
-    def __init__(self, n_workers: int, min_batch_size: int = 64) -> None:
+    def __init__(
+        self,
+        n_workers: int,
+        min_batch_size: int = 64,
+        mode: str = "thread",
+    ) -> None:
         if n_workers < 1:
             raise ValueError(f"n_workers must be positive, got {n_workers}")
         if min_batch_size < 2:
             raise ValueError(
                 f"min_batch_size must be at least 2, got {min_batch_size}"
             )
+        if mode not in _MODES:
+            raise ValueError(
+                f"mode must be one of {_MODES}, got {mode!r}"
+            )
         self.n_workers = n_workers
         self.min_batch_size = min_batch_size
-        self._pool: ThreadPoolExecutor | None = None
-        self._pool_lock = threading.Lock()
+        self.mode = mode
+        self._state = _ExecutorState()
+        self._finalizer = weakref.finalize(self, _teardown, self._state)
 
     def should_split(self, n_queries: int) -> bool:
         """Whether a batch of this size is worth sharding."""
@@ -79,14 +162,114 @@ class ParallelBatchExecutor:
             if hi > lo
         ]
 
-    def _ensure_pool(self) -> ThreadPoolExecutor:
-        with self._pool_lock:
-            if self._pool is None:
-                self._pool = ThreadPoolExecutor(
+    def _ensure_thread_pool(self) -> ThreadPoolExecutor:
+        state = self._state
+        with state.lock:
+            if state.thread_pool is None:
+                state.thread_pool = ThreadPoolExecutor(
                     max_workers=self.n_workers,
                     thread_name_prefix="repro-batch",
                 )
-            return self._pool
+            return state.thread_pool
+
+    def _ensure_process_pool(self) -> ProcessPoolExecutor:
+        state = self._state
+        with state.lock:
+            if state.process_pool is None:
+                # Spawn, not fork: the parent holds locks and worker
+                # threads a forked child would inherit mid-state.
+                state.process_pool = ProcessPoolExecutor(
+                    max_workers=self.n_workers,
+                    mp_context=get_context("spawn"),
+                )
+            return state.process_pool
+
+    # -- process-mode eligibility and publication ---------------------
+
+    def _process_eligible(
+        self, engine: QueryEngine, plan: QueryPlan, table: BucketTable
+    ) -> bool:
+        """Whether this ordered batch can run in worker processes.
+
+        The worker rebuilds the engine from the published vectors and
+        bucket layout, so the plan must only need what those can
+        express: exact evaluation, optionally an ``"exact"`` rerank
+        over the same vectors, no fusion partner.
+        """
+        from repro.search.engine import ExactEvaluator
+
+        if self.mode != "process":
+            return False
+        if getattr(table, "dense_layout", None) is None:
+            return False
+        evaluator = engine.evaluator
+        if not isinstance(evaluator, ExactEvaluator):
+            return False
+        if plan.fusion is not None:
+            return False
+        if plan.rerank is not None:
+            if plan.rerank.mode != "exact":
+                return False
+            reranker = engine.rerankers.get("exact")
+            if reranker is not evaluator and not (
+                isinstance(reranker, ExactEvaluator)
+                and reranker.metric == evaluator.metric
+                and reranker._vectors() is evaluator._vectors()
+            ):
+                return False
+        return True
+
+    def _publication_for(
+        self, engine: QueryEngine, table: BucketTable
+    ) -> shm.SharedIndexPublication:
+        """The current generation's publication, republishing when stale.
+
+        Keyed by the engine's process-unique cache token; a publication
+        goes stale when the engine generation moves (mutable indexes
+        bump it on every mutation) or the table object itself was
+        replaced.  Stale segments are closed and unlinked immediately —
+        their names are never reused, so a worker holding the old spec
+        cannot silently read them.
+        """
+        from repro.search.engine import ExactEvaluator
+
+        family = str(engine.identity()[0])
+        generation = engine.generation
+        state = self._state
+        with state.lock:
+            cached = state.publications.get(family)
+            if cached is not None:
+                cached_generation, table_ref, publication = cached
+                if (
+                    cached_generation == generation
+                    and table_ref() is table
+                ):
+                    return publication
+        evaluator = engine.evaluator
+        assert isinstance(evaluator, ExactEvaluator)
+        fresh = shm.publish_index(
+            family,
+            generation,
+            engine.name,
+            evaluator.metric,
+            evaluator._vectors(),
+            table.dense_layout(),  # type: ignore[attr-defined]
+        )
+        stale: shm.SharedIndexPublication | None = None
+        with state.lock:
+            cached = state.publications.get(family)
+            if cached is not None:
+                stale = cached[2]
+            state.publications[family] = (
+                generation,
+                weakref.ref(table),
+                fresh,
+            )
+        if stale is not None:
+            stale.close()
+        return fresh
+
+    # -- batch entry points -------------------------------------------
 
     def run_ordered(
         self,
@@ -98,14 +281,19 @@ class ParallelBatchExecutor:
         bucket_signatures: np.ndarray,
     ) -> list[SearchResult]:
         """Sharded ordered-path execution; results in batch order."""
+        if self._process_eligible(engine, plan, table):
+            return self._run_ordered_process(
+                engine, queries, plan, table, scores, bucket_signatures
+            )
         layout_fn = getattr(table, "dense_layout", None)
         if layout_fn is not None:
             # Materialise the lazily cached layout before workers race
             # to build it.
             layout_fn()
-        pool = self._ensure_pool()
-        futures: list[Future[list[SearchResult]]] = [
+        pool = self._ensure_thread_pool()
+        futures: list[Future[tuple[list[SearchResult], float]]] = [
             pool.submit(
+                _timed_shard,
                 engine._execute_batch_ordered_serial,
                 queries[lo:hi],
                 plan,
@@ -117,7 +305,45 @@ class ParallelBatchExecutor:
         ]
         merged: list[SearchResult] = []
         for future in futures:
-            merged.extend(future.result())
+            results, seconds = future.result()
+            obs.observe_parallel_shard("thread", seconds)
+            merged.extend(results)
+        return merged
+
+    def _run_ordered_process(
+        self,
+        engine: QueryEngine,
+        queries: np.ndarray,
+        plan: QueryPlan,
+        table: BucketTable,
+        scores: np.ndarray,
+        bucket_signatures: np.ndarray,
+    ) -> list[SearchResult]:
+        """Ordered-path execution over shared-memory process workers."""
+        publication = self._publication_for(engine, table)
+        pool = self._ensure_process_pool()
+        bucket_signatures = np.asarray(bucket_signatures, dtype=np.int64)
+        futures: list[Future[tuple[np.ndarray, ...]]] = [
+            pool.submit(
+                shm.run_ordered_shard,
+                publication.spec,
+                queries[lo:hi],
+                plan,
+                scores[lo:hi],
+                bucket_signatures,
+            )
+            for lo, hi in self._bounds(len(queries))
+        ]
+        merged: list[SearchResult] = []
+        contexts = []
+        for future in futures:
+            results, seconds = shm.unpack_shard_results(future.result())
+            obs.observe_parallel_shard("process", seconds)
+            merged.extend(results)
+            contexts.extend(r.stats for r in results)
+        # Workers run with telemetry off (fresh spawned interpreters);
+        # the parent records the batch against its own registry.
+        obs.observe_batch(engine.name, contexts)
         return merged
 
     def run_streams(
@@ -127,10 +353,20 @@ class ParallelBatchExecutor:
         plan: QueryPlan,
         streams: list[Iterable[np.ndarray]],
     ) -> list[SearchResult]:
-        """Sharded streams-path execution; results in batch order."""
-        pool = self._ensure_pool()
-        futures: list[Future[list[SearchResult]]] = [
+        """Sharded streams-path execution; results in batch order.
+
+        Always thread-pooled: the streams are live per-query
+        generators, which cannot cross a process boundary.
+        """
+        if len(queries) != len(streams):
+            raise ValueError(
+                f"queries and streams must align: got {len(queries)} "
+                f"queries for {len(streams)} streams"
+            )
+        pool = self._ensure_thread_pool()
+        futures: list[Future[tuple[list[SearchResult], float]]] = [
             pool.submit(
+                _timed_shard,
                 engine._execute_batch_streams_serial,
                 queries[lo:hi],
                 plan,
@@ -140,18 +376,41 @@ class ParallelBatchExecutor:
         ]
         merged: list[SearchResult] = []
         for future in futures:
-            merged.extend(future.result())
+            results, seconds = future.result()
+            obs.observe_parallel_shard("thread", seconds)
+            merged.extend(results)
         return merged
 
     def shutdown(self) -> None:
-        """Tear the pool down; a later batch lazily rebuilds it."""
-        with self._pool_lock:
-            pool, self._pool = self._pool, None
-        if pool is not None:
-            pool.shutdown(wait=True)
+        """Release pools and shared segments; a later batch rebuilds them."""
+        _teardown(self._state)
+
+    def close(self) -> None:
+        """Alias for :meth:`shutdown`, for context-manager symmetry."""
+        self.shutdown()
+
+    def __enter__(self) -> ParallelBatchExecutor:
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: object,
+    ) -> None:
+        self.shutdown()
 
     def __repr__(self) -> str:
         return (
             f"ParallelBatchExecutor(n_workers={self.n_workers}, "
-            f"min_batch_size={self.min_batch_size})"
+            f"min_batch_size={self.min_batch_size}, mode={self.mode!r})"
         )
+
+
+def _timed_shard(
+    fn: Callable[..., list[SearchResult]], *args: object
+) -> tuple[list[SearchResult], float]:
+    """Run one thread-mode shard under a span; return (results, seconds)."""
+    with obs.span("parallel_shard") as shard_span:
+        results = fn(*args)
+    return results, shard_span.duration

@@ -119,7 +119,10 @@ class HashIndex:
         queries under the same plan return the cached result.
     parallel:
         Optional :class:`~repro.search.parallel.ParallelBatchExecutor`;
-        ``search_batch`` shards large batches across its thread pool.
+        ``search_batch`` shards large batches across its worker pool —
+        threads, or shared-memory processes in ``mode="process"``.
+        Call :meth:`close` (or use the index as a context manager) to
+        release the workers when done.
     evaluation:
         The evaluation stage's scoring rule: ``"exact"`` (true
         distances over raw vectors, the default) or ``"code"``
@@ -253,6 +256,31 @@ class HashIndex:
     def engine(self) -> QueryEngine:
         """The query-execution engine this index delegates to."""
         return self._engine
+
+    def close(self) -> None:
+        """Release the attached parallel executor's workers (idempotent).
+
+        Worker pools (threads, or processes plus their shared-memory
+        segments) are not garbage-collected promptly; an index that
+        owns a :class:`~repro.search.parallel.ParallelBatchExecutor`
+        must release them deterministically.  Safe to call repeatedly;
+        a later batch lazily rebuilds the pool.  ``HashIndex`` is also
+        a context manager: ``with HashIndex(...) as index: ...``.
+        """
+        parallel = self._engine.parallel
+        if parallel is not None:
+            parallel.shutdown()
+
+    def __enter__(self) -> HashIndex:
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: object,
+    ) -> None:
+        self.close()
 
     def memory_footprint(self) -> dict[str, int]:
         """Approximate bytes held by each component.

@@ -1,11 +1,16 @@
-"""Thread-pooled batch execution is bit-identical to serial.
+"""Pooled batch execution is bit-identical to serial, and cleans up.
 
 The executor shards a batch into contiguous slices and runs the
 engine's *serial* batch path on each shard; because every per-query
 computation is independent (and the bucket layout is prebuilt on the
 caller's thread), the merged results must equal serial execution
 bit-for-bit — same ids, same distances, same candidate accounting.
+Thread-mode mechanics and lifecycle live here; the process/shared-
+memory mode has its own suite in ``test_parallel_process.py``.
 """
+
+import gc
+import threading
 
 import numpy as np
 import pytest
@@ -14,6 +19,12 @@ from repro.core.gqr import GQR
 from repro.data import gaussian_mixture, sample_queries
 from repro.hashing import ITQ
 from repro.search import HashIndex, ParallelBatchExecutor
+
+
+def repro_batch_threads():
+    return [
+        t for t in threading.enumerate() if t.name.startswith("repro-batch")
+    ]
 
 
 @pytest.fixture(scope="module")
@@ -71,6 +82,10 @@ class TestExecutorMechanics:
             for (_, prev_hi), (lo, _) in zip(bounds, bounds[1:]):
                 assert lo == prev_hi
 
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError, match="mode"):
+            ParallelBatchExecutor(n_workers=2, mode="fiber")
+
     def test_shutdown_then_reuse_rebuilds_pool(self, data, queries):
         executor = ParallelBatchExecutor(n_workers=2, min_batch_size=8)
         index = build(data, parallel=executor)
@@ -79,6 +94,56 @@ class TestExecutorMechanics:
         second = index.search_batch(queries, k=5, n_candidates=100)
         assert_batches_equal(second, first)
         executor.shutdown()
+
+    def test_run_streams_rejects_query_stream_mismatch(self, data, queries):
+        # Regression: shard bounds were computed from len(streams) but
+        # sliced `queries` too, silently mispairing rows whenever the
+        # two disagreed.  Now it must refuse loudly.
+        executor = ParallelBatchExecutor(n_workers=2, min_batch_size=2)
+        index = build(data, n_tables=2)
+        streams = [index.candidate_stream(q) for q in queries[:4]]
+        plan = index.plan(5, 100)
+        with pytest.raises(ValueError, match="align"):
+            executor.run_streams(index.engine, queries[:6], plan, streams)
+        executor.shutdown()
+
+
+class TestLifecycle:
+    def test_no_workers_survive_shutdown(self, data, queries):
+        executor = ParallelBatchExecutor(n_workers=4, min_batch_size=8)
+        index = build(data, parallel=executor)
+        index.search_batch(queries, k=5, n_candidates=100)
+        assert repro_batch_threads()
+        executor.shutdown()
+        assert not repro_batch_threads()
+
+    def test_executor_is_a_context_manager(self, data, queries):
+        with ParallelBatchExecutor(n_workers=2, min_batch_size=8) as executor:
+            index = build(data, parallel=executor)
+            index.search_batch(queries, k=5, n_candidates=100)
+        assert not repro_batch_threads()
+
+    def test_index_close_shuts_executor_down(self, data, queries):
+        with build(
+            data, parallel=ParallelBatchExecutor(n_workers=2, min_batch_size=8)
+        ) as index:
+            index.search_batch(queries, k=5, n_candidates=100)
+            assert repro_batch_threads()
+        assert not repro_batch_threads()
+        index.close()  # idempotent
+
+    def test_dropped_executor_is_finalized(self, data, queries):
+        # The weakref.finalize backstop: an executor dropped without
+        # shutdown() must still release its pool.
+        executor = ParallelBatchExecutor(n_workers=2, min_batch_size=8)
+        index = build(data, parallel=executor)
+        index.search_batch(queries, k=5, n_candidates=100)
+        finalizer = executor._finalizer
+        assert finalizer.alive
+        del executor, index
+        gc.collect()
+        assert not finalizer.alive
+        assert not repro_batch_threads()
 
 
 class TestBitIdentity:

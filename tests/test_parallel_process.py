@@ -1,0 +1,400 @@
+"""The shared-memory process execution mode is bit-identical to serial.
+
+Process mode publishes each engine generation's vectors and bucket
+layout into named shared-memory segments and runs the unchanged serial
+ordered batch path inside spawned workers.  These tests pin the whole
+contract:
+
+* bit-identity with serial execution across every index front-end and
+  across rerank/fuse plans (plans the workers cannot express must fall
+  back — thread pool or serial — and still match bit-for-bit);
+* publish-once-per-generation, with republication on generation bump
+  and the stale generation's segments unlinked (never readable again);
+* no worker processes or named segments survive shutdown.
+
+One spawned pool is reused across the whole module — workers cost real
+wall time to start, and pool reuse is itself part of the contract.
+"""
+
+import multiprocessing
+from multiprocessing import shared_memory
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.gqr import GQR
+from repro.data import gaussian_mixture, sample_queries
+from repro.hashing import ITQ
+from repro.index.hash_table import HashTable
+from repro.index.qalsh import QALSH
+from repro.quantization.pq import ProductQuantizer
+from repro.search import (
+    CompactHashIndex,
+    DynamicHashIndex,
+    ExactEvaluator,
+    FusionSpec,
+    HashIndex,
+    IMISearchIndex,
+    MIHSearchIndex,
+    ParallelBatchExecutor,
+    QueryEngine,
+    QueryPlan,
+    RerankSpec,
+    StreamSearchIndex,
+)
+
+DATA = gaussian_mixture(700, 16, n_clusters=8, seed=31)
+QUERIES = sample_queries(DATA, 80, seed=32)
+
+
+def assert_batches_equal(got, want):
+    assert len(got) == len(want)
+    for g, w in zip(got, want):
+        assert np.array_equal(g.ids, w.ids)
+        assert np.array_equal(g.distances, w.distances)
+        assert g.n_candidates == w.n_candidates
+        assert g.n_buckets_probed == w.n_buckets_probed
+
+
+@pytest.fixture(scope="module")
+def executor():
+    ex = ParallelBatchExecutor(n_workers=2, min_batch_size=8, mode="process")
+    yield ex
+    ex.shutdown()
+    assert not multiprocessing.active_children()
+
+
+def _build_hash():
+    return HashIndex(ITQ(code_length=8, seed=0), DATA, prober=GQR())
+
+
+def _build_mih():
+    return MIHSearchIndex(ITQ(code_length=8, seed=0), DATA, num_blocks=2)
+
+
+def _build_imi():
+    coarse = ProductQuantizer(n_subspaces=2, n_centroids=8, seed=0).fit(DATA)
+    return IMISearchIndex(coarse, DATA)
+
+
+def _build_compact():
+    probe = ITQ(code_length=6, seed=0).fit(DATA)
+    rerank = ITQ(code_length=12, seed=1).fit(DATA)
+    return CompactHashIndex(probe, rerank, DATA)
+
+
+def _build_dynamic():
+    hasher = ITQ(code_length=8, seed=0).fit(DATA)
+    index = DynamicHashIndex(hasher, DATA.shape[1])
+    index.add(DATA)
+    return index
+
+
+def _build_stream():
+    return StreamSearchIndex(QALSH(DATA, n_projections=12, seed=0), DATA)
+
+
+BUILDERS = {
+    "hash": _build_hash,
+    "mih": _build_mih,
+    "imi": _build_imi,
+    "compact": _build_compact,
+    "dynamic": _build_dynamic,
+    "stream": _build_stream,
+}
+
+_INDEXES: dict[str, object] = {}
+
+
+def get_index(name: str):
+    if name not in _INDEXES:
+        _INDEXES[name] = BUILDERS[name]()
+    return _INDEXES[name]
+
+
+def batch_streams(index, queries, plan):
+    """Run the engine's streams batch entry over per-query streams."""
+    streams = [index.candidate_stream(q) for q in queries]
+    return index.engine.execute_batch_streams(queries, plan, streams)
+
+
+class TestOrderedPathProcessBitIdentity:
+    """The ordered fast path actually crosses the process boundary."""
+
+    def test_plain_plan_matches_serial(self, executor):
+        serial = _build_hash()
+        parallel = HashIndex(
+            ITQ(code_length=8, seed=0), DATA, prober=GQR(), parallel=executor
+        )
+        assert_batches_equal(
+            parallel.search_batch(QUERIES, k=10, n_candidates=200),
+            serial.search_batch(QUERIES, k=10, n_candidates=200),
+        )
+        # The batch was eligible: exactly one publication exists.
+        assert len(executor._state.publications) == 1
+
+    @given(
+        k=st.integers(1, 30),
+        budget=st.integers(1, 400),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_plans_bit_identical(self, executor, k, budget):
+        serial = get_index("hash")
+        if "hash-process" not in _INDEXES:
+            _INDEXES["hash-process"] = HashIndex(
+                ITQ(code_length=8, seed=0),
+                DATA,
+                prober=GQR(),
+                parallel=executor,
+            )
+        parallel = _INDEXES["hash-process"]
+        assert_batches_equal(
+            parallel.search_batch(QUERIES, k=k, n_candidates=budget),
+            serial.search_batch(QUERIES, k=k, n_candidates=budget),
+        )
+
+    def test_exact_rerank_plan_matches_serial(self, executor):
+        spec = RerankSpec(mode="exact", pool=40)
+        serial = _build_hash()
+        parallel = HashIndex(
+            ITQ(code_length=8, seed=0), DATA, prober=GQR(), parallel=executor
+        )
+        assert_batches_equal(
+            parallel.search_batch(QUERIES, k=10, n_candidates=200, rerank=spec),
+            serial.search_batch(QUERIES, k=10, n_candidates=200, rerank=spec),
+        )
+
+    def test_fusion_plan_falls_back_and_matches_serial(self, executor):
+        # Fusion needs a partner engine the workers cannot rebuild:
+        # process mode must decline and the thread fallback must still
+        # be bit-identical.
+        partner_a = HashIndex(ITQ(code_length=6, seed=3), DATA)
+        partner_b = HashIndex(ITQ(code_length=6, seed=3), DATA)
+        serial = _build_hash()
+        serial.fuse_with(partner_a)
+        parallel = HashIndex(
+            ITQ(code_length=8, seed=0), DATA, prober=GQR(), parallel=executor
+        )
+        parallel.fuse_with(partner_b)
+        spec = FusionSpec(weight=0.5, pool=40)
+        assert_batches_equal(
+            parallel.search_batch(QUERIES, k=10, n_candidates=200, fusion=spec),
+            serial.search_batch(QUERIES, k=10, n_candidates=200, fusion=spec),
+        )
+
+    def test_code_evaluation_falls_back_and_matches_serial(self, executor):
+        # CodeEvaluator has no shared-memory publication; the ordered
+        # path must take the thread fallback and still match.
+        serial = HashIndex(
+            ITQ(code_length=8, seed=0), DATA, prober=GQR(), evaluation="code"
+        )
+        parallel = HashIndex(
+            ITQ(code_length=8, seed=0),
+            DATA,
+            prober=GQR(),
+            evaluation="code",
+            parallel=executor,
+        )
+        assert_batches_equal(
+            parallel.search_batch(QUERIES, k=10, n_candidates=200),
+            serial.search_batch(QUERIES, k=10, n_candidates=200),
+        )
+
+
+@pytest.mark.parametrize("name", sorted(BUILDERS))
+class TestAllIndexTypesBitIdentity:
+    """Every front-end's batch execution under a process-mode executor.
+
+    Index types whose batches are not process-eligible (streams-path
+    retrieval, non-exact evaluators) must fall back transparently; the
+    results must be bit-identical to serial either way.
+    """
+
+    def test_batch_matches_serial(self, name, executor):
+        index = get_index(name)
+        plan = QueryPlan(k=10, n_candidates=200)
+        queries = QUERIES[:24]
+        want = batch_streams(index, queries, plan)
+        engine = index.engine
+        assert engine.parallel is None
+        engine.parallel = executor
+        try:
+            got = batch_streams(index, queries, plan)
+        finally:
+            engine.parallel = None
+        assert_batches_equal(got, want)
+
+    def test_reranked_batch_matches_serial(self, name, executor):
+        index = get_index(name)
+        if "exact" not in index.engine.rerankers:
+            pytest.skip(f"{name} registers no exact reranker")
+        plan = QueryPlan(
+            k=10, n_candidates=200, rerank=RerankSpec(mode="exact", pool=40)
+        )
+        queries = QUERIES[:24]
+        want = batch_streams(index, queries, plan)
+        engine = index.engine
+        engine.parallel = executor
+        try:
+            got = batch_streams(index, queries, plan)
+        finally:
+            engine.parallel = None
+        assert_batches_equal(got, want)
+
+
+def _toy_ordered_setup(vectors):
+    """A tiny engine + table + score matrix for engine-level tests."""
+    rng = np.random.default_rng(7)
+    codes = rng.integers(0, 2, size=(len(vectors), 6))
+    table = HashTable(codes)
+    signatures = table.dense_layout()[0]
+    store = {"vectors": vectors}
+    engine = QueryEngine(
+        ExactEvaluator(lambda: store["vectors"], "euclidean"), name="genbump"
+    )
+    engine.rerankers["exact"] = engine.evaluator
+    queries = rng.standard_normal((16, vectors.shape[1]))
+    scores = rng.random((len(queries), len(signatures)))
+    return store, engine, table, queries, scores, signatures
+
+
+class TestGenerationBump:
+    def test_stale_segments_are_never_read(self):
+        # Mutate the indexed vectors, bump the generation, and prove
+        # the workers answer from the new snapshot — not the segments
+        # published for the old generation.
+        vectors = np.asarray(
+            np.random.default_rng(8).standard_normal((300, 8)),
+            dtype=np.float64,
+        )
+        store, engine, table, queries, scores, signatures = (
+            _toy_ordered_setup(vectors)
+        )
+        plan = QueryPlan(k=5, n_candidates=60)
+        with ParallelBatchExecutor(
+            n_workers=2, min_batch_size=8, mode="process"
+        ) as executor:
+            engine.parallel = executor
+            first = engine.execute_batch_ordered(
+                queries, plan, table, scores, signatures
+            )
+            engine.parallel = None
+            assert_batches_equal(
+                first,
+                engine.execute_batch_ordered(
+                    queries, plan, table, scores, signatures
+                ),
+            )
+            family = str(engine.identity()[0])
+            generation_0, _, publication_0 = (
+                executor._state.publications[family]
+            )
+            assert generation_0 == engine.generation
+
+            # Mutate: scale every vector, as a mutable index would on
+            # an update, and bump the generation.
+            store["vectors"] = vectors * -3.0 + 1.0
+            engine.bump_generation()
+
+            engine.parallel = executor
+            second = engine.execute_batch_ordered(
+                queries, plan, table, scores, signatures
+            )
+            engine.parallel = None
+            assert_batches_equal(
+                second,
+                engine.execute_batch_ordered(
+                    queries, plan, table, scores, signatures
+                ),
+            )
+            # Distances must reflect the mutated vectors, so the two
+            # generations cannot agree.
+            assert not all(
+                np.array_equal(a.distances, b.distances)
+                for a, b in zip(first, second)
+            )
+            generation_1, _, publication_1 = (
+                executor._state.publications[family]
+            )
+            assert generation_1 == engine.generation == generation_0 + 1
+            assert publication_1 is not publication_0
+            # The stale generation's segments were unlinked: their
+            # names can never be attached (hence never read) again.
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(
+                    name=publication_0.spec.vectors.name
+                )
+
+    def test_publication_reused_within_a_generation(self):
+        vectors = np.asarray(
+            np.random.default_rng(9).standard_normal((300, 8)),
+            dtype=np.float64,
+        )
+        _, engine, table, queries, scores, signatures = (
+            _toy_ordered_setup(vectors)
+        )
+        plan = QueryPlan(k=5, n_candidates=60)
+        with ParallelBatchExecutor(
+            n_workers=2, min_batch_size=8, mode="process"
+        ) as executor:
+            engine.parallel = executor
+            engine.execute_batch_ordered(
+                queries, plan, table, scores, signatures
+            )
+            family = str(engine.identity()[0])
+            publication = executor._state.publications[family][2]
+            engine.execute_batch_ordered(
+                queries, plan, table, scores, signatures
+            )
+            assert executor._state.publications[family][2] is publication
+
+
+class TestProcessLifecycle:
+    def test_shutdown_unlinks_segments_and_reaps_workers(self):
+        vectors = np.asarray(
+            np.random.default_rng(10).standard_normal((300, 8)),
+            dtype=np.float64,
+        )
+        _, engine, table, queries, scores, signatures = (
+            _toy_ordered_setup(vectors)
+        )
+        plan = QueryPlan(k=5, n_candidates=60)
+        executor = ParallelBatchExecutor(
+            n_workers=2, min_batch_size=8, mode="process"
+        )
+        engine.parallel = executor
+        engine.execute_batch_ordered(queries, plan, table, scores, signatures)
+        family = str(engine.identity()[0])
+        spec = executor._state.publications[family][2].spec
+        pool_pids = {
+            proc.pid
+            for proc in executor._state.process_pool._processes.values()
+        }
+        assert pool_pids
+        executor.shutdown()
+        survivors = {proc.pid for proc in multiprocessing.active_children()}
+        assert not (pool_pids & survivors)
+        for array_spec in (
+            spec.vectors,
+            spec.signatures,
+            spec.sizes,
+            spec.offsets,
+            spec.ids_flat,
+        ):
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=array_spec.name)
+        # Shutdown is a pool teardown, not a poison pill: the next
+        # batch republishes and respawns transparently.
+        second = engine.execute_batch_ordered(
+            queries, plan, table, scores, signatures
+        )
+        engine.parallel = None
+        assert_batches_equal(
+            second,
+            engine.execute_batch_ordered(
+                queries, plan, table, scores, signatures
+            ),
+        )
+        executor.shutdown()

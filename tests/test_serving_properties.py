@@ -3,9 +3,14 @@
 Three load-independence properties of the admission/shedding design,
 checked on randomly drawn offered loads in deterministic virtual time:
 
-* rising offered load never *increases* the accepted fraction — the
-  admission controller and overload ladder respond monotonically (up to
-  a small tolerance for batching-boundary effects);
+* rising offered load never *increases* the cost-weighted accepted
+  fraction (each served request weighted by the budget fraction of the
+  plan it actually ran) — the raw accepted *count* is legitimately
+  non-monotone, because the degrade ladder trades fidelity for
+  quantity: a deeper degrade level makes each query cheaper, so a
+  heavier load can be served a *larger share* of cheaper answers.
+  Weighting by coverage removes that economy and restores the
+  monotone law the controller actually obeys;
 * every completed request respects its deadline — the simulator's
   infeasible-drop makes this structural, not statistical;
 * degraded responses are bit-identical to running the downgraded plan
@@ -59,6 +64,21 @@ def run_at(rate: float, seed: int):
     return simulator.run_open(uniform_trace(rate, seed), _QUERIES, _PLAN)
 
 
+def weighted_accepted_fraction(sim) -> float:
+    """Served share of offered load, cost-weighted by plan fidelity.
+
+    A full-fidelity answer counts 1, a degraded answer counts its
+    ``coverage`` (the budget fraction of the downgraded plan) — the
+    quantity whose service cost the capacity bound actually limits.
+    """
+    served_cost = sum(
+        record.response.coverage
+        for record in sim.records
+        if record.response.served
+    )
+    return served_cost / len(sim.records)
+
+
 class TestServingProperties:
     @given(
         base_rate=st.integers(min_value=120, max_value=240),
@@ -68,13 +88,18 @@ class TestServingProperties:
     def test_load_response_properties(self, base_rate, seed):
         sims = [run_at(base_rate * m, seed) for m in MULTIPLIERS]
 
-        # 1. Accepted fraction is non-increasing as offered load rises.
-        fractions = [sim.accepted_fraction() for sim in sims]
+        # 1. Cost-weighted accepted fraction is non-increasing as
+        #    offered load rises.  The *raw* fraction is not monotone
+        #    (regression: base_rate=175 served 73% at 4x but 81% at 8x
+        #    — the deeper degrade level made each answer cheaper, so
+        #    more of them fit): weight each served request by the
+        #    budget fraction it actually consumed.
+        fractions = [weighted_accepted_fraction(sim) for sim in sims]
         for lighter, heavier in zip(fractions, fractions[1:]):
             assert heavier <= lighter + MONOTONE_TOLERANCE
         # The heaviest load runs several times over capacity, so
         # admission control must actually have engaged.
-        assert fractions[-1] < 1.0
+        assert sims[-1].accepted_fraction() < 1.0
 
         # 2. Every completed request respected its deadline.
         deadline = default_config().lane("interactive").deadline_seconds
